@@ -1,0 +1,101 @@
+package barriersim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestApps(t *testing.T) {
+	apps := Apps()
+	if len(apps) != 10 {
+		t.Fatalf("apps = %d, want 10", len(apps))
+	}
+	if apps[0] != "Volrend" || apps[9] != "Radiosity" {
+		t.Fatalf("apps order wrong: %v", apps)
+	}
+}
+
+func TestRunApp(t *testing.T) {
+	res, err := Run(Request{App: "FMM", Config: Thrifty, Nodes: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.App != "FMM" || res.Config != Thrifty {
+		t.Fatalf("identity wrong: %+v", res)
+	}
+	if res.EnergyVsBaseline >= 1 {
+		t.Errorf("FMM Thrifty energy = %v, want < 1", res.EnergyVsBaseline)
+	}
+	if res.TimeVsBaseline > 1.05 {
+		t.Errorf("FMM Thrifty time = %v", res.TimeVsBaseline)
+	}
+	if res.Imbalance <= 0.05 {
+		t.Errorf("imbalance = %v", res.Imbalance)
+	}
+	if res.Episodes == 0 || len(res.Sleeps) == 0 {
+		t.Errorf("stats empty: %+v", res)
+	}
+	sum := res.Energy.Compute + res.Energy.Spin + res.Energy.Transition + res.Energy.Sleep
+	if diff := sum - res.EnergyVsBaseline; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("energy breakdown sum %v != total %v", sum, res.EnergyVsBaseline)
+	}
+}
+
+func TestRunDefaultsToThrifty(t *testing.T) {
+	res, err := Run(Request{App: "Radiosity", Nodes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Config != Thrifty {
+		t.Fatalf("default config = %v", res.Config)
+	}
+}
+
+func TestRunBaselineIsUnity(t *testing.T) {
+	res, err := Run(Request{App: "Radix", Config: Baseline, Nodes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EnergyVsBaseline < 0.999 || res.EnergyVsBaseline > 1.001 {
+		t.Fatalf("baseline energy = %v", res.EnergyVsBaseline)
+	}
+}
+
+func TestRunTrace(t *testing.T) {
+	trace := "1, 100, 100, 100, 400\n1, 100, 100, 100, 400\n1, 100, 100, 100, 400\n"
+	res, err := Run(Request{Trace: strings.NewReader(trace), Config: ThriftyHalt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Episodes != 3 {
+		t.Fatalf("episodes = %d", res.Episodes)
+	}
+	if res.Imbalance < 0.3 {
+		t.Fatalf("trace imbalance = %v, straggler invisible", res.Imbalance)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []Request{
+		{},                            // neither app nor trace
+		{App: "Raytrace"},             // excluded by the paper
+		{App: "FMM", Nodes: 48},       // not a power of two
+		{App: "FMM", Config: "Bogus"}, // unknown config
+		{App: "FMM", Trace: strings.NewReader("x")}, // both set
+		{Trace: strings.NewReader("1,1,1,1")},       // 3 threads, not pow2
+		{Trace: strings.NewReader("")},              // empty trace
+	}
+	for i, req := range cases {
+		if _, err := Run(req); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestAllConfigsResolve(t *testing.T) {
+	for _, c := range []Config{Baseline, ThriftyHalt, OracleHalt, Thrifty, Ideal, SpinThenHalt, UncondHalt} {
+		if _, err := Run(Request{App: "Radiosity", Config: c, Nodes: 8}); err != nil {
+			t.Errorf("%s: %v", c, err)
+		}
+	}
+}

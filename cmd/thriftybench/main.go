@@ -1,0 +1,217 @@
+// Command thriftybench regenerates every table and figure of the paper's
+// evaluation, plus the four ablations, on the simulated 64-node CC-NUMA
+// machine.
+//
+// Usage:
+//
+//	thriftybench -all                 # everything (default)
+//	thriftybench -table2 -fig5        # selected experiments
+//	thriftybench -ablation cutoff     # one ablation (cutoff|wakeup|predictor|preempt)
+//	thriftybench -nodes 16 -seed 7    # smaller machine, different seed
+//	thriftybench -all -out results    # also write text + CSV files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"thriftybarrier/internal/core"
+	"thriftybarrier/internal/harness"
+	"thriftybarrier/internal/power"
+)
+
+func main() {
+	var (
+		all      = flag.Bool("all", false, "run every table, figure and ablation")
+		table1   = flag.Bool("table1", false, "print Table 1 (architecture)")
+		table2   = flag.Bool("table2", false, "run and print Table 2 (barrier imbalance)")
+		table3   = flag.Bool("table3", false, "print Table 3 (sleep states)")
+		fig3     = flag.Bool("fig3", false, "run and print Figure 3 (BIT/BST variability)")
+		fig5     = flag.Bool("fig5", false, "run and print Figure 5 (normalized energy)")
+		fig6     = flag.Bool("fig6", false, "run and print Figure 6 (normalized execution time)")
+		summary  = flag.Bool("summary", false, "print the headline numbers of section 5.1")
+		ablation = flag.String("ablation", "", "run one ablation: cutoff|wakeup|predictor|preempt|conventional|topology|confidence|dvfs|straggler")
+		sens     = flag.String("sensitivity", "", "run one sweep: nodes|transition|lockcontention|barrierlatency")
+		ext      = flag.String("extension", "", "run one extension experiment: locks|mp")
+		nodes    = flag.Int("nodes", 64, "machine size (power of two <= 64)")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		observer = flag.Int("observer", 11, "Figure 3 observer thread")
+		outDir   = flag.String("out", "", "also write results into this directory")
+		markdown = flag.String("markdown", "", "run everything and write a self-contained Markdown report here")
+	)
+	flag.Parse()
+
+	if !*table1 && !*table2 && !*table3 && !*fig3 && !*fig5 && !*fig6 &&
+		!*summary && *ablation == "" && *sens == "" && *ext == "" && *markdown == "" {
+		*all = true
+	}
+	if *all {
+		*table1, *table2, *table3, *fig3, *fig5, *fig6, *summary = true, true, true, true, true, true, true
+	}
+
+	arch := core.DefaultArch().WithNodes(*nodes)
+	if *observer >= *nodes {
+		*observer = *nodes - 1
+	}
+	if *markdown != "" {
+		report := harness.MarkdownReport(arch, *seed)
+		if err := os.WriteFile(*markdown, []byte(report), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *markdown)
+		if !*all && *ablation == "" && *sens == "" && *ext == "" &&
+			!*table1 && !*table2 && !*table3 && !*fig3 && !*fig5 && !*fig6 && !*summary {
+			return
+		}
+	}
+	emit := func(name, text string) {
+		fmt.Println(text)
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fatal(err)
+			}
+			path := filepath.Join(*outDir, name)
+			if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	if *table1 {
+		emit("table1.txt", harness.RenderTable1(arch))
+	}
+	if *table3 {
+		emit("table3.txt", harness.RenderTable3(power.DefaultModel()))
+	}
+	if *table2 {
+		emit("table2.txt", harness.RenderTable2(harness.Table2(arch, *seed)))
+	}
+	if *fig3 {
+		d := harness.Figure3(arch, *seed, *observer, 4, 4)
+		emit("figure3.txt", harness.RenderFigure3(d))
+	}
+
+	var apps []harness.AppRun
+	needMatrix := *fig5 || *fig6 || *summary
+	if needMatrix {
+		apps = harness.RunAll(arch, *seed)
+	}
+	if *fig5 {
+		emit("figure5.txt", harness.RenderFigure(apps, true))
+		if *outDir != "" {
+			emit("figure5.csv", harness.RenderFigureCSV(apps, true))
+		}
+	}
+	if *fig6 {
+		emit("figure6.txt", harness.RenderFigure(apps, false))
+		if *outDir != "" {
+			emit("figure6.csv", harness.RenderFigureCSV(apps, false))
+		}
+	}
+	if *summary {
+		emit("summary.txt", harness.RenderSummary(harness.Summarize(apps)))
+	}
+
+	ablations := map[string]func() string{
+		"cutoff": func() string {
+			return harness.RenderAblation("Ablation A: overprediction cut-off on Ocean (section 5.2)",
+				harness.AblationCutoff(arch, *seed))
+		},
+		"wakeup": func() string {
+			return harness.RenderAblation("Ablation B: wake-up mechanisms (section 3.3)",
+				harness.AblationWakeup(arch, *seed))
+		},
+		"predictor": func() string {
+			return harness.RenderAblation("Ablation C: BIT predictor policies (section 3.2)",
+				harness.AblationPredictor(arch, *seed))
+		},
+		"preempt": func() string {
+			return harness.RenderAblation("Ablation D: preemption and the underprediction filter (section 3.4.2)",
+				harness.AblationPreempt(arch, *seed))
+		},
+		"conventional": func() string {
+			return harness.RenderAblation("Ablation G: conventional low-power techniques vs Thrifty (section 5.1)",
+				harness.AblationConventional(arch, *seed))
+		},
+		"dvfs": func() string {
+			return harness.RenderAblation("Ablation H: barrier sleeping vs slack-reclamation DVFS (section 1)",
+				harness.AblationDVFS(arch, *seed))
+		},
+		"straggler": func() string {
+			return harness.RenderAblation("Ablation I: pinned vs rotating straggler (why BIT beats direct BST, section 3.2)",
+				harness.AblationStraggler(arch, *seed))
+		},
+		"topology": func() string {
+			return harness.RenderAblation("Ablation E: flat vs combining-tree check-in",
+				harness.AblationTopology(arch, *seed))
+		},
+		"confidence": func() string {
+			return harness.RenderAblation("Ablation F: cut-off vs confidence estimator (section 3.3.3 future work)",
+				harness.AblationConfidence(arch, *seed))
+		},
+	}
+	sweeps := map[string]func() string{
+		"lockcontention": func() string {
+			return harness.RenderSensitivity("Sensitivity: lock contention (thrifty MCS lock, 16 threads)",
+				harness.LockContentionSweep(*seed))
+		},
+		"barrierlatency": func() string {
+			return harness.RenderBarrierLatency(harness.BarrierLatency(*seed))
+		},
+		"nodes": func() string {
+			return harness.RenderSensitivity("Sensitivity: machine size (FMM)", harness.SensitivityNodes(*seed))
+		},
+		"transition": func() string {
+			return harness.RenderSensitivity("Sensitivity: sleep transition latency scaling (FMM)",
+				harness.SensitivityTransition(*seed))
+		},
+	}
+	extensions := map[string]func() string{
+		"locks": func() string {
+			sat, mod := harness.LockExperiment(*seed)
+			return harness.RenderLocks(sat, mod)
+		},
+		"mp": func() string {
+			return harness.RenderMP(harness.MPExperiment(*seed))
+		},
+	}
+	if *ablation != "" {
+		fn, ok := ablations[*ablation]
+		if !ok {
+			fatal(fmt.Errorf("unknown ablation %q (want cutoff|wakeup|predictor|preempt|conventional|topology|confidence|dvfs|straggler)", *ablation))
+		}
+		emit("ablation_"+*ablation+".txt", fn())
+	}
+	if *sens != "" {
+		fn, ok := sweeps[*sens]
+		if !ok {
+			fatal(fmt.Errorf("unknown sensitivity %q (want nodes|transition)", *sens))
+		}
+		emit("sensitivity_"+*sens+".txt", fn())
+	}
+	if *ext != "" {
+		fn, ok := extensions[*ext]
+		if !ok {
+			fatal(fmt.Errorf("unknown extension %q (want locks|mp)", *ext))
+		}
+		emit("extension_"+*ext+".txt", fn())
+	}
+	if *all {
+		for _, name := range []string{"cutoff", "wakeup", "predictor", "preempt", "conventional", "topology", "confidence", "dvfs", "straggler"} {
+			emit("ablation_"+name+".txt", ablations[name]())
+		}
+		for _, name := range []string{"nodes", "transition", "lockcontention", "barrierlatency"} {
+			emit("sensitivity_"+name+".txt", sweeps[name]())
+		}
+		for _, name := range []string{"locks", "mp"} {
+			emit("extension_"+name+".txt", extensions[name]())
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "thriftybench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,189 @@
+// Command thriftysim runs one (application, configuration) pair on the
+// simulated CC-NUMA machine and prints the energy/time breakdown and the
+// mechanism statistics — the single-experiment companion to thriftybench.
+//
+// Usage:
+//
+//	thriftysim -app FMM -config Thrifty
+//	thriftysim -app Ocean -config Thrifty -cutoff 0 -wakeup internal
+//	thriftysim -trace mytrace.csv -config Thrifty
+//	thriftysim -list
+//
+// A trace file replays measured per-thread barrier-phase durations (CSV:
+// "pc,dur0us,dur1us,..."; see internal/workload.ParseTrace) through the
+// simulator, estimating what the thrifty barrier would save on a real
+// application
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"thriftybarrier/internal/core"
+	"thriftybarrier/internal/sim"
+	"thriftybarrier/internal/trace"
+	"thriftybarrier/internal/workload"
+)
+
+func main() {
+	var (
+		app      = flag.String("app", "FMM", "application name (see -list)")
+		config   = flag.String("config", "Thrifty", "Baseline|Thrifty-Halt|Oracle-Halt|Thrifty|Ideal")
+		nodes    = flag.Int("nodes", 64, "machine size (power of two <= 64)")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		cutoff   = flag.Float64("cutoff", -1, "override overprediction cut-off (fraction of BIT; 0 disables)")
+		wakeup   = flag.String("wakeup", "", "override wake-up mechanism: hybrid|external|internal")
+		traceCSV = flag.String("trace", "", "replay a measured barrier trace (CSV) instead of a synthetic app")
+		chrome   = flag.String("chrometrace", "", "write a Chrome Trace Event JSON timeline of the run to this file")
+		list     = flag.Bool("list", false, "list applications and exit")
+		verbose  = flag.Bool("v", false, "also print per-static-barrier episode summary")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range workload.All() {
+			fmt.Printf("%-10s imbalance(paper)=%5.2f%%  phases=%d  %s\n",
+				s.Name, s.TargetImbalance*100, s.Phases(), s.ProblemSize)
+		}
+		return
+	}
+
+	var opts core.Options
+	found := false
+	for _, o := range core.Configurations() {
+		if o.Name == *config {
+			opts, found = o, true
+		}
+	}
+	if !found {
+		fatal(fmt.Errorf("unknown configuration %q", *config))
+	}
+	if *cutoff >= 0 {
+		opts.Cutoff = *cutoff
+	}
+	switch *wakeup {
+	case "":
+	case "hybrid":
+		opts.Wakeup = core.WakeupHybrid
+	case "external":
+		opts.Wakeup = core.WakeupExternal
+	case "internal":
+		opts.Wakeup = core.WakeupInternal
+	default:
+		fatal(fmt.Errorf("unknown wakeup %q", *wakeup))
+	}
+
+	var prog core.SliceProgram
+	var name string
+	if *traceCSV != "" {
+		f, err := os.Open(*traceCSV)
+		if err != nil {
+			fatal(err)
+		}
+		phases, err := workload.ParseTrace(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		th := workload.TraceThreads(phases)
+		if th&(th-1) != 0 || th > 64 {
+			fatal(fmt.Errorf("trace has %d threads; the machine needs a power of two <= 64", th))
+		}
+		*nodes = th
+		arch := core.DefaultArch().WithNodes(th)
+		prog, err = workload.BuildTrace(phases, arch.CPU.IPC)
+		if err != nil {
+			fatal(err)
+		}
+		name = *traceCSV
+	} else {
+		spec, ok := workload.ByName(*app)
+		if !ok {
+			fatal(fmt.Errorf("unknown application %q (use -list)", *app))
+		}
+		prog = spec.Build(*nodes, *seed)
+		name = spec.Name
+	}
+	arch := core.DefaultArch().WithNodes(*nodes)
+
+	base := core.NewMachine(arch, core.Baseline()).Run(prog)
+	m := core.NewMachine(arch, opts)
+	m.SetRecording(*verbose || *chrome != "")
+	res := m.Run(prog)
+	if *chrome != "" {
+		data, err := trace.ChromeTrace(res.Episodes, opts.Name)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*chrome, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (open in chrome://tracing or ui.perfetto.dev)\n", *chrome)
+	}
+	n := res.Breakdown.Normalize(base.Breakdown)
+
+	fmt.Printf("%s on %d nodes, %s (seed %d)\n", name, arch.Nodes, opts.Name, *seed)
+	fmt.Printf("  baseline: span=%v energy=%.4fJ imbalance=%.2f%%\n",
+		base.Span, base.Breakdown.TotalEnergy(), base.Breakdown.SpinFraction()*100)
+	fmt.Printf("  this run: span=%v energy=%.4fJ\n", res.Span, res.Breakdown.TotalEnergy())
+	fmt.Printf("  normalized energy: %6.2f%%  [Compute %.2f%% Spin %.2f%% Transition %.2f%% Sleep %.2f%%]\n",
+		n.TotalEnergy()*100,
+		n.Energy[sim.StateCompute]*100, n.Energy[sim.StateSpin]*100,
+		n.Energy[sim.StateTransition]*100, n.Energy[sim.StateSleep]*100)
+	fmt.Printf("  normalized time:   %6.2f%%  (span ratio %.4f)\n", n.TotalTime()*100, n.SpanRatio)
+	fmt.Printf("  episodes=%d spins=%d sleeps=%v\n", res.Stats.Episodes, res.Stats.Spins, res.Stats.Sleeps)
+	fmt.Printf("  wakes: early=%d external=%d late=%d false=%d; disables=%d flushedLines=%d\n",
+		res.Stats.EarlyWakes, res.Stats.ExternalWakes, res.Stats.LateWakes,
+		res.Stats.FalseWakeups, res.Stats.Disables, res.Stats.FlushLines)
+	fmt.Printf("  predictor: hits=%d misses=%d skippedUpdates=%d\n",
+		res.Stats.PredictorHits, res.Stats.PredictorMisses, res.Stats.SkippedUpdates)
+
+	if *verbose {
+		type agg struct {
+			pc    uint64
+			n     int
+			sum   sim.Cycles
+			min   sim.Cycles
+			max   sim.Cycles
+			stall sim.Cycles
+		}
+		perPC := map[uint64]*agg{}
+		for _, ep := range res.Episodes {
+			a := perPC[ep.PC]
+			if a == nil {
+				a = &agg{pc: ep.PC, min: sim.MaxCycles}
+				perPC[ep.PC] = a
+			}
+			a.n++
+			a.sum += ep.BIT
+			if ep.BIT < a.min {
+				a.min = ep.BIT
+			}
+			if ep.BIT > a.max {
+				a.max = ep.BIT
+			}
+			for t := range ep.Arrive {
+				a.stall += ep.Depart[t] - ep.Arrive[t]
+			}
+		}
+		var keys []uint64
+		for pc := range perPC {
+			keys = append(keys, pc)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		fmt.Println("  per-static-barrier BIT [instances, mean, min, max, mean per-thread stall]:")
+		for _, pc := range keys {
+			a := perPC[pc]
+			fmt.Printf("    pc=%#x n=%3d mean=%v min=%v max=%v stall=%v\n",
+				a.pc, a.n, a.sum/sim.Cycles(a.n), a.min, a.max,
+				a.stall/sim.Cycles(a.n*len(res.Episodes[0].Arrive)))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "thriftysim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,28 @@
+// Cluster example: the thrifty barrier on a message-passing machine — the
+// paper's first future-work direction (§7), built out in internal/mp.
+//
+// A 64-node cluster runs an FMM-like phase program whose barriers are a
+// NIC-combined reduction tree plus a broadcast. Early ranks predict their
+// stall from the interval history (the broadcast carries the measured BIT,
+// replacing the shared-memory BIT variable) and sleep; the release
+// broadcast is the external wake-up, a NIC timer the internal one.
+//
+// Run with:
+//
+//	go run ./examples/cluster
+package main
+
+import (
+	"fmt"
+
+	"thriftybarrier/internal/harness"
+)
+
+func main() {
+	fmt.Println(harness.RenderMP(harness.MPExperiment(1)))
+	fmt.Println("The mapping from the shared-memory design:")
+	fmt.Println("  barrier-flag invalidation  ->  release broadcast arriving at the NIC")
+	fmt.Println("  cache-controller timer     ->  NIC timer")
+	fmt.Println("  shared BIT variable        ->  BIT carried in the broadcast payload")
+	fmt.Println("  cache controller combining ->  in-network (NIC) reduction tree")
+}

@@ -1,0 +1,33 @@
+// Locks example: energy-aware waiting on a contended MCS queue lock — the
+// paper's second future-work direction (§7), built out in internal/locks.
+//
+// Waiters predict their wait as queue position x learned service time and
+// sleep when it covers a sleep state's round trip. Locks punish late wakes
+// harder than barriers (every sleeper is a future lock holder), so the
+// thrifty lock adds three refinements over the barrier policy, and this
+// example shows what happens without them (the Naive variant): convoys.
+//
+//  1. graded state selection: the exit transition must fit inside the
+//     anticipation window;
+//  2. re-sleep: an early-woken waiter still deep in the queue goes back to
+//     sleep instead of spinning the remainder;
+//  3. pre-wake: the new lock holder pokes the next sleeper, overlapping
+//     its exit transition with the critical section.
+//
+// Run with:
+//
+//	go run ./examples/locks
+package main
+
+import (
+	"fmt"
+
+	"thriftybarrier/internal/harness"
+)
+
+func main() {
+	sat, mod := harness.LockExperiment(1)
+	fmt.Println(harness.RenderLocks(sat, mod))
+	fmt.Println("LockIdle is time the lock sat free waiting for a waking holder —")
+	fmt.Println("the convoy cost unique to locks that the refinements minimize.")
+}

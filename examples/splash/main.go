@@ -1,0 +1,43 @@
+// SPLASH example: reproduce the paper's FMM analysis on the simulated
+// 64-node CC-NUMA machine.
+//
+// This runs the Figure 3 experiment (the barrier-interval-time stability
+// of FMM's three main-loop barriers that justifies PC-indexed last-value
+// prediction) and then compares all five system configurations on FMM —
+// one column of Figures 5 and 6.
+//
+// Run with:
+//
+//	go run ./examples/splash
+package main
+
+import (
+	"fmt"
+
+	"thriftybarrier/internal/core"
+	"thriftybarrier/internal/harness"
+	"thriftybarrier/internal/sim"
+	"thriftybarrier/internal/workload"
+)
+
+func main() {
+	arch := core.DefaultArch()
+
+	fmt.Println(harness.RenderFigure3(harness.Figure3(arch, 1, 11, 4, 4)))
+	fmt.Println()
+
+	spec := workload.FMM()
+	app := harness.RunApp(arch, spec, 1, core.Configurations())
+	fmt.Printf("FMM on %d nodes (measured imbalance %.2f%%):\n\n", arch.Nodes, app.Measured*100)
+	fmt.Printf("%-13s %9s %9s %9s %9s %9s %9s\n",
+		"config", "energy", "time", "compute", "spin", "trans", "sleep")
+	for _, run := range app.Runs {
+		n := run.Norm
+		fmt.Printf("%-13s %8.2f%% %8.2f%% %8.2f%% %8.2f%% %8.2f%% %8.2f%%\n",
+			run.Config.Name, n.TotalEnergy()*100, n.SpanRatio*100,
+			n.Energy[sim.StateCompute]*100, n.Energy[sim.StateSpin]*100,
+			n.Energy[sim.StateTransition]*100, n.Energy[sim.StateSleep]*100)
+	}
+	fmt.Println("\n(energy/segment columns normalized to Baseline total energy;")
+	fmt.Println(" time column is wall-clock span vs Baseline)")
+}

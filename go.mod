@@ -1,0 +1,3 @@
+module thriftybarrier
+
+go 1.22

@@ -1,0 +1,412 @@
+package core
+
+import (
+	"thriftybarrier/internal/power"
+	"thriftybarrier/internal/sim"
+)
+
+// wait decides what an early-arriving thread does (Figure 1(b) of the
+// paper): spin conventionally, or pick a sleep state based on the predicted
+// stall and go dormant.
+func (m *Machine) wait(t int, ep *episode, ready sim.Cycles) {
+	w := &waiter{thread: t, kind: waitSpin, readyAt: ready}
+	ep.waiters = append(ep.waiters, w)
+
+	if m.opts.YieldReschedule > 0 {
+		// §3.4.1 time-sharing: hand the CPU to other work. The processor
+		// keeps computing (someone else's instructions — charged as
+		// Compute at compute power, since the machine is multiprogrammed),
+		// and this thread resumes a scheduling delay after the release.
+		w.kind = waitYield
+		m.stats.Yields++
+		return
+	}
+	if len(m.opts.States) == 0 {
+		// Conventional barrier: spin on the flag. Bring a shared copy into
+		// the cache (first spin iteration misses, §3.3.1) so the release
+		// write's invalidation reaches this node.
+		res := m.proto.Read(t, ep.flagAddr, ready)
+		m.cpus[t].ChargeSpin(res.Latency)
+		w.readyAt = ready + res.Latency
+		m.stats.Spins++
+		return
+	}
+
+	if m.opts.Oracle {
+		// Oracle configurations are resolved at release time, where the
+		// true stall is known; a perfectly timed wake-up never perturbs
+		// arrival times, so deferring the decision is exact.
+		w.kind = waitOracle
+		w.readyAt = ready
+		return
+	}
+
+	if m.opts.Unconditional {
+		// §3.1's simplest form: sleep in the shallowest state on every
+		// early arrival, woken externally by the flag invalidation.
+		m.goToSleep(t, ep, w, m.opts.States[0], ready, sim.MaxCycles)
+		return
+	}
+	if m.opts.SpinThenSleep > 0 {
+		// Conventional spin-then-halt: spin a fixed window, then sleep
+		// with external wake-up only.
+		m.spinInstead(t, ep, w)
+		threshold := w.readyAt + m.opts.SpinThenSleep
+		m.engine.At(threshold, func() {
+			if w.departed || ep.released {
+				return
+			}
+			// Convert the spinner into an externally-woken sleeper.
+			m.cpus[t].ChargeSpin(threshold - w.readyAt)
+			w.readyAt = threshold
+			m.stats.Spins--
+			m.goToSleep(t, ep, w, m.opts.States[0], threshold, sim.MaxCycles)
+		})
+		return
+	}
+
+	// The sleep() library call: predict the stall and scan for a state.
+	ready += m.opts.DecisionCost
+	m.cpus[t].ChargeCompute(m.opts.DecisionCost)
+	w.readyAt = ready
+
+	predStall, ok := m.predictStall(t, ep, ready)
+	if !ok {
+		m.spinInstead(t, ep, w)
+		return
+	}
+	flushEst := sim.Cycles(0)
+	if !m.opts.NoFlush {
+		flushEst = m.flushEstimate(t)
+	}
+	fit := m.model.BestFit(predStall, flushEst)
+	if !fit.OK {
+		m.spinInstead(t, ep, w)
+		return
+	}
+	m.goToSleep(t, ep, w, fit.State, ready, ready+predStall)
+}
+
+// predictStall estimates the barrier stall ahead of thread t (§3.2): the
+// PC-indexed BIT prediction added to the thread's local previous release
+// timestamp gives the predicted wake-up time; subtracting the current local
+// time gives the stall.
+func (m *Machine) predictStall(t int, ep *episode, now sim.Cycles) (sim.Cycles, bool) {
+	if m.opts.BSTDirect {
+		// Ablation strawman: predict the stall directly per (PC, thread).
+		stall, ok := m.bst.Predict(ep.pc, t)
+		if !ok || stall <= 0 {
+			return 0, false
+		}
+		return stall, true
+	}
+	if !m.table.Enabled(ep.pc, t) {
+		return 0, false // cut-off disabled prediction here (§3.3.3)
+	}
+	bit, ok := m.table.Predict(ep.pc)
+	if !ok {
+		return 0, false // warm-up: first instance spins (§3.2.1)
+	}
+	predictedWake := m.brts[t] + bit
+	stall := predictedWake - now
+	if stall <= 0 {
+		return 0, false
+	}
+	return stall, true
+}
+
+// spinInstead registers w as a conventional spinner.
+func (m *Machine) spinInstead(t int, ep *episode, w *waiter) {
+	w.kind = waitSpin
+	res := m.proto.Read(t, ep.flagAddr, w.readyAt)
+	m.cpus[t].ChargeSpin(res.Latency)
+	w.readyAt += res.Latency
+	m.stats.Spins++
+}
+
+// flushEstimate approximates the flush latency the sleep() call uses when
+// sizing gated states: dirty lines stream over the node bus.
+func (m *Machine) flushEstimate(t int) sim.Cycles {
+	lines := m.proto.DirtyLines(t)
+	return sim.Cycles(lines)*m.arch.Coherence.Bus + m.detectRT
+}
+
+// goToSleep puts thread t's CPU into state st: flush if the state gates the
+// cache, arm the wake-up machinery, and transition in.
+func (m *Machine) goToSleep(t int, ep *episode, w *waiter, st power.SleepState, ready, predictedWake sim.Cycles) {
+	w.kind = waitSleep
+	w.state = st
+	w.predictedWake = predictedWake
+
+	if st.Gated() && !m.opts.NoFlush {
+		lines, flushLat := m.proto.FlushForSleep(t, ready)
+		m.cpus[t].ChargeCompute(flushLat)
+		ready += flushLat
+		m.stats.FlushLines += lines
+		w.gated = true
+	}
+
+	// The controller reads in the flag (§3.3.1): if it were already
+	// flipped, sleep is aborted. Release cannot have happened while this
+	// thread was still deciding unless the flush window overlapped it.
+	res := m.proto.Read(t, ep.flagAddr, ready)
+	m.cpus[t].ChargeCompute(res.Latency)
+	ready += res.Latency
+	if ep.released && ready >= ep.releaseAt {
+		if w.gated {
+			w.gated = false
+		}
+		w.wokeReady = ready
+		m.depart(t, ep, w, ready)
+		return
+	}
+
+	if w.gated {
+		m.proto.SetGated(t, true)
+	}
+	m.cpus[t].ChargeTransition(st, st.Transition)
+	w.sleepStart = ready + st.Transition
+	m.stats.Sleeps[st.Name]++
+
+	if m.opts.Wakeup == WakeupHybrid || m.opts.Wakeup == WakeupExternal {
+		w.cancelMonitor = m.proto.Monitor(t, ep.flagAddr, func(at sim.Cycles) {
+			// Monitor callbacks run inside the releasing Write; hop onto
+			// the event queue at the delivery time.
+			w.cancelMonitor = nil
+			m.engine.At(at, func() { m.externalWake(t, ep, w, at) })
+		})
+	}
+	if predictedWake == sim.MaxCycles {
+		// Fixed policies (unconditional, spin-then-sleep) have no
+		// prediction to program a timer with: external wake-up only.
+		return
+	}
+	if m.opts.Wakeup == WakeupHybrid || m.opts.Wakeup == WakeupInternal {
+		wake := predictedWake - st.Transition
+		if wake < w.sleepStart {
+			wake = w.sleepStart
+		}
+		w.timer = m.engine.At(wake, func() { m.internalWake(t, ep, w, wake) })
+	}
+}
+
+// internalWake fires when the programmed timer expires (§3.3.2): the CPU
+// transitions out; if the barrier has not been released yet this was an
+// early wake-up and the thread residual-spins, otherwise it was late.
+func (m *Machine) internalWake(t int, ep *episode, w *waiter, now sim.Cycles) {
+	if w.departed || w.woken {
+		return
+	}
+	w.woken = true
+	w.timer = nil
+	if w.cancelMonitor != nil {
+		w.cancelMonitor()
+		w.cancelMonitor = nil
+	}
+	m.chargeSleepUntil(t, w, now)
+	m.cpus[t].ChargeTransition(w.state, w.state.Transition)
+	up := now + w.state.Transition
+	if w.gated {
+		m.proto.SetGated(t, false)
+		w.gated = false
+	}
+	w.wokeReady = up
+
+	if ep.released {
+		// Late wake-up: the release happened while asleep; verify the flag
+		// and go (the overprediction penalty, bounded only by the cut-off
+		// under internal-only wake-up).
+		m.stats.LateWakes++
+		res := m.proto.Read(t, ep.flagAddr, up)
+		m.cpus[t].ChargeSpin(res.Latency)
+		m.depart(t, ep, w, up+res.Latency)
+		return
+	}
+	// Early wake-up: residual spin until the release (§2, Figure 1(b)).
+	m.stats.EarlyWakes++
+	w.kind = waitResidualSpin
+	res := m.proto.Read(t, ep.flagAddr, up)
+	m.cpus[t].ChargeSpin(res.Latency)
+	w.residualFrom = up + res.Latency
+}
+
+// externalWake fires when the invalidation of the barrier flag reaches a
+// dormant CPU (§3.3.1): the exit transition lands on the critical path.
+func (m *Machine) externalWake(t int, ep *episode, w *waiter, at sim.Cycles) {
+	if w.departed || w.woken {
+		return
+	}
+	w.woken = true
+	if w.timer != nil {
+		m.engine.Cancel(w.timer)
+		w.timer = nil
+	}
+	if at < w.sleepStart {
+		// The signal arrived during the entry transition: the CPU finishes
+		// entering the state and exits immediately (zero residency).
+		at = w.sleepStart
+	}
+	m.chargeSleepUntil(t, w, at)
+	m.cpus[t].ChargeTransition(w.state, w.state.Transition)
+	up := at + w.state.Transition
+	if w.gated {
+		m.proto.SetGated(t, false)
+		w.gated = false
+	}
+	w.wokeReady = up
+	m.stats.ExternalWakes++
+
+	if !ep.released {
+		// False wake-up: some exclusive prefetch invalidated the flag
+		// without releasing the barrier (§3.3.1). Exceedingly rare; the
+		// thread is left residual-spinning for the rest of the barrier.
+		m.stats.FalseWakeups++
+		w.kind = waitResidualSpin
+		res := m.proto.Read(t, ep.flagAddr, up)
+		m.cpus[t].ChargeSpin(res.Latency)
+		w.residualFrom = up + res.Latency
+		return
+	}
+	res := m.proto.Read(t, ep.flagAddr, up)
+	m.cpus[t].ChargeSpin(res.Latency)
+	m.depart(t, ep, w, up+res.Latency)
+}
+
+// chargeSleepUntil accounts the sleep residency [sleepStart, until].
+func (m *Machine) chargeSleepUntil(t int, w *waiter, until sim.Cycles) {
+	if until > w.sleepStart {
+		m.cpus[t].ChargeSleep(w.state, until-w.sleepStart)
+	} else if until < w.sleepStart {
+		// The wake signal arrived during the entry transition; the entry
+		// still completes (already charged) and the residency is zero.
+		// Shift the exit to after the entry completes.
+	}
+}
+
+// release handles the last thread's arrival (at time done): measure the
+// true BIT, update the predictor, flip the flag — whose invalidations are
+// the external wake-up signals — and resolve all waiters.
+func (m *Machine) release(t int, ep *episode, done sim.Cycles) {
+	ep.lastThread = t
+	m.stats.Episodes++
+
+	// The last thread computes BIT_b = now - BRTS_{b-1} (its local
+	// timestamp) and updates the shared BIT variable and predictor before
+	// flipping the flag (§3.2.1).
+	bit := done - m.brts[t]
+	ep.bit = bit
+	if (len(m.opts.States) > 0 || m.opts.DVFS) && !m.opts.Oracle {
+		m.table.Update(ep.pc, bit)
+	}
+
+	// Reset count and flip the flag: a real coherent write whose
+	// invalidations reach every sharer of the flag line.
+	res := m.proto.Write(t, ep.flagAddr, done)
+	ep.released = true
+	ep.releaseAt = done
+	m.cpus[t].ChargeCompute(res.Latency)
+
+	// Map invalidation deliveries per node.
+	deliveries := make(map[int]sim.Cycles, len(res.Invalidations))
+	for _, d := range res.Invalidations {
+		deliveries[d.Node] = d.At
+	}
+
+	for _, w := range ep.waiters {
+		w := w
+		switch w.kind {
+		case waitSpin, waitResidualSpin:
+			m.resolveSpinner(ep, w, deliveries)
+		case waitYield:
+			m.resolveYield(ep, w, done)
+		case waitOracle:
+			m.resolveOracle(ep, w, done)
+		case waitSleep:
+			// Hybrid/external sleepers were woken by their monitors inside
+			// the Write above; internal-only sleepers wake at their timers.
+		}
+	}
+
+	// The last thread departs once its write completes.
+	m.depart(t, ep, nil, done+res.Latency)
+}
+
+// resolveSpinner schedules the departure of a spinning thread: it detects
+// the flip when the invalidation arrives and re-reads the flag.
+func (m *Machine) resolveSpinner(ep *episode, w *waiter, deliveries map[int]sim.Cycles) {
+	from := w.readyAt
+	if w.kind == waitResidualSpin {
+		from = w.residualFrom
+	}
+	inv, ok := deliveries[w.thread]
+	if !ok || inv < from {
+		// The spinner's flag copy was displaced (or it started spinning
+		// after the release write): it detects the flip on its next read.
+		inv = ep.releaseAt
+		if from > inv {
+			inv = from
+		}
+	}
+	t := w.thread
+	m.engine.At(inv, func() {
+		if w.departed {
+			return
+		}
+		res := m.proto.Read(t, ep.flagAddr, inv)
+		dep := inv + res.Latency
+		if dep < from {
+			dep = from
+		}
+		m.cpus[t].ChargeSpin(dep - from)
+		m.depart(t, ep, w, dep)
+	})
+}
+
+// resolveYield settles a §3.4.1 time-sharing waiter: the CPU ran other
+// work for the whole wait (Compute), and the thread resumes only after
+// the OS reschedules it.
+func (m *Machine) resolveYield(ep *episode, w *waiter, release sim.Cycles) {
+	t := w.thread
+	dep := release + m.opts.YieldReschedule
+	m.engine.At(dep, func() {
+		if w.departed {
+			return
+		}
+		m.cpus[t].ChargeCompute(dep - w.readyAt)
+		m.depart(t, ep, w, dep)
+	})
+}
+
+// resolveOracle settles an oracle waiter analytically: with perfect BIT
+// prediction the thread sleeps exactly when worthwhile and is executing
+// again precisely at the release (§5.1's Oracle-Halt and Ideal).
+func (m *Machine) resolveOracle(ep *episode, w *waiter, release sim.Cycles) {
+	t := w.thread
+	stall := release - w.readyAt
+	if stall < 0 {
+		stall = 0
+	}
+	fit := m.model.BestFit(stall, 0)
+	m.engine.At(release, func() {
+		if w.departed {
+			return
+		}
+		res := m.proto.Read(t, ep.flagAddr, release)
+		dep := release + res.Latency
+		if fit.OK {
+			st := fit.State
+			m.cpus[t].ChargeTransition(st, st.Transition)
+			m.cpus[t].ChargeSleep(st, stall-2*st.Transition)
+			m.cpus[t].ChargeTransition(st, st.Transition)
+			m.cpus[t].ChargeSpin(res.Latency)
+			w.state = st
+			w.wokeReady = release
+			m.stats.OracleSleeps++
+			m.stats.Sleeps[st.Name]++
+		} else {
+			m.cpus[t].ChargeSpin(dep - w.readyAt)
+			m.stats.Spins++
+		}
+		m.depart(t, ep, w, dep)
+	})
+}

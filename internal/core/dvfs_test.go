@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+
+	"thriftybarrier/internal/cpu"
+	"thriftybarrier/internal/sim"
+)
+
+func TestDVFSValidation(t *testing.T) {
+	if err := DVFSReclaim().Validate(); err != nil {
+		t.Fatalf("DVFSReclaim invalid: %v", err)
+	}
+	bad := DVFSReclaim()
+	bad.States = Thrifty().States
+	if bad.Validate() == nil {
+		t.Error("DVFS + sleep states accepted")
+	}
+	bad = DVFSReclaim()
+	bad.DVFSMinFreq = 0
+	if bad.Validate() == nil {
+		t.Error("zero min frequency accepted")
+	}
+	bad = DVFSReclaim()
+	bad.DVFSMargin = 1.5
+	if bad.Validate() == nil {
+		t.Error("margin > 1 accepted")
+	}
+}
+
+func TestDVFSSavesEnergyOnStableImbalance(t *testing.T) {
+	// A stable rotating straggler: non-critical threads can stretch their
+	// compute into the slack and cut core energy by ~f^2.
+	prog := UniformProgram(0x100, 16, imbalancedWork(400_000, 600_000))
+	base := runProg(t, testArch(), Baseline(), prog, false)
+	dv := runProg(t, testArch(), DVFSReclaim(), prog, false)
+	n := dv.Breakdown.Normalize(base.Breakdown)
+	if n.TotalEnergy() >= 0.92 {
+		t.Fatalf("DVFS energy = %.3f, want clear savings", n.TotalEnergy())
+	}
+	if n.SpanRatio > 1.04 {
+		t.Fatalf("DVFS slowdown = %.4f", n.SpanRatio)
+	}
+	if dv.Stats.DVFSScaled == 0 {
+		t.Fatal("no phases were frequency-scaled")
+	}
+	avg := dv.Stats.DVFSFreqSum / float64(16*8)
+	if avg >= 0.99 {
+		t.Fatalf("average frequency %.3f, scaling ineffective", avg)
+	}
+}
+
+func TestDVFSWarmupRunsAtNominal(t *testing.T) {
+	// With no history the first instances must run at f=1.
+	prog := UniformProgram(0x100, 2, imbalancedWork(200_000, 300_000))
+	res := runProg(t, testArch(), DVFSReclaim(), prog, false)
+	// 2 phases x 8 threads = 16 segments; at most the second phase scales.
+	if res.Stats.DVFSScaled > 8 {
+		t.Fatalf("scaled %d segments during warm-up", res.Stats.DVFSScaled)
+	}
+}
+
+func TestDVFSTrailsThriftyOnDeepSlack(t *testing.T) {
+	// With huge slack (Volrend-like), DVFS bottoms out at the frequency
+	// floor (energy ~f_min^2 on the core) while Thrifty's Sleep3 removes
+	// ~98% of the waiting energy: Thrifty must win.
+	prog := UniformProgram(0x100, 12, imbalancedWork(300_000, 2_400_000))
+	base := runProg(t, testArch(), Baseline(), prog, false)
+	dv := runProg(t, testArch(), DVFSReclaim(), prog, false)
+	th := runProg(t, testArch(), Thrifty(), prog, false)
+	eDV := dv.Breakdown.Normalize(base.Breakdown).TotalEnergy()
+	eTH := th.Breakdown.Normalize(base.Breakdown).TotalEnergy()
+	if eTH >= eDV {
+		t.Fatalf("Thrifty (%.3f) did not beat DVFS (%.3f) on deep slack", eTH, eDV)
+	}
+}
+
+func TestDVFSRemainingWaitsAreSpun(t *testing.T) {
+	prog := UniformProgram(0x100, 8, imbalancedWork(200_000, 400_000))
+	res := runProg(t, testArch(), DVFSReclaim(), prog, false)
+	if res.Breakdown.Time[sim.StateSleep] != 0 || res.Breakdown.Time[sim.StateTransition] != 0 {
+		t.Fatal("DVFS config slept")
+	}
+	if res.Breakdown.Time[sim.StateSpin] <= 0 {
+		t.Fatal("DVFS config never spun the residual wait")
+	}
+}
+
+func TestDVFSSwingingIntervalsStayBounded(t *testing.T) {
+	// The Ocean pathology under DVFS: mispredicted slack slows a thread
+	// that then becomes critical. The margin bounds the damage.
+	long, short := int64(800_000), int64(60_000)
+	prog := UniformProgram(0x100, 16, func(instance, thread int) cpu.Segment {
+		insns := short
+		if instance%2 == 0 {
+			insns = long
+		}
+		if thread == instance%8 {
+			insns += insns / 4
+		}
+		return cpu.Segment{Instructions: insns}
+	})
+	base := runProg(t, testArch(), Baseline(), prog, false)
+	dv := runProg(t, testArch(), DVFSReclaim(), prog, false)
+	n := dv.Breakdown.Normalize(base.Breakdown)
+	if n.SpanRatio > 1.30 {
+		t.Fatalf("DVFS on swinging intervals slowdown = %.4f, unbounded", n.SpanRatio)
+	}
+	t.Logf("DVFS on swinging intervals: energy %.3f time %.4f", n.TotalEnergy(), n.SpanRatio)
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"testing"
+
+	"thriftybarrier/internal/power"
+	"thriftybarrier/internal/sim"
+)
+
+func TestFixedPolicyValidation(t *testing.T) {
+	o := UnconditionalHalt()
+	if err := o.Validate(); err != nil {
+		t.Fatalf("UnconditionalHalt invalid: %v", err)
+	}
+	o = SpinThenHalt()
+	if err := o.Validate(); err != nil {
+		t.Fatalf("SpinThenHalt invalid: %v", err)
+	}
+	bad := UnconditionalHalt()
+	bad.States = nil
+	if bad.Validate() == nil {
+		t.Error("unconditional without states accepted")
+	}
+	bad = UnconditionalHalt()
+	bad.SpinThenSleep = 100
+	if bad.Validate() == nil {
+		t.Error("unconditional + spin-then-sleep accepted")
+	}
+	bad = SpinThenHalt()
+	bad.Oracle = true
+	if bad.Validate() == nil {
+		t.Error("oracle + fixed policy accepted")
+	}
+	bad = UnconditionalHalt()
+	bad.Wakeup = WakeupInternal
+	if bad.Validate() == nil {
+		t.Error("fixed policy with internal-only wake-up accepted")
+	}
+	bad = Baseline()
+	bad.SpinThenSleep = -1
+	if bad.Validate() == nil {
+		t.Error("negative spin-then-sleep accepted")
+	}
+}
+
+func TestUnconditionalHaltSleepsEveryEarlyArrival(t *testing.T) {
+	prog := UniformProgram(0x100, 6, imbalancedWork(100_000, 400_000))
+	res := runProg(t, testArch(), UnconditionalHalt(), prog, false)
+	// 7 early threads x 6 instances, all asleep, no prediction needed.
+	if got := res.Stats.Sleeps["Sleep1 (Halt)"]; got != 42 {
+		t.Fatalf("halt sleeps = %d, want 42", got)
+	}
+	if res.Stats.Spins != 0 {
+		t.Fatalf("spins = %d, want 0", res.Stats.Spins)
+	}
+	// Every wake is external: the exit transition is always on the
+	// critical path.
+	if res.Stats.ExternalWakes != 42 {
+		t.Fatalf("external wakes = %d, want 42", res.Stats.ExternalWakes)
+	}
+}
+
+func TestUnconditionalHurtsShortBarriers(t *testing.T) {
+	// Tiny stalls: unconditional halting pays the 20us round trip against
+	// a ~2us stall on every instance, while Thrifty-Halt predicts and
+	// declines to sleep.
+	prog := UniformProgram(0x100, 10, imbalancedWork(200_000, 8_000))
+	base := runProg(t, testArch(), Baseline(), prog, false)
+	uncond := runProg(t, testArch(), UnconditionalHalt(), prog, false)
+	thrifty := runProg(t, testArch(), ThriftyHalt(), prog, false)
+	slowU := uncond.Breakdown.Normalize(base.Breakdown).SpanRatio
+	slowT := thrifty.Breakdown.Normalize(base.Breakdown).SpanRatio
+	if slowU <= slowT+0.005 {
+		t.Fatalf("unconditional (%.4f) not clearly slower than thrifty (%.4f) on short barriers", slowU, slowT)
+	}
+	if slowU < 1.02 {
+		t.Fatalf("unconditional slowdown %.4f implausibly small for 2us stalls", slowU)
+	}
+}
+
+func TestSpinThenHaltConvertsLongWaits(t *testing.T) {
+	prog := UniformProgram(0x100, 8, imbalancedWork(100_000, 600_000)) // ~300us stalls
+	res := runProg(t, testArch(), SpinThenHalt(), prog, true)
+	if got := res.Stats.Sleeps["Sleep1 (Halt)"]; got == 0 {
+		t.Fatal("spin-then-halt never slept on long stalls")
+	}
+	// The fixed spin window burns spin time before every sleep.
+	if res.Breakdown.Time[sim.StateSpin] <= 0 {
+		t.Fatal("no spin time before halting")
+	}
+	if res.Stats.Episodes != 8 {
+		t.Fatalf("episodes = %d", res.Stats.Episodes)
+	}
+}
+
+func TestSpinThenHaltStaysSpinningOnShortWaits(t *testing.T) {
+	// Stalls shorter than the spin window: never sleeps, behaves like
+	// Baseline.
+	prog := UniformProgram(0x100, 8, imbalancedWork(200_000, 40_000)) // ~10us stalls
+	res := runProg(t, testArch(), SpinThenHalt(), prog, false)
+	if got := res.Stats.Sleeps["Sleep1 (Halt)"]; got != 0 {
+		t.Fatalf("slept %d times with 10us stalls and a 40us window", got)
+	}
+}
+
+// The paper's §5.1 claim: conventional techniques (spin-then-halt,
+// unconditional halt) find their lower bound at Oracle-Halt, which itself
+// trails Thrifty's multi-state savings.
+func TestConventionalTechniquesLowerBoundAtOracleHalt(t *testing.T) {
+	prog := UniformProgram(0x100, 12, imbalancedWork(100_000, 500_000))
+	base := runProg(t, testArch(), Baseline(), prog, false)
+	energy := func(o Options) float64 {
+		return runProg(t, testArch(), o, prog, false).Breakdown.Normalize(base.Breakdown).TotalEnergy()
+	}
+	oracleHalt := energy(OracleHalt())
+	spinThen := energy(SpinThenHalt())
+	uncond := energy(UnconditionalHalt())
+	thrifty := energy(Thrifty())
+	if spinThen < oracleHalt-1e-9 {
+		t.Errorf("spin-then-halt (%.4f) beat Oracle-Halt (%.4f)", spinThen, oracleHalt)
+	}
+	if uncond < oracleHalt-1e-9 {
+		t.Errorf("unconditional halt (%.4f) beat Oracle-Halt (%.4f)", uncond, oracleHalt)
+	}
+	if thrifty >= oracleHalt {
+		t.Errorf("Thrifty (%.4f) did not beat Oracle-Halt (%.4f) with deep states", thrifty, oracleHalt)
+	}
+}
+
+func TestTimeShareHurtsPerformanceNotEnergy(t *testing.T) {
+	// §3.4.1: yielding the CPU saves spinning but the reschedule delay
+	// lands on the critical path and compounds across phases.
+	prog := UniformProgram(0x100, 10, imbalancedWork(200_000, 200_000))
+	base := runProg(t, testArch(), Baseline(), prog, false)
+	ts := runProg(t, testArch(), TimeShare(200*sim.Microsecond), prog, false)
+	n := ts.Breakdown.Normalize(base.Breakdown)
+	if n.SpanRatio < 1.05 {
+		t.Fatalf("time-sharing slowdown = %.4f, want the reschedule delay visible", n.SpanRatio)
+	}
+	if ts.Stats.Yields == 0 {
+		t.Fatal("no yields recorded")
+	}
+	if ts.Breakdown.Time[sim.StateSpin] != 0 {
+		t.Fatal("time-sharing threads spun")
+	}
+	// The CPU ran other work the whole time: from the machine's view no
+	// energy is saved (it can even grow with the stretched execution).
+	if n.TotalEnergy() < 0.98 {
+		t.Fatalf("time-sharing energy = %.4f, should not save machine energy", n.TotalEnergy())
+	}
+}
+
+func TestTimeShareValidation(t *testing.T) {
+	o := TimeShare(100)
+	if err := o.Validate(); err != nil {
+		t.Fatalf("TimeShare invalid: %v", err)
+	}
+	bad := TimeShare(100)
+	bad.States = power.HaltOnly()
+	if bad.Validate() == nil {
+		t.Error("yield + sleep states accepted")
+	}
+	if TimeShare(-1).Validate() == nil {
+		t.Error("negative reschedule accepted")
+	}
+}

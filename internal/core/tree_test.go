@@ -1,0 +1,137 @@
+package core
+
+import (
+	"testing"
+
+	"thriftybarrier/internal/cpu"
+	"thriftybarrier/internal/sim"
+)
+
+func TestTreeShape(t *testing.T) {
+	s := newTreeShape(64, 8)
+	if len(s.childCount) != 2 {
+		t.Fatalf("levels = %d, want 2 (64 = 8*8)", len(s.childCount))
+	}
+	if len(s.childCount[0]) != 8 || len(s.childCount[1]) != 1 {
+		t.Fatalf("groups per level = %d,%d", len(s.childCount[0]), len(s.childCount[1]))
+	}
+	for _, c := range s.childCount[0] {
+		if c != 8 {
+			t.Fatalf("level-0 group size %d, want 8", c)
+		}
+	}
+	if s.childCount[1][0] != 8 {
+		t.Fatalf("root group size %d, want 8", s.childCount[1][0])
+	}
+	if s.lines != 9 {
+		t.Fatalf("counter lines = %d, want 9", s.lines)
+	}
+}
+
+func TestTreeShapeRagged(t *testing.T) {
+	// 8 nodes, arity 3: level 0 groups of 3,3,2; level 1 root of 3.
+	s := newTreeShape(8, 3)
+	if len(s.childCount) != 2 {
+		t.Fatalf("levels = %d", len(s.childCount))
+	}
+	want0 := []int{3, 3, 2}
+	for i, w := range want0 {
+		if s.childCount[0][i] != w {
+			t.Fatalf("level-0 sizes %v, want %v", s.childCount[0], want0)
+		}
+	}
+	if s.childCount[1][0] != 3 {
+		t.Fatalf("root size %d, want 3", s.childCount[1][0])
+	}
+}
+
+func TestTreeArityValidation(t *testing.T) {
+	o := Baseline()
+	o.TreeArity = 1
+	if o.Validate() == nil {
+		t.Error("arity 1 accepted")
+	}
+	o.TreeArity = -2
+	if o.Validate() == nil {
+		t.Error("negative arity accepted")
+	}
+	o.TreeArity = 4
+	if err := o.Validate(); err != nil {
+		t.Errorf("arity 4 rejected: %v", err)
+	}
+}
+
+func TestTreeBarrierSemantics(t *testing.T) {
+	for _, arity := range []int{2, 4, 8} {
+		opts := Baseline()
+		opts.TreeArity = arity
+		prog := UniformProgram(0x100, 5, imbalancedWork(200_000, 100_000))
+		res := runProg(t, testArch(), opts, prog, true)
+		if res.Stats.Episodes != 5 {
+			t.Fatalf("arity %d: episodes = %d, want 5", arity, res.Stats.Episodes)
+		}
+		for i, ep := range res.Episodes {
+			for th, d := range ep.Depart {
+				if d < ep.ReleaseAt {
+					t.Fatalf("arity %d ep %d thread %d departed before release", arity, i, th)
+				}
+			}
+		}
+	}
+}
+
+func TestTreeBarrierReducesSerialization(t *testing.T) {
+	// A perfectly balanced program at 64 nodes: all arrivals simultaneous,
+	// so the flat barrier's O(N) counter serialization dominates the
+	// measured imbalance. The combining tree must cut it sharply.
+	if testing.Short() {
+		t.Skip("64-node run in -short mode")
+	}
+	arch := DefaultArch()
+	work := func(instance, thread int) cpu.Segment {
+		return cpu.Segment{Instructions: 1_000_000}
+	}
+	prog := UniformProgram(0x100, 6, work)
+	flat := runProg(t, arch, Baseline(), prog, false)
+	treeOpts := Baseline()
+	treeOpts.TreeArity = 8
+	tree := runProg(t, arch, treeOpts, prog, false)
+
+	if tree.Span >= flat.Span {
+		t.Fatalf("tree span %v not below flat span %v on balanced program", tree.Span, flat.Span)
+	}
+	flatSpin := flat.Breakdown.Time[sim.StateSpin]
+	treeSpin := tree.Breakdown.Time[sim.StateSpin]
+	if treeSpin >= flatSpin/2 {
+		t.Fatalf("tree spin %v not well below flat spin %v", treeSpin, flatSpin)
+	}
+}
+
+func TestTreeBarrierWithThrifty(t *testing.T) {
+	// The thrifty machinery composes with the tree check-in.
+	opts := Thrifty()
+	opts.TreeArity = 4
+	prog := UniformProgram(0x100, 10, imbalancedWork(100_000, 400_000))
+	res := runProg(t, testArch(), opts, prog, false)
+	total := 0
+	for _, n := range res.Stats.Sleeps {
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("tree+thrifty never slept")
+	}
+	if res.Stats.Episodes != 10 {
+		t.Fatalf("episodes = %d", res.Stats.Episodes)
+	}
+}
+
+func TestTreeDeterminism(t *testing.T) {
+	opts := Thrifty()
+	opts.TreeArity = 8
+	prog := UniformProgram(0x100, 8, imbalancedWork(100_000, 250_000))
+	a := runProg(t, testArch(), opts, prog, false)
+	b := runProg(t, testArch(), opts, prog, false)
+	if a.Span != b.Span {
+		t.Fatal("tree runs not deterministic")
+	}
+}

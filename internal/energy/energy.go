@@ -1,0 +1,131 @@
+// Package energy aggregates the per-CPU state timelines into the
+// energy/time breakdowns that the paper's evaluation reports (Figures 5
+// and 6): per-configuration totals split into Compute, Spin, Transition
+// and Sleep segments, normalized against a baseline.
+package energy
+
+import (
+	"fmt"
+	"strings"
+
+	"thriftybarrier/internal/sim"
+)
+
+// Breakdown is an energy and time split by processor state, aggregated over
+// all CPUs of one run.
+type Breakdown struct {
+	// Energy per state, joules.
+	Energy [sim.NumStates]float64
+	// Time per state, summed over CPUs.
+	Time [sim.NumStates]sim.Cycles
+	// Span is the end-to-end execution time of the run (wall clock of the
+	// simulated machine, not summed over CPUs).
+	Span sim.Cycles
+}
+
+// Collect sums a set of per-CPU timelines into a Breakdown with the given
+// span.
+func Collect(timelines []*sim.Timeline, span sim.Cycles) Breakdown {
+	var b Breakdown
+	b.Span = span
+	for _, tl := range timelines {
+		for s := sim.State(0); int(s) < sim.NumStates; s++ {
+			b.Energy[s] += tl.Energy(s)
+			b.Time[s] += tl.Time(s)
+		}
+	}
+	return b
+}
+
+// TotalEnergy is the sum over states, joules.
+func (b Breakdown) TotalEnergy() float64 {
+	var sum float64
+	for _, e := range b.Energy {
+		sum += e
+	}
+	return sum
+}
+
+// TotalTime is the CPU-time sum over states (≈ CPUs × Span for a run where
+// every CPU is always in some state).
+func (b Breakdown) TotalTime() sim.Cycles {
+	var sum sim.Cycles
+	for _, t := range b.Time {
+		sum += t
+	}
+	return sum
+}
+
+// SpinFraction reports the fraction of total CPU time spent spinning —
+// the paper's barrier-imbalance metric (Table 2) measured on Baseline,
+// where all barrier stall time is spin time.
+func (b Breakdown) SpinFraction() float64 {
+	total := b.TotalTime()
+	if total == 0 {
+		return 0
+	}
+	return float64(b.Time[sim.StateSpin]) / float64(total)
+}
+
+// Normalized expresses this breakdown relative to a baseline: each state's
+// energy as a fraction of the baseline's total energy, and each state's
+// time as a fraction of the baseline's total CPU time. This mirrors the
+// stacked bars of Figures 5 and 6, which normalize every configuration to
+// Baseline = 100%.
+type Normalized struct {
+	Energy [sim.NumStates]float64
+	Time   [sim.NumStates]float64
+	// SpanRatio is this run's wall-clock execution time over baseline's —
+	// the performance-degradation number quoted in the text.
+	SpanRatio float64
+}
+
+// Normalize computes the Figure 5/6 representation of b against base.
+func (b Breakdown) Normalize(base Breakdown) Normalized {
+	var n Normalized
+	te, tt := base.TotalEnergy(), float64(base.TotalTime())
+	for s := 0; s < sim.NumStates; s++ {
+		if te > 0 {
+			n.Energy[s] = b.Energy[s] / te
+		}
+		if tt > 0 {
+			n.Time[s] = float64(b.Time[s]) / tt
+		}
+	}
+	if base.Span > 0 {
+		n.SpanRatio = float64(b.Span) / float64(base.Span)
+	}
+	return n
+}
+
+// TotalEnergy of the normalized breakdown (1.0 = baseline).
+func (n Normalized) TotalEnergy() float64 {
+	var sum float64
+	for _, e := range n.Energy {
+		sum += e
+	}
+	return sum
+}
+
+// TotalTime of the normalized breakdown (1.0 = baseline).
+func (n Normalized) TotalTime() float64 {
+	var sum float64
+	for _, t := range n.Time {
+		sum += t
+	}
+	return sum
+}
+
+// String renders the normalized stacked bar as a compact percentage line.
+func (n Normalized) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "E=%5.1f%% [", n.TotalEnergy()*100)
+	for s := sim.State(0); int(s) < sim.NumStates; s++ {
+		if s > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%s %.1f%%", s, n.Energy[s]*100)
+	}
+	fmt.Fprintf(&sb, "] T=%5.1f%%", n.TotalTime()*100)
+	return sb.String()
+}

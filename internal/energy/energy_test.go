@@ -1,0 +1,94 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"thriftybarrier/internal/sim"
+)
+
+func mkTimeline(compute, spin sim.Cycles) *sim.Timeline {
+	var tl sim.Timeline
+	tl.AddInterval(sim.StateCompute, compute, 40)
+	tl.AddInterval(sim.StateSpin, spin, 34)
+	return &tl
+}
+
+func TestCollect(t *testing.T) {
+	tls := []*sim.Timeline{mkTimeline(1000, 500), mkTimeline(1200, 300)}
+	b := Collect(tls, 1500)
+	if b.Time[sim.StateCompute] != 2200 {
+		t.Errorf("compute time = %d, want 2200", b.Time[sim.StateCompute])
+	}
+	if b.Time[sim.StateSpin] != 800 {
+		t.Errorf("spin time = %d, want 800", b.Time[sim.StateSpin])
+	}
+	if b.Span != 1500 {
+		t.Errorf("span = %d, want 1500", b.Span)
+	}
+	wantE := 40*2200e-9 + 34*800e-9
+	if got := b.TotalEnergy(); math.Abs(got-wantE) > 1e-12 {
+		t.Errorf("total energy = %v, want %v", got, wantE)
+	}
+}
+
+func TestSpinFraction(t *testing.T) {
+	b := Collect([]*sim.Timeline{mkTimeline(900, 100)}, 1000)
+	if got := b.SpinFraction(); math.Abs(got-0.1) > 1e-9 {
+		t.Errorf("spin fraction = %v, want 0.1", got)
+	}
+	var empty Breakdown
+	if empty.SpinFraction() != 0 {
+		t.Error("empty breakdown spin fraction != 0")
+	}
+}
+
+func TestNormalizeAgainstSelfIsUnity(t *testing.T) {
+	b := Collect([]*sim.Timeline{mkTimeline(1000, 500)}, 1500)
+	n := b.Normalize(b)
+	if math.Abs(n.TotalEnergy()-1) > 1e-12 {
+		t.Errorf("self-normalized energy = %v, want 1", n.TotalEnergy())
+	}
+	if math.Abs(n.TotalTime()-1) > 1e-12 {
+		t.Errorf("self-normalized time = %v, want 1", n.TotalTime())
+	}
+	if math.Abs(n.SpanRatio-1) > 1e-12 {
+		t.Errorf("self span ratio = %v, want 1", n.SpanRatio)
+	}
+}
+
+func TestNormalizeSavings(t *testing.T) {
+	base := Collect([]*sim.Timeline{mkTimeline(1000, 1000)}, 2000)
+	// Improved run: spin replaced by low-power sleep.
+	var tl sim.Timeline
+	tl.AddInterval(sim.StateCompute, 1000, 40)
+	tl.AddInterval(sim.StateSleep, 1000, 5)
+	better := Collect([]*sim.Timeline{&tl}, 2000)
+	n := better.Normalize(base)
+	if n.TotalEnergy() >= 1 {
+		t.Fatalf("sleeping run normalized energy = %v, want < 1", n.TotalEnergy())
+	}
+	if math.Abs(n.TotalTime()-1) > 1e-12 {
+		t.Fatalf("same-duration run normalized time = %v, want 1", n.TotalTime())
+	}
+	if n.Energy[sim.StateSleep] <= 0 || n.Energy[sim.StateSpin] != 0 {
+		t.Fatal("breakdown segments wrong")
+	}
+}
+
+func TestNormalizedString(t *testing.T) {
+	b := Collect([]*sim.Timeline{mkTimeline(1000, 0)}, 1000)
+	s := b.Normalize(b).String()
+	if s == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestNormalizeEmptyBaseline(t *testing.T) {
+	var base Breakdown
+	b := Collect([]*sim.Timeline{mkTimeline(10, 10)}, 20)
+	n := b.Normalize(base) // must not divide by zero
+	if n.TotalEnergy() != 0 || n.SpanRatio != 0 {
+		t.Fatal("empty baseline produced nonzero normalization")
+	}
+}

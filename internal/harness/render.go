@@ -1,0 +1,179 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"thriftybarrier/internal/core"
+	"thriftybarrier/internal/power"
+	"thriftybarrier/internal/sim"
+	"thriftybarrier/internal/stats"
+)
+
+// RenderTable1 formats the simulated architecture parameters (Table 1).
+func RenderTable1(arch core.Arch) string {
+	t := stats.NewTable("Table 1: Architecture modeled in the simulations", "Component", "Parameter")
+	t.AddRowStrings("Processor", fmt.Sprintf("1GHz, %v-issue dynamic (timing IPC %.1f, overlap %.0f%%)", 6, arch.CPU.IPC, arch.CPU.Overlap*100))
+	t.AddRowStrings("L1 Cache", fmt.Sprintf("%dkB, %dB lines, %d-way, %v RT",
+		arch.Coherence.L1.SizeBytes>>10, arch.Coherence.L1.LineBytes, arch.Coherence.L1.Ways, arch.Coherence.L1Hit))
+	t.AddRowStrings("L2 Cache", fmt.Sprintf("%dkB, %dB lines, %d-way, %v RT",
+		arch.Coherence.L2.SizeBytes>>10, arch.Coherence.L2.LineBytes, arch.Coherence.L2.Ways, arch.Coherence.L2Hit))
+	t.AddRowStrings("Memory Bus", fmt.Sprintf("split trans., 16B wide, %v per line", arch.Coherence.Bus))
+	t.AddRowStrings("Main Memory", "interleaved, 60ns row miss")
+	t.AddRowStrings("Network", fmt.Sprintf("hypercube, wormhole; pin-to-pin %v, endpoint %v",
+		arch.NoC.PinToPin, arch.NoC.Endpoint))
+	t.AddRowStrings("Coherence", "DASH-style directory MESI, release consistency")
+	t.AddRowStrings("System size", fmt.Sprintf("%d nodes", arch.Nodes))
+	return t.String()
+}
+
+// RenderTable2 formats the measured-vs-paper barrier imbalance table.
+func RenderTable2(rows []Table2Row) string {
+	t := stats.NewTable("Table 2: SPLASH-2 applications, Baseline barrier imbalance",
+		"Application", "Problem Size", "Paper", "Measured")
+	for _, r := range rows {
+		t.AddRowStrings(r.App, r.ProblemSize, stats.Pct(r.Paper), stats.Pct(r.Measured))
+	}
+	return t.String()
+}
+
+// RenderTable3 formats the sleep-state catalogue with the powers the model
+// derives from it.
+func RenderTable3(model *power.Model) string {
+	t := stats.NewTable("Table 3: Low-power sleep states",
+		"State", "P. Savings", "Tr. Latency", "Snoop?", "V. Reduction?", "Residual Power")
+	for _, s := range model.States() {
+		snoop, vr := "No", "No"
+		if s.Snoops {
+			snoop = "Yes"
+		}
+		if s.VoltageReduced {
+			vr = "Yes"
+		}
+		t.AddRowStrings(s.Name, stats.Pct(s.Savings), s.Transition.String(), snoop, vr,
+			fmt.Sprintf("%.1fW", model.SleepPower(s)))
+	}
+	footer := fmt.Sprintf("TDPmax (microbenchmarked) = %.1fW, compute = %.1fW, spin = %.1fW (%.0f%% of compute)",
+		model.TDPMax(), model.ComputePower(), model.SpinPower(),
+		100*model.SpinPower()/model.ComputePower())
+	return t.String() + footer + "\n"
+}
+
+// RenderFigure3 formats the BIT/BST variability figure as a bar list plus
+// the stability statistics.
+func RenderFigure3(d Figure3Data) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 3: BIT and BST variability for FMM's three main-loop barriers\n")
+	fmt.Fprintf(&sb, "(observer thread %d; values normalized to the mean BIT of the bars shown)\n\n", d.Observer)
+	fmt.Fprintf(&sb, "%-6s %-9s %8s %9s %8s  %s\n", "iter", "barrier", "BIT", "Compute", "BST", "0        1        2")
+	for _, p := range d.Points {
+		bar := stats.StackedBar([]float64{p.Compute / 2.5, p.BST / 2.5}, []rune{'C', 'S'}, 40)
+		fmt.Fprintf(&sb, "%-6d %-9s %8.3f %9.3f %8.3f  |%s|\n", p.Iteration, p.Barrier, p.BIT, p.Compute, p.BST, bar)
+	}
+	sb.WriteByte('\n')
+	t := stats.NewTable("BIT vs BST stability (coefficient of variation across all instances)",
+		"Barrier", "BIT CoV", "BST CoV", "BST/BIT CoV ratio")
+	for i, l := range d.BarrierLabels {
+		ratio := 0.0
+		if d.BITCoefVar[i] > 0 {
+			ratio = d.BSTCoefVar[i] / d.BITCoefVar[i]
+		}
+		t.AddRowStrings(l, fmt.Sprintf("%.4f", d.BITCoefVar[i]), fmt.Sprintf("%.4f", d.BSTCoefVar[i]),
+			fmt.Sprintf("%.1fx", ratio))
+	}
+	sb.WriteString(t.String())
+	return sb.String()
+}
+
+// RenderFigure renders Figure 5 (energy) or Figure 6 (execution time) from
+// a full run, as grouped normalized stacked bars.
+func RenderFigure(apps []AppRun, energyFigure bool) string {
+	var sb strings.Builder
+	if energyFigure {
+		sb.WriteString("Figure 5: Normalized energy consumption (Baseline = 100%)\n")
+	} else {
+		sb.WriteString("Figure 6: Normalized execution time (Baseline = 100%)\n")
+	}
+	sb.WriteString("segments: C=Compute S=Spin T=Transition Z=Sleep\n\n")
+	for _, app := range apps {
+		fmt.Fprintf(&sb, "%s (imbalance %s)\n", app.Spec.Name, stats.Pct(app.Measured))
+		for _, run := range app.Runs {
+			var fr [sim.NumStates]float64
+			var total float64
+			if energyFigure {
+				fr = run.Norm.Energy
+				total = run.Norm.TotalEnergy()
+			} else {
+				fr = run.Norm.Time
+				total = run.Norm.TotalTime()
+			}
+			bar := stats.StackedBar(
+				[]float64{fr[sim.StateCompute], fr[sim.StateSpin], fr[sim.StateTransition], fr[sim.StateSleep]},
+				[]rune{'C', 'S', 'T', 'Z'}, 50)
+			fmt.Fprintf(&sb, "  %-13s %6.1f%% |%s|\n", run.Config.Name, total*100, bar)
+		}
+	}
+	return sb.String()
+}
+
+// RenderFigureCSV emits the figure as CSV for external plotting.
+func RenderFigureCSV(apps []AppRun, energyFigure bool) string {
+	name := "energy"
+	if !energyFigure {
+		name = "time"
+	}
+	t := stats.NewTable("", "app", "config", "total_"+name,
+		"compute", "spin", "transition", "sleep", "span_ratio")
+	for _, app := range apps {
+		for _, run := range app.Runs {
+			var fr [sim.NumStates]float64
+			var total float64
+			if energyFigure {
+				fr = run.Norm.Energy
+				total = run.Norm.TotalEnergy()
+			} else {
+				fr = run.Norm.Time
+				total = run.Norm.TotalTime()
+			}
+			t.AddRowStrings(app.Spec.Name, run.Config.Name,
+				fmt.Sprintf("%.4f", total),
+				fmt.Sprintf("%.4f", fr[sim.StateCompute]),
+				fmt.Sprintf("%.4f", fr[sim.StateSpin]),
+				fmt.Sprintf("%.4f", fr[sim.StateTransition]),
+				fmt.Sprintf("%.4f", fr[sim.StateSleep]),
+				fmt.Sprintf("%.4f", run.Norm.SpanRatio))
+		}
+	}
+	return t.CSV()
+}
+
+// RenderSummary formats the §5.1 headline numbers.
+func RenderSummary(sums []Summary) string {
+	t := stats.NewTable("Headline numbers (paper §5.1: Thrifty ~17% energy savings, ~2% slowdown on target apps)",
+		"Config", "Target-app savings", "Target-app slowdown", "Worst slowdown", "All-apps savings", "EDP")
+	for _, s := range sums {
+		edp := "-"
+		if s.AvgEDP > 0 {
+			edp = fmt.Sprintf("%.3f", s.AvgEDP)
+		}
+		t.AddRowStrings(s.Config, stats.Pct(s.AvgEnergySavings), stats.Pct(s.AvgSlowdown),
+			stats.Pct(s.WorstSlowdown)+" ("+s.WorstSlowdownApp+")", stats.Pct(s.AllAppsAvgSavings), edp)
+	}
+	return t.String()
+}
+
+// RenderAblation formats an ablation result set.
+func RenderAblation(title string, rows []AblationRow) string {
+	t := stats.NewTable(title, "App", "Variant", "Energy", "Time", "Sleeps", "ExtWakes", "LateWakes", "Disables")
+	for _, r := range rows {
+		total := 0
+		for _, n := range r.Stats.Sleeps {
+			total += n
+		}
+		t.AddRowStrings(r.App, r.Variant,
+			fmt.Sprintf("%.3f", r.Energy), fmt.Sprintf("%.4f", r.Time),
+			fmt.Sprint(total), fmt.Sprint(r.Stats.ExternalWakes),
+			fmt.Sprint(r.Stats.LateWakes), fmt.Sprint(r.Stats.Disables))
+	}
+	return t.String()
+}

@@ -1,0 +1,118 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"thriftybarrier/internal/core"
+	"thriftybarrier/internal/power"
+)
+
+// MarkdownReport runs the complete evaluation — tables, figures,
+// ablations, sensitivity sweeps and extensions — and renders a
+// self-contained Markdown report with paper-vs-measured commentary. It is
+// the machine-generated companion to the hand-written EXPERIMENTS.md.
+func MarkdownReport(arch core.Arch, seed uint64) string {
+	var sb strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&sb, format+"\n", args...) }
+	codeBlock := func(s string) {
+		sb.WriteString("```\n")
+		sb.WriteString(s)
+		if !strings.HasSuffix(s, "\n") {
+			sb.WriteByte('\n')
+		}
+		sb.WriteString("```\n\n")
+	}
+
+	w("# Thrifty Barrier — generated reproduction report")
+	w("")
+	w("Machine: %d nodes, seed %d. Regenerate with `thriftybench -markdown <file>`.", arch.Nodes, seed)
+	w("")
+
+	w("## Table 1 — architecture")
+	w("")
+	codeBlock(RenderTable1(arch))
+
+	w("## Table 3 — sleep states and calibrated powers")
+	w("")
+	codeBlock(RenderTable3(power.DefaultModel()))
+
+	w("## Table 2 — Baseline barrier imbalance")
+	w("")
+	t2 := Table2(arch, seed)
+	w("| Application | Paper | Measured |")
+	w("|---|---|---|")
+	for _, r := range t2 {
+		w("| %s | %.2f%% | %.2f%% |", r.App, r.Paper*100, r.Measured*100)
+	}
+	w("")
+
+	w("## Figure 3 — BIT vs BST variability (FMM)")
+	w("")
+	observer := 11
+	if observer >= arch.Nodes {
+		observer = arch.Nodes - 1
+	}
+	fig3 := Figure3(arch, seed, observer, 4, 4)
+	codeBlock(RenderFigure3(fig3))
+
+	w("## Figures 5 and 6 — normalized energy and execution time")
+	w("")
+	apps := RunAll(arch, seed)
+	w("| App | Config | Energy | Time |")
+	w("|---|---|---|---|")
+	for _, app := range apps {
+		for _, run := range app.Runs {
+			w("| %s | %s | %.1f%% | %.2f%% |", app.Spec.Name, run.Config.Name,
+				run.Norm.TotalEnergy()*100, run.Norm.SpanRatio*100)
+		}
+	}
+	w("")
+	codeBlock(RenderSummary(Summarize(apps)))
+
+	w("## Ablations")
+	w("")
+	codeBlock(RenderAblation("A: overprediction cut-off (Ocean)", AblationCutoff(arch, seed)))
+	codeBlock(RenderAblation("B: wake-up mechanisms", AblationWakeup(arch, seed)))
+	codeBlock(RenderAblation("C: predictor policies", AblationPredictor(arch, seed)))
+	codeBlock(RenderAblation("D: preemption filter", AblationPreempt(arch, seed)))
+	codeBlock(RenderAblation("E: conventional techniques", AblationConventional(arch, seed)))
+	codeBlock(RenderAblation("F: check-in topology", AblationTopology(arch, seed)))
+	codeBlock(RenderAblation("G: confidence estimator", AblationConfidence(arch, seed)))
+
+	w("## Sensitivity")
+	w("")
+	codeBlock(RenderSensitivity("Machine size (FMM)", SensitivityNodes(seed)))
+	codeBlock(RenderSensitivity("Transition-latency scaling (FMM)", SensitivityTransition(seed)))
+
+	w("## Extensions (paper §7 future work)")
+	w("")
+	sat, mod := LockExperiment(seed)
+	codeBlock(RenderLocks(sat, mod))
+	codeBlock(RenderMP(MPExperiment(seed)))
+
+	w("## Verdict")
+	w("")
+	sums := Summarize(apps)
+	var th, hl Summary
+	for _, s := range sums {
+		switch s.Config {
+		case "Thrifty":
+			th = s
+		case "Thrifty-Halt":
+			hl = s
+		}
+	}
+	w("- Thrifty target-app savings: **%.1f%%** (paper ~17%%); Thrifty-Halt **%.1f%%** (paper <=11%%).",
+		th.AvgEnergySavings*100, hl.AvgEnergySavings*100)
+	w("- Thrifty target-app slowdown: **%.1f%%** average, **%.1f%%** worst (%s) (paper ~2%%).",
+		th.AvgSlowdown*100, th.WorstSlowdown*100, th.WorstSlowdownApp)
+	bitStab := 0.0
+	for i := range fig3.BarrierLabels {
+		bitStab += fig3.BSTCoefVar[i] / fig3.BITCoefVar[i]
+	}
+	bitStab /= float64(len(fig3.BarrierLabels))
+	w("- BIT is **%.1fx** more stable than BST on FMM's main-loop barriers.", bitStab)
+	w("")
+	return sb.String()
+}

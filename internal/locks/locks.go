@@ -1,0 +1,557 @@
+// Package locks extends the thrifty barrier's energy-aware waiting to lock
+// synchronization — the second future-work direction named in the paper's
+// conclusion ("and to other synchronization constructs, such as locks").
+//
+// The modeled primitive is an MCS-style queue lock on the simulated
+// machine: each waiter spins on its own queue node, and the predecessor's
+// release writes that node — a precise, per-waiter invalidation that plays
+// the role the barrier-flag invalidation plays for barriers (the external
+// wake-up). A thrifty waiter predicts its wait as
+//
+//	queue position x predicted lock service time,
+//
+// where the service time (hold + handoff) is learned with the same
+// last-value table the barrier uses for BIT. If the prediction covers a
+// sleep state's round trip, the CPU sleeps with hybrid wake-up.
+//
+// Locks differ from barriers in one crucial way, which this package's
+// experiments quantify: a sleeping waiter that becomes the next lock
+// holder puts its exit transition on the lock's critical path, delaying
+// every thread behind it (a convoy). The thrifty lock therefore only
+// sleeps when it is deep enough in the queue (MinQueueDepth) that the
+// internal timer can anticipate the handoff, and the overprediction
+// cut-off disables prediction when service times turn erratic.
+package locks
+
+import (
+	"fmt"
+
+	"thriftybarrier/internal/energy"
+	"thriftybarrier/internal/power"
+	"thriftybarrier/internal/predict"
+	"thriftybarrier/internal/sim"
+)
+
+// Config describes the contended-lock experiment.
+type Config struct {
+	// Threads contend for one lock, each on its own CPU.
+	Threads int
+	// OpsPerThread is how many critical sections each thread executes.
+	OpsPerThread int
+	// MeanThink is the mean exponential think time between sections.
+	MeanThink sim.Cycles
+	// MeanHold is the mean critical-section length.
+	MeanHold sim.Cycles
+	// HoldJitter is the multiplicative spread of hold times (log-normal
+	// sigma).
+	HoldJitter float64
+	// Handoff is the lock transfer latency (queue-node invalidation +
+	// reload between two nodes).
+	Handoff sim.Cycles
+	// Seed drives the random streams.
+	Seed uint64
+}
+
+// DefaultConfig is a 16-thread, heavily contended lock.
+func DefaultConfig() Config {
+	return Config{
+		Threads:      16,
+		OpsPerThread: 60,
+		MeanThink:    40 * sim.Microsecond,
+		MeanHold:     25 * sim.Microsecond,
+		HoldJitter:   0.2,
+		Handoff:      300 * sim.Nanosecond,
+		Seed:         1,
+	}
+}
+
+// Validate reports an error for impossible configurations.
+func (c Config) Validate() error {
+	if c.Threads <= 0 || c.Threads > 64 {
+		return fmt.Errorf("locks: thread count %d out of (0,64]", c.Threads)
+	}
+	if c.OpsPerThread <= 0 {
+		return fmt.Errorf("locks: non-positive ops %d", c.OpsPerThread)
+	}
+	if c.MeanThink < 0 || c.MeanHold <= 0 || c.Handoff < 0 {
+		return fmt.Errorf("locks: invalid timing in %+v", c)
+	}
+	if c.HoldJitter < 0 {
+		return fmt.Errorf("locks: negative jitter")
+	}
+	return nil
+}
+
+// Options selects the waiting strategy.
+type Options struct {
+	Name string
+	// States is the sleep catalogue; empty = always spin (the baseline
+	// MCS lock).
+	States []power.SleepState
+	// Oracle uses the true wait (bound).
+	Oracle bool
+	// Cutoff is the overprediction threshold (fraction of predicted wait).
+	Cutoff float64
+	// MinQueueDepth is the smallest queue position allowed to sleep; 1
+	// lets even the immediate successor sleep (exposing the convoy),
+	// higher values keep the head of the queue hot.
+	MinQueueDepth int
+	// WakeMargin is the fraction of the predicted wait by which the
+	// internal timer anticipates the handoff. Locks are asymmetric: waking
+	// late stalls the lock itself (every sleeper is a future holder), while
+	// waking early merely costs residual spin — so the timer aims well
+	// before the predicted handoff, and a waiter that finds itself still
+	// deep in the queue goes back to sleep (the re-assessment the paper
+	// skips for barriers, §3.3.1, which pays off for locks).
+	WakeMargin float64
+	// ReSleepDepth is the queue depth at or beyond which an early-woken
+	// waiter re-enters sleep instead of residual-spinning. Zero disables
+	// re-sleeping.
+	ReSleepDepth int
+	// Naive applies the barrier policy verbatim: plain best-fit state
+	// selection, timer aimed exactly at the predicted handoff, no pre-wake
+	// hint. It exposes why locks need the refinements (the convoy).
+	Naive bool
+	// Predictor configures the service-time table.
+	Predictor predict.Config
+}
+
+// SpinLock is the conventional MCS lock: all waiters spin.
+func SpinLock() Options {
+	return Options{Name: "Spin-MCS", Predictor: predict.DefaultConfig()}
+}
+
+// ThriftyLock predicts waits and sleeps deep in the queue.
+func ThriftyLock() Options {
+	return Options{
+		Name:          "Thrifty-MCS",
+		States:        power.Table3(),
+		Cutoff:        0.50,
+		MinQueueDepth: 2,
+		WakeMargin:    0.35,
+		ReSleepDepth:  4,
+		Predictor:     predict.DefaultConfig(),
+	}
+}
+
+// NaiveLock ports the barrier policy to the lock without the
+// lock-specific refinements: plain best-fit selection, no anticipation
+// margin, no re-sleep, no pre-wake. Every time its prediction runs long,
+// the exit transition lands on the lock's critical path — the convoy this
+// package's refinements exist to prevent.
+func NaiveLock() Options {
+	o := ThriftyLock()
+	o.Name = "Naive-MCS"
+	o.MinQueueDepth = 1
+	o.WakeMargin = 0
+	o.ReSleepDepth = 0
+	o.Naive = true
+	return o
+}
+
+// OracleLock sleeps with perfect wait knowledge.
+func OracleLock() Options {
+	o := ThriftyLock()
+	o.Name = "Oracle-MCS"
+	o.Oracle = true
+	return o
+}
+
+// Stats counts lock-mechanism events.
+type Stats struct {
+	Acquires      int
+	Sleeps        map[string]int
+	Spins         int
+	EarlyWakes    int
+	ExternalWakes int
+	LateWakes     int
+	ReSleeps      int
+	PreWakes      int
+	Disables      int
+	// LockIdle is time the lock sat free because its next holder was still
+	// waking up — the convoy cost unique to locks.
+	LockIdle sim.Cycles
+}
+
+// Result is one run's measurement.
+type Result struct {
+	Breakdown energy.Breakdown
+	Span      sim.Cycles
+	Stats     Stats
+}
+
+// lockSiteKey indexes the service-time predictor (a single static lock
+// site in this experiment).
+const lockSiteKey = 0x10
+
+// waiter is one queued thread.
+type waiter struct {
+	thread   int
+	enqueued sim.Cycles
+	ready    sim.Cycles // when the thread can take the lock if offered
+	sleeping bool
+	state    power.SleepState
+	sleepAt  sim.Cycles
+	timer    *sim.Event
+	woken    bool
+	predWait sim.Cycles
+}
+
+// Machine runs the experiment.
+type Machine struct {
+	cfg    Config
+	opts   Options
+	engine *sim.Engine
+	model  *power.Model
+	table  *predict.Table
+	rng    *sim.RNG
+
+	tl     []*sim.Timeline
+	ops    []int
+	finish []sim.Cycles
+
+	held      bool
+	holder    int
+	holdStart sim.Cycles
+	queue     []*waiter
+	lastSvc   sim.Cycles
+
+	stats Stats
+}
+
+// NewMachine assembles the experiment.
+func NewMachine(cfg Config, opts Options) *Machine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	var model *power.Model
+	if len(opts.States) > 0 {
+		model = power.NewModel(power.DefaultUnitEnergies(), opts.States)
+	} else {
+		model = power.NewModel(power.DefaultUnitEnergies(), power.Table3())
+	}
+	m := &Machine{
+		cfg:    cfg,
+		opts:   opts,
+		engine: sim.NewEngine(),
+		model:  model,
+		table:  predict.NewTable(opts.Predictor),
+		rng:    sim.NewRNG(cfg.Seed),
+		tl:     make([]*sim.Timeline, cfg.Threads),
+		ops:    make([]int, cfg.Threads),
+		finish: make([]sim.Cycles, cfg.Threads),
+	}
+	for i := range m.tl {
+		m.tl[i] = &sim.Timeline{}
+	}
+	m.stats.Sleeps = make(map[string]int)
+	return m
+}
+
+// Run executes the experiment to completion.
+func (m *Machine) Run() Result {
+	for t := 0; t < m.cfg.Threads; t++ {
+		t := t
+		m.engine.At(0, func() { m.think(t, 0) })
+	}
+	m.engine.Run()
+	var span sim.Cycles
+	for _, f := range m.finish {
+		if f > span {
+			span = f
+		}
+	}
+	return Result{Breakdown: energy.Collect(m.tl, span), Span: span, Stats: m.stats}
+}
+
+// think runs the non-critical section, then tries to acquire.
+func (m *Machine) think(t int, now sim.Cycles) {
+	if m.ops[t] >= m.cfg.OpsPerThread {
+		m.finish[t] = now
+		return
+	}
+	d := sim.Cycles(float64(m.cfg.MeanThink) * m.rng.Split(uint64(t)+100).ExpFloat64())
+	if d <= 0 {
+		d = 1
+	}
+	m.tl[t].AddInterval(sim.StateCompute, d, m.model.ComputePower())
+	at := now + d
+	m.engine.At(at, func() { m.enqueue(t, at) })
+}
+
+// enqueue joins the lock queue (or acquires immediately if free).
+func (m *Machine) enqueue(t int, now sim.Cycles) {
+	if !m.held && len(m.queue) == 0 {
+		m.acquire(t, now)
+		return
+	}
+	w := &waiter{thread: t, enqueued: now, ready: now}
+	m.queue = append(m.queue, w)
+	position := len(m.queue) // holder not counted; position 1 = next
+
+	if len(m.opts.States) == 0 || m.opts.Oracle {
+		// Spinners (and oracle waiters, resolved at handoff) just wait;
+		// spin time is charged at handoff.
+		if !m.opts.Oracle {
+			m.stats.Spins++
+		}
+		return
+	}
+	if position < m.opts.MinQueueDepth {
+		m.stats.Spins++
+		return
+	}
+	if !m.table.Enabled(lockSiteKey, t) {
+		m.stats.Spins++
+		return
+	}
+	svc, ok := m.table.Predict(lockSiteKey)
+	if !ok {
+		m.stats.Spins++
+		return
+	}
+	predWait := sim.Cycles(position) * svc
+	st, ok := m.fitLock(predWait)
+	if !ok {
+		m.stats.Spins++
+		return
+	}
+	w.predWait = predWait
+	m.sleep(w, now, predWait, st)
+}
+
+// fitLock scans for the deepest state whose round trip fits inside the
+// anticipated portion of the wait AND whose exit transition fits inside
+// the anticipation window — the lock-specific refinement of the paper's
+// best-fit scan: a state that cannot wake inside the margin would land its
+// exit on the lock's critical path whenever the prediction runs long.
+func (m *Machine) fitLock(predWait sim.Cycles) (power.SleepState, bool) {
+	if m.opts.Naive {
+		fit := m.model.BestFit(predWait, 0)
+		return fit.State, fit.OK
+	}
+	window := sim.Cycles(float64(predWait) * m.opts.WakeMargin)
+	usable := sim.Cycles(float64(predWait) * (1 - m.opts.WakeMargin))
+	var best power.SleepState
+	ok := false
+	for _, st := range m.model.States() {
+		if 2*st.Transition <= usable && st.Transition <= window {
+			best = st
+			ok = true
+		}
+	}
+	return best, ok
+}
+
+// sleep puts the waiter's CPU into st with the anticipatory internal
+// timer armed.
+func (m *Machine) sleep(w *waiter, now, predWait sim.Cycles, st power.SleepState) {
+	w.sleeping = true
+	w.woken = false
+	w.state = st
+	m.tl[w.thread].AddInterval(sim.StateTransition, st.Transition, m.model.TransitionPower(st))
+	w.sleepAt = now + st.Transition
+	m.stats.Sleeps[st.Name]++
+	anticipated := sim.Cycles(float64(predWait) * (1 - m.opts.WakeMargin))
+	wake := now + anticipated - st.Transition
+	if wake < w.sleepAt {
+		wake = w.sleepAt
+	}
+	w.timer = m.engine.At(wake, func() { m.timerWake(w, wake) })
+}
+
+// position reports w's 1-based queue position, or 0 if dequeued.
+func (m *Machine) position(w *waiter) int {
+	for i, q := range m.queue {
+		if q == w {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// timerWake is the internal wake-up: the waiter transitions out and
+// either residual-spins (near the head) or re-enters sleep (still deep).
+func (m *Machine) timerWake(w *waiter, now sim.Cycles) {
+	if w.woken {
+		return
+	}
+	w.woken = true
+	w.timer = nil
+	t := w.thread
+	if now > w.sleepAt {
+		m.tl[t].AddInterval(sim.StateSleep, now-w.sleepAt, m.model.SleepPower(w.state))
+	}
+	m.tl[t].AddInterval(sim.StateTransition, w.state.Transition, m.model.TransitionPower(w.state))
+	up := now + w.state.Transition
+	w.ready = up
+	w.sleeping = false
+	m.stats.EarlyWakes++
+
+	// Re-assessment: if the queue ahead is still long, sleeping again
+	// beats residual-spinning the whole remainder.
+	if m.opts.ReSleepDepth > 0 {
+		if pos := m.position(w); pos >= m.opts.ReSleepDepth {
+			if svc, ok := m.table.Predict(lockSiteKey); ok && m.table.Enabled(lockSiteKey, t) {
+				remaining := sim.Cycles(pos) * svc
+				if st, fits := m.fitLock(remaining); fits {
+					m.stats.ReSleeps++
+					w.enqueued = up // re-base the cut-off window
+					w.predWait = remaining
+					m.sleep(w, up, remaining, st)
+					return
+				}
+			}
+		}
+	}
+}
+
+// acquire takes the lock and schedules the release. Taking the lock also
+// pre-wakes the next queued sleeper, so its exit transition overlaps the
+// critical section instead of landing on the handoff path — the
+// lock-specific analogue of the internal timer anticipating the barrier
+// release.
+func (m *Machine) acquire(t int, now sim.Cycles) {
+	m.held = true
+	m.holder = t
+	m.holdStart = now
+	m.stats.Acquires++
+	if len(m.queue) > 0 && !m.opts.Naive {
+		if next := m.queue[0]; next.sleeping && !next.woken {
+			sig := now + m.cfg.Handoff
+			m.engine.At(sig, func() { m.preWake(next, sig) })
+		}
+	}
+	jitter := m.rng.Split(uint64(t)+500).LogNormal(0, m.cfg.HoldJitter)
+	hold := sim.Cycles(float64(m.cfg.MeanHold) * jitter)
+	if hold <= 0 {
+		hold = 1
+	}
+	m.tl[t].AddInterval(sim.StateCompute, hold, m.model.ComputePower())
+	at := now + hold
+	m.engine.At(at, func() { m.release(t, at) })
+}
+
+// release hands the lock to the next waiter.
+func (m *Machine) release(t int, now sim.Cycles) {
+	m.held = false
+	// Learn the lock service time (hold + handoff): the analogue of the
+	// last thread updating the shared BIT.
+	svc := now - m.holdStart + m.cfg.Handoff
+	m.lastSvc = svc
+	if len(m.opts.States) > 0 && !m.opts.Oracle {
+		m.table.Update(lockSiteKey, svc)
+	}
+	m.ops[t]++
+	m.think(t, now)
+
+	if len(m.queue) == 0 {
+		return
+	}
+	w := m.queue[0]
+	m.queue = m.queue[1:]
+	signal := now + m.cfg.Handoff // the qnode write reaches the successor
+
+	switch {
+	case m.opts.Oracle:
+		m.resolveOracle(w, signal)
+	case w.sleeping && !w.woken:
+		// External wake-up: the queue-node invalidation; exit transition
+		// lands on the lock's critical path.
+		w.woken = true
+		if w.timer != nil {
+			m.engine.Cancel(w.timer)
+			w.timer = nil
+		}
+		sig := signal
+		if sig < w.sleepAt {
+			sig = w.sleepAt
+		}
+		if sig > w.sleepAt {
+			m.tl[w.thread].AddInterval(sim.StateSleep, sig-w.sleepAt, m.model.SleepPower(w.state))
+		}
+		m.tl[w.thread].AddInterval(sim.StateTransition, w.state.Transition, m.model.TransitionPower(w.state))
+		up := sig + w.state.Transition
+		m.stats.ExternalWakes++
+		m.stats.LateWakes++
+		m.stats.LockIdle += up - signal
+		m.checkCutoff(w, up)
+		m.engine.At(up, func() { m.acquire(w.thread, up) })
+	default:
+		// Spinner (or residual spinner after an early internal wake): it
+		// notices the handoff as soon as both the signal has arrived and
+		// it is executing.
+		start := signal
+		if w.ready > start {
+			m.stats.LockIdle += w.ready - start
+			start = w.ready
+		}
+		if start > w.ready {
+			m.tl[w.thread].AddInterval(sim.StateSpin, start-w.ready, m.model.SpinPower())
+		}
+		if w.predWait > 0 {
+			// An early-woken sleeper learns its miss only at the handoff.
+			m.checkCutoff(w, start)
+		}
+		m.engine.At(start, func() { m.acquire(w.thread, start) })
+	}
+}
+
+// preWake is the "you're next" hint written by the new lock holder: the
+// sleeper transitions out during the holder's critical section and
+// residual-spins for the actual handoff.
+func (m *Machine) preWake(w *waiter, now sim.Cycles) {
+	if w.woken || !w.sleeping {
+		return
+	}
+	w.woken = true
+	if w.timer != nil {
+		m.engine.Cancel(w.timer)
+		w.timer = nil
+	}
+	at := now
+	if at < w.sleepAt {
+		at = w.sleepAt
+	}
+	if at > w.sleepAt {
+		m.tl[w.thread].AddInterval(sim.StateSleep, at-w.sleepAt, m.model.SleepPower(w.state))
+	}
+	m.tl[w.thread].AddInterval(sim.StateTransition, w.state.Transition, m.model.TransitionPower(w.state))
+	w.ready = at + w.state.Transition
+	w.sleeping = false
+	m.stats.PreWakes++
+}
+
+// resolveOracle settles a perfectly predicted waiter: it sleeps exactly
+// when worthwhile and is executing again precisely at the handoff.
+func (m *Machine) resolveOracle(w *waiter, signal sim.Cycles) {
+	stall := signal - w.enqueued
+	fit := m.model.BestFit(stall, 0)
+	t := w.thread
+	if fit.OK {
+		st := fit.State
+		m.tl[t].AddInterval(sim.StateTransition, st.Transition, m.model.TransitionPower(st))
+		m.tl[t].AddInterval(sim.StateSleep, stall-2*st.Transition, m.model.SleepPower(st))
+		m.tl[t].AddInterval(sim.StateTransition, st.Transition, m.model.TransitionPower(st))
+		m.stats.Sleeps[st.Name]++
+	} else if stall > 0 {
+		m.tl[t].AddInterval(sim.StateSpin, stall, m.model.SpinPower())
+		m.stats.Spins++
+	}
+	m.engine.At(signal, func() { m.acquire(t, signal) })
+}
+
+// checkCutoff disables the thread's use of prediction when it woke LATE
+// by more than the threshold. Late wakes are the ones that stall the lock
+// (a future holder is still transitioning out); early wakes merely spin
+// and are already bounded by the wake margin.
+func (m *Machine) checkCutoff(w *waiter, ready sim.Cycles) {
+	if m.opts.Cutoff <= 0 || w.predWait <= 0 {
+		return
+	}
+	late := ready - (w.enqueued + w.predWait)
+	if float64(late) > m.opts.Cutoff*float64(w.predWait) {
+		m.table.Disable(lockSiteKey, w.thread)
+		m.stats.Disables++
+	}
+}

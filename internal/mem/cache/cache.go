@@ -1,0 +1,309 @@
+// Package cache implements the set-associative write-back cache model used
+// for both levels of the per-node cache hierarchy (L1 16 kB 2-way, L2 64 kB
+// 8-way, 64-byte lines — Table 1 of the paper). Line coherence states are
+// kept here so that the directory protocol package can import this one
+// without a cycle.
+package cache
+
+import "fmt"
+
+// LineState is the MESI state of a cached line, maintained by the directory
+// protocol in package coherence.
+type LineState uint8
+
+const (
+	// Invalid marks an empty or invalidated way.
+	Invalid LineState = iota
+	// Shared is a clean copy that other caches may also hold.
+	Shared
+	// Exclusive is a clean copy no other cache holds.
+	Exclusive
+	// Modified is a dirty copy no other cache holds.
+	Modified
+)
+
+func (s LineState) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	default:
+		return fmt.Sprintf("LineState(%d)", uint8(s))
+	}
+}
+
+// Dirty reports whether the state requires a writeback on eviction or flush.
+func (s LineState) Dirty() bool { return s == Modified }
+
+// Valid reports whether the line holds data.
+func (s LineState) Valid() bool { return s != Invalid }
+
+// Config describes a cache's geometry.
+type Config struct {
+	// SizeBytes is total capacity.
+	SizeBytes int
+	// LineBytes is the line (block) size.
+	LineBytes int
+	// Ways is the associativity.
+	Ways int
+}
+
+// Sets computes the number of sets implied by the geometry.
+func (c Config) Sets() int { return c.SizeBytes / (c.LineBytes * c.Ways) }
+
+// Validate reports a descriptive error for impossible geometries.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("cache: non-positive geometry %+v", c)
+	}
+	if c.SizeBytes%(c.LineBytes*c.Ways) != 0 {
+		return fmt.Errorf("cache: size %d not divisible by line*ways %d", c.SizeBytes, c.LineBytes*c.Ways)
+	}
+	if s := c.Sets(); s&(s-1) != 0 {
+		return fmt.Errorf("cache: set count %d not a power of two", s)
+	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache: line size %d not a power of two", c.LineBytes)
+	}
+	return nil
+}
+
+// line is one way of one set.
+type line struct {
+	tag   uint64
+	state LineState
+	// lru is a per-set logical timestamp; larger = more recently used.
+	lru uint64
+}
+
+// Victim describes a line displaced by Insert or Flush.
+type Victim struct {
+	Addr  uint64 // line-aligned address of the displaced line
+	Dirty bool   // true if the displaced line required writeback
+}
+
+// Cache is a single-level set-associative write-back cache. It tracks tags
+// and coherence states only — the simulator never stores data contents.
+// The zero value is unusable; construct with New.
+type Cache struct {
+	cfg       Config
+	sets      [][]line
+	setMask   uint64
+	lineShift uint
+	clock     uint64 // LRU clock
+
+	// Stats.
+	hits, misses, evictions, writebacks uint64
+}
+
+// New builds a cache from cfg, panicking on invalid geometry (geometries
+// are static configuration; an invalid one is a programming error).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := make([][]line, cfg.Sets())
+	backing := make([]line, cfg.Sets()*cfg.Ways)
+	for i := range sets {
+		sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
+	}
+	shift := uint(0)
+	for 1<<shift < cfg.LineBytes {
+		shift++
+	}
+	return &Cache{
+		cfg:       cfg,
+		sets:      sets,
+		setMask:   uint64(cfg.Sets() - 1),
+		lineShift: shift,
+	}
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// LineAddr returns the line-aligned address containing addr.
+func (c *Cache) LineAddr(addr uint64) uint64 {
+	return addr &^ (uint64(c.cfg.LineBytes) - 1)
+}
+
+func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
+	l := addr >> c.lineShift
+	return l & c.setMask, l >> 0 // tag keeps full line number; simpler and unambiguous
+}
+
+// Lookup probes the cache. On a hit it refreshes LRU and returns the line's
+// state; on a miss it returns Invalid.
+func (c *Cache) Lookup(addr uint64) (LineState, bool) {
+	set, tag := c.index(addr)
+	for i := range c.sets[set] {
+		ln := &c.sets[set][i]
+		if ln.state.Valid() && ln.tag == tag {
+			c.clock++
+			ln.lru = c.clock
+			c.hits++
+			return ln.state, true
+		}
+	}
+	c.misses++
+	return Invalid, false
+}
+
+// Peek probes without updating LRU or statistics.
+func (c *Cache) Peek(addr uint64) (LineState, bool) {
+	set, tag := c.index(addr)
+	for i := range c.sets[set] {
+		ln := &c.sets[set][i]
+		if ln.state.Valid() && ln.tag == tag {
+			return ln.state, true
+		}
+	}
+	return Invalid, false
+}
+
+// Insert fills addr's line with the given state, evicting the LRU way if
+// the set is full. It returns the victim, if any. Inserting a line that is
+// already present just updates its state.
+func (c *Cache) Insert(addr uint64, state LineState) (Victim, bool) {
+	if state == Invalid {
+		panic("cache: Insert with Invalid state")
+	}
+	set, tag := c.index(addr)
+	ways := c.sets[set]
+	// Already present: update in place.
+	for i := range ways {
+		if ways[i].state.Valid() && ways[i].tag == tag {
+			c.clock++
+			ways[i].state = state
+			ways[i].lru = c.clock
+			return Victim{}, false
+		}
+	}
+	// Prefer an invalid way.
+	victimIdx := -1
+	for i := range ways {
+		if !ways[i].state.Valid() {
+			victimIdx = i
+			break
+		}
+	}
+	var victim Victim
+	evicted := false
+	if victimIdx < 0 {
+		// Evict LRU.
+		victimIdx = 0
+		for i := 1; i < len(ways); i++ {
+			if ways[i].lru < ways[victimIdx].lru {
+				victimIdx = i
+			}
+		}
+		v := ways[victimIdx]
+		victim = Victim{Addr: v.tag << c.lineShift, Dirty: v.state.Dirty()}
+		evicted = true
+		c.evictions++
+		if victim.Dirty {
+			c.writebacks++
+		}
+	}
+	c.clock++
+	ways[victimIdx] = line{tag: tag, state: state, lru: c.clock}
+	return victim, evicted
+}
+
+// SetState updates the coherence state of a present line. It reports false
+// if the line is absent.
+func (c *Cache) SetState(addr uint64, state LineState) bool {
+	set, tag := c.index(addr)
+	for i := range c.sets[set] {
+		ln := &c.sets[set][i]
+		if ln.state.Valid() && ln.tag == tag {
+			if state == Invalid {
+				ln.state = Invalid
+			} else {
+				ln.state = state
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate drops the line if present, reporting whether it was dirty.
+func (c *Cache) Invalidate(addr uint64) (wasDirty, wasPresent bool) {
+	set, tag := c.index(addr)
+	for i := range c.sets[set] {
+		ln := &c.sets[set][i]
+		if ln.state.Valid() && ln.tag == tag {
+			wasDirty = ln.state.Dirty()
+			ln.state = Invalid
+			return wasDirty, true
+		}
+	}
+	return false, false
+}
+
+// FlushDirty writes back and invalidates every dirty line, returning their
+// line addresses. This models the flush a processor performs before
+// entering a deep sleep state whose cache cannot respond to protocol
+// interventions (§3.1): the data must reach a safe place, and subsequent
+// accesses become compulsory misses.
+func (c *Cache) FlushDirty() []uint64 {
+	var flushed []uint64
+	for s := range c.sets {
+		for i := range c.sets[s] {
+			ln := &c.sets[s][i]
+			if ln.state.Dirty() {
+				flushed = append(flushed, ln.tag<<c.lineShift)
+				ln.state = Invalid
+				c.writebacks++
+			}
+		}
+	}
+	return flushed
+}
+
+// DirtyCount reports how many lines are currently dirty.
+func (c *Cache) DirtyCount() int {
+	n := 0
+	for s := range c.sets {
+		for i := range c.sets[s] {
+			if c.sets[s][i].state.Dirty() {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ValidCount reports how many lines are currently valid.
+func (c *Cache) ValidCount() int {
+	n := 0
+	for s := range c.sets {
+		for i := range c.sets[s] {
+			if c.sets[s][i].state.Valid() {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Stats reports hit/miss/eviction/writeback counters.
+func (c *Cache) Stats() (hits, misses, evictions, writebacks uint64) {
+	return c.hits, c.misses, c.evictions, c.writebacks
+}
+
+// Clear invalidates everything without writebacks (used between simulated
+// program runs).
+func (c *Cache) Clear() {
+	for s := range c.sets {
+		for i := range c.sets[s] {
+			c.sets[s][i] = line{}
+		}
+	}
+}

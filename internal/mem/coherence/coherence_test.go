@@ -1,0 +1,352 @@
+package coherence
+
+import (
+	"testing"
+
+	"thriftybarrier/internal/mem/cache"
+	"thriftybarrier/internal/mem/dram"
+	"thriftybarrier/internal/mem/noc"
+	"thriftybarrier/internal/sim"
+)
+
+func newProto(t testing.TB) *Protocol {
+	t.Helper()
+	cfg := DefaultConfig()
+	net := noc.New(noc.DefaultConfig())
+	place := dram.NewPlacement(cfg.Nodes, 4096)
+	return New(cfg, net, place)
+}
+
+func TestConfigValidate(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := cfg
+	bad.Nodes = 48
+	if bad.Validate() == nil {
+		t.Error("48 nodes accepted")
+	}
+	bad = cfg
+	bad.L1.LineBytes = 32
+	if bad.Validate() == nil {
+		t.Error("mismatched line sizes accepted")
+	}
+}
+
+func TestColdReadGetsExclusive(t *testing.T) {
+	p := newProto(t)
+	res := p.Read(0, 0x1000, 0)
+	if res.Level != 3 {
+		t.Fatalf("cold read level = %d, want 3", res.Level)
+	}
+	if st, ok := p.L1(0).Peek(0x1000); !ok || st != cache.Exclusive {
+		t.Fatalf("L1 state after cold read = %v,%v; want E", st, ok)
+	}
+	if st, ok := p.L2(0).Peek(0x1000); !ok || st != cache.Exclusive {
+		t.Fatalf("L2 state after cold read = %v,%v; want E", st, ok)
+	}
+}
+
+func TestReadHitLatencies(t *testing.T) {
+	p := newProto(t)
+	p.Read(0, 0x1000, 0)
+	res := p.Read(0, 0x1000, 100)
+	if res.Level != 1 || res.Latency != p.Config().L1Hit {
+		t.Fatalf("L1 hit: level=%d latency=%v", res.Level, res.Latency)
+	}
+}
+
+func TestSecondReaderSharesAndDowngradesOwner(t *testing.T) {
+	p := newProto(t)
+	p.Read(0, 0x1000, 0)
+	p.Write(0, 0x1000, 10) // node 0 now Modified
+	res := p.Read(1, 0x1000, 100)
+	if res.Level != 3 {
+		t.Fatalf("remote read level = %d, want 3", res.Level)
+	}
+	st0, _ := p.L2(0).Peek(0x1000)
+	st1, _ := p.L2(1).Peek(0x1000)
+	if st0 != cache.Shared || st1 != cache.Shared {
+		t.Fatalf("states after sharing = %v/%v, want S/S", st0, st1)
+	}
+	s := p.Stats()
+	if s.Forwards != 1 {
+		t.Fatalf("forwards = %d, want 1", s.Forwards)
+	}
+	if s.Writebacks == 0 {
+		t.Fatal("dirty owner forward did not write back")
+	}
+}
+
+func TestWriteOnExclusiveIsSilent(t *testing.T) {
+	p := newProto(t)
+	p.Read(0, 0x1000, 0)
+	before := p.Stats().InvalidationsSent
+	res := p.Write(0, 0x1000, 10)
+	if res.Latency != p.Config().L1Hit {
+		t.Fatalf("E->M upgrade latency = %v, want L1 hit", res.Latency)
+	}
+	if p.Stats().InvalidationsSent != before {
+		t.Fatal("silent upgrade sent invalidations")
+	}
+	if st, _ := p.L2(0).Peek(0x1000); st != cache.Modified {
+		t.Fatalf("L2 state = %v, want M", st)
+	}
+}
+
+func TestWriteInvalidatesSharers(t *testing.T) {
+	p := newProto(t)
+	const addr = 0x2000
+	for n := 0; n < 8; n++ {
+		p.Read(n, addr, sim.Cycles(n*10))
+	}
+	now := sim.Cycles(1000)
+	res := p.Write(3, addr, now)
+	if got := len(res.Invalidations); got != 7 {
+		t.Fatalf("invalidations = %d, want 7", got)
+	}
+	for _, d := range res.Invalidations {
+		if d.Node == 3 {
+			t.Error("writer invalidated itself")
+		}
+		if d.At <= now {
+			t.Errorf("invalidation at %v not after write start %v", d.At, now)
+		}
+		if st, ok := p.L2(d.Node).Peek(addr); ok && st.Valid() {
+			t.Errorf("node %d still holds line after invalidation (%v)", d.Node, st)
+		}
+	}
+	if st, _ := p.L2(3).Peek(addr); st != cache.Modified {
+		t.Fatalf("writer state = %v, want M", st)
+	}
+	// Subsequent read by an invalidated sharer misses.
+	if res := p.Read(5, addr, now+10000); res.Level != 3 {
+		t.Fatalf("post-invalidation read level = %d, want 3", res.Level)
+	}
+}
+
+func TestMonitorFiresOnInvalidation(t *testing.T) {
+	p := newProto(t)
+	const flag = 0x3000
+	p.Read(7, flag, 0) // node 7 becomes a sharer
+	p.Read(2, flag, 1)
+	var firedAt sim.Cycles = -1
+	p.Monitor(7, flag, func(at sim.Cycles) { firedAt = at })
+	res := p.Write(2, flag, 500)
+	if firedAt < 0 {
+		t.Fatal("monitor did not fire")
+	}
+	found := false
+	for _, d := range res.Invalidations {
+		if d.Node == 7 && d.At == firedAt {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("monitor fire time %v does not match a delivery %v", firedAt, res.Invalidations)
+	}
+	if p.Stats().MonitorFires != 1 {
+		t.Fatalf("monitor fires = %d, want 1", p.Stats().MonitorFires)
+	}
+}
+
+func TestMonitorCancel(t *testing.T) {
+	p := newProto(t)
+	const flag = 0x3000
+	p.Read(7, flag, 0)
+	p.Read(2, flag, 1)
+	fired := false
+	cancel := p.Monitor(7, flag, func(sim.Cycles) { fired = true })
+	cancel()
+	p.Write(2, flag, 500)
+	if fired {
+		t.Fatal("canceled monitor fired")
+	}
+}
+
+func TestMonitorIsOneShot(t *testing.T) {
+	p := newProto(t)
+	const flag = 0x3000
+	fires := 0
+	p.Read(7, flag, 0)
+	p.Read(2, flag, 1)
+	p.Monitor(7, flag, func(sim.Cycles) { fires++ })
+	p.Write(2, flag, 500)
+	// Re-share and invalidate again: monitor must not re-fire.
+	p.Read(7, flag, 1000)
+	p.Write(2, flag, 1500)
+	if fires != 1 {
+		t.Fatalf("monitor fired %d times, want 1", fires)
+	}
+}
+
+func TestDuplicateMonitorPanics(t *testing.T) {
+	p := newProto(t)
+	p.Monitor(1, 0x40, func(sim.Cycles) {})
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate monitor did not panic")
+		}
+	}()
+	p.Monitor(1, 0x40, func(sim.Cycles) {})
+}
+
+func TestFlushForSleep(t *testing.T) {
+	p := newProto(t)
+	// Dirty a few lines on node 4.
+	for i := 0; i < 10; i++ {
+		addr := uint64(0x8000 + i*64)
+		p.Read(4, addr, sim.Cycles(i))
+		p.Write(4, addr, sim.Cycles(100+i))
+	}
+	if p.DirtyLines(4) != 10 {
+		t.Fatalf("dirty lines = %d, want 10", p.DirtyLines(4))
+	}
+	lines, lat := p.FlushForSleep(4, 1000)
+	if lines != 10 {
+		t.Fatalf("flushed %d lines, want 10", lines)
+	}
+	if lat <= 0 {
+		t.Fatal("flush latency not positive")
+	}
+	if p.DirtyLines(4) != 0 {
+		t.Fatal("dirty lines remain after flush")
+	}
+	p.SetGated(4, true)
+	// Another node can now write those lines without forwarding to node 4.
+	for i := 0; i < 10; i++ {
+		p.Write(5, uint64(0x8000+i*64), sim.Cycles(2000+i))
+	}
+	p.SetGated(4, false)
+	// Flushed lines are compulsory misses for node 4 afterwards.
+	if res := p.Read(4, 0x8000, 5000); res.Level != 3 {
+		t.Fatalf("post-flush read level = %d, want 3 (compulsory miss)", res.Level)
+	}
+}
+
+func TestFlushDowngradesCleanExclusive(t *testing.T) {
+	p := newProto(t)
+	p.Read(4, 0x9000, 0) // Exclusive clean
+	lines, _ := p.FlushForSleep(4, 100)
+	if lines != 0 {
+		t.Fatalf("clean flush wrote back %d lines", lines)
+	}
+	p.SetGated(4, true)
+	// A remote read must be served by memory, not a forward to node 4.
+	res := p.Read(5, 0x9000, 200)
+	if res.Level != 3 {
+		t.Fatalf("remote read level = %d", res.Level)
+	}
+	if p.Stats().Forwards != 0 {
+		t.Fatal("read forwarded to a gated node")
+	}
+	p.SetGated(4, false)
+}
+
+func TestForwardToGatedNodePanics(t *testing.T) {
+	p := newProto(t)
+	p.Read(4, 0xA000, 0)
+	p.Write(4, 0xA000, 10) // dirty on node 4
+	p.SetGated(4, true)    // WRONG: no flush first
+	defer func() {
+		if recover() == nil {
+			t.Error("forward to gated node did not panic")
+		}
+	}()
+	p.Read(5, 0xA000, 100)
+}
+
+func TestGatedInvalidationAcked(t *testing.T) {
+	p := newProto(t)
+	const flag = 0xB000
+	p.Read(6, flag, 0) // node 6 shares the flag
+	p.Read(1, flag, 1)
+	p.FlushForSleep(6, 10)
+	p.SetGated(6, true)
+	p.Write(1, flag, 100) // invalidation to gated node 6: clean data, acked
+	if p.Stats().GatedInvalidationAcks == 0 {
+		t.Fatal("gated invalidation was not acked by the controller")
+	}
+	p.SetGated(6, false)
+}
+
+func TestRemoteLatencyExceedsLocal(t *testing.T) {
+	p := newProto(t)
+	place := dram.NewPlacement(64, 4096)
+	// Find an address homed at node 0 and one homed far away (node 63).
+	var local, remote uint64
+	for a := uint64(0); ; a += 4096 {
+		if place.Home(a) == 0 && local == 0 {
+			local = a + 64 // skip 0 to avoid "unset" ambiguity
+		}
+		if place.Home(a) == 63 {
+			remote = a
+			break
+		}
+	}
+	resLocal := p.Read(0, local, 0)
+	resRemote := p.Read(0, remote, 0)
+	if resRemote.Latency <= resLocal.Latency {
+		t.Fatalf("remote fill (%v) not slower than local fill (%v)", resRemote.Latency, resLocal.Latency)
+	}
+}
+
+// Single-writer invariant: after any interleaving of reads and writes, at
+// most one node holds a line in M/E state, and if one does, no other node
+// holds it at all.
+func TestSingleWriterInvariant(t *testing.T) {
+	p := newProto(t)
+	rng := sim.NewRNG(99)
+	const line = 0xC0C0
+	for i := 0; i < 2000; i++ {
+		n := rng.Intn(8)
+		if rng.Bool(0.3) {
+			p.Write(n, line, sim.Cycles(i*10))
+		} else {
+			p.Read(n, line, sim.Cycles(i*10))
+		}
+		owners, sharers := 0, 0
+		for node := 0; node < 8; node++ {
+			if st, ok := p.L2(node).Peek(line); ok {
+				switch st {
+				case cache.Modified, cache.Exclusive:
+					owners++
+				case cache.Shared:
+					sharers++
+				}
+			}
+		}
+		if owners > 1 {
+			t.Fatalf("step %d: %d owners", i, owners)
+		}
+		if owners == 1 && sharers > 0 {
+			t.Fatalf("step %d: owner coexists with %d sharers", i, sharers)
+		}
+	}
+}
+
+// Inclusion invariant: every valid L1 line is also valid in L2.
+func TestInclusionInvariant(t *testing.T) {
+	p := newProto(t)
+	rng := sim.NewRNG(123)
+	for i := 0; i < 5000; i++ {
+		n := rng.Intn(4)
+		addr := uint64(rng.Intn(1<<14)) << 6
+		if rng.Bool(0.4) {
+			p.Write(n, addr, sim.Cycles(i*5))
+		} else {
+			p.Read(n, addr, sim.Cycles(i*5))
+		}
+	}
+	// Check inclusion by probing every address we might have touched.
+	for n := 0; n < 4; n++ {
+		for a := uint64(0); a < 1<<20; a += 64 {
+			if st, ok := p.L1(n).Peek(a); ok && st.Valid() {
+				if st2, ok2 := p.L2(n).Peek(a); !ok2 || !st2.Valid() {
+					t.Fatalf("node %d: L1 holds %#x (%v) but L2 does not", n, a, st)
+				}
+			}
+		}
+	}
+}

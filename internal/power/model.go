@@ -1,0 +1,213 @@
+package power
+
+import (
+	"fmt"
+
+	"thriftybarrier/internal/sim"
+)
+
+// UnitEnergies holds per-event energies (picojoules) for the major
+// microarchitectural units of the modeled 1 GHz six-issue processor. The
+// values are Wattch-flavored: chosen for plausible relative magnitudes, not
+// absolute accuracy — the paper makes the same disclaimer about Wattch and
+// therefore works entirely in ratios of a microbenchmarked TDPmax (§4.3).
+type UnitEnergies struct {
+	Fetch   float64 // per fetched instruction
+	Decode  float64 // per decoded instruction
+	RegFile float64 // per register file access (2 reads + 1 write folded)
+	IntALU  float64 // per integer operation
+	FPALU   float64 // per floating-point operation
+	LSQ     float64 // per load/store queue operation
+	L1      float64 // per L1 access
+	L2      float64 // per L2 access
+	Clock   float64 // clock tree + static, per cycle (always paid)
+}
+
+// DefaultUnitEnergies returns the unit energies used throughout the study.
+// The clock-tree/static term dominates, as in Wattch's unconditional
+// clocking style: application power is then a high fraction of TDPmax
+// (~87% here), which is what makes even the light Halt state (29.8% of
+// TDPmax residual) save most of the spin energy — the paper's Figure 5
+// depends on exactly this ratio structure.
+func DefaultUnitEnergies() UnitEnergies {
+	return UnitEnergies{
+		Fetch:   770,
+		Decode:  580,
+		RegFile: 960,
+		IntALU:  1150,
+		FPALU:   2300,
+		LSQ:     770,
+		L1:      1540,
+		L2:      3100,
+		Clock:   60000,
+	}
+}
+
+// Activity is a per-cycle activity vector for the processor.
+type Activity struct {
+	IPC    float64 // instructions committed per cycle
+	IntOps float64 // integer ops per cycle
+	FPOps  float64 // FP ops per cycle
+	MemOps float64 // loads+stores per cycle
+	L1Acc  float64 // L1 accesses per cycle
+	L2Acc  float64 // L2 accesses per cycle
+}
+
+// WorstCase is the activity mix of the TDPmax microbenchmark: all six issue
+// slots busy every cycle with the most power-hungry sustainable mix
+// (Table 1: 6 integer units, 4 FP units, 2 load/store ports).
+func WorstCase() Activity {
+	return Activity{IPC: 6, IntOps: 2, FPOps: 2, MemOps: 2, L1Acc: 2, L2Acc: 0.2}
+}
+
+// TypicalCompute is the average activity of the SPLASH-2-like compute
+// phases: healthy ILP with a mixed integer/FP/memory profile.
+func TypicalCompute() Activity {
+	return Activity{IPC: 3.6, IntOps: 1.8, FPOps: 0.8, MemOps: 1.1, L1Acc: 1.1, L2Acc: 0.07}
+}
+
+// SpinActivity is the barrier spin loop: a dependent load-compare-branch
+// chain over an L1-resident flag — issue rate bound by the L1 round trip,
+// no FP. The paper measures its power at about 85% of regular computation
+// (§4.3); with these unit energies the same ratio emerges from the model.
+func SpinActivity() Activity {
+	return Activity{IPC: 1.3, IntOps: 0.2, FPOps: 0, MemOps: 0.25, L1Acc: 0.25, L2Acc: 0}
+}
+
+// CyclePower converts an activity vector into watts at the nominal clock:
+// pJ/cycle at 1 GHz is exactly mW, so watts = pJ/cycle * 1e-3... precisely,
+// P = E_cycle[J] * f[Hz].
+func (u UnitEnergies) CyclePower(a Activity) float64 {
+	pj := u.Clock +
+		a.IPC*(u.Fetch+u.Decode+u.RegFile) +
+		a.IntOps*u.IntALU +
+		a.FPOps*u.FPALU +
+		a.MemOps*u.LSQ +
+		a.L1Acc*u.L1 +
+		a.L2Acc*u.L2
+	return pj * 1e-12 * float64(sim.Frequency)
+}
+
+// Model is the calibrated power model used by the energy accounting layer:
+// a TDPmax anchor from the microbenchmark, active/spin powers from the
+// activity model, and Table 3 sleep powers derived — as the paper does —
+// by applying the published savings ratios to TDPmax.
+type Model struct {
+	units  UnitEnergies
+	tdpMax float64
+	states []SleepState
+}
+
+// NewModel microbenchmarks TDPmax with the worst-case activity mix and
+// builds a model over the given sleep-state catalogue.
+func NewModel(units UnitEnergies, states []SleepState) *Model {
+	if err := Validate(states); err != nil {
+		panic(err)
+	}
+	return &Model{
+		units:  units,
+		tdpMax: units.CyclePower(WorstCase()),
+		states: states,
+	}
+}
+
+// DefaultModel builds the model used throughout the evaluation: default
+// unit energies and the full Table 3 catalogue.
+func DefaultModel() *Model {
+	return NewModel(DefaultUnitEnergies(), Table3())
+}
+
+// TDPMax reports the microbenchmarked maximum thermal design power.
+func (m *Model) TDPMax() float64 { return m.tdpMax }
+
+// States returns the sleep-state catalogue (shallow to deep).
+func (m *Model) States() []SleepState { return m.states }
+
+// State looks up a sleep state by ID.
+func (m *Model) State(id StateID) (SleepState, bool) {
+	for _, s := range m.states {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return SleepState{}, false
+}
+
+// ActivePower reports power for an arbitrary activity vector.
+func (m *Model) ActivePower(a Activity) float64 { return m.units.CyclePower(a) }
+
+// ComputePower is the power of the typical compute mix.
+func (m *Model) ComputePower() float64 { return m.units.CyclePower(TypicalCompute()) }
+
+// SpinPower is the power of the barrier spin loop.
+func (m *Model) SpinPower() float64 { return m.units.CyclePower(SpinActivity()) }
+
+// SleepPower derives the residency power of a sleep state from its Table 3
+// savings ratio: P_sleep = TDPmax * (1 - savings).
+func (m *Model) SleepPower(s SleepState) float64 {
+	return m.tdpMax * (1 - s.Savings)
+}
+
+// TransitionPower is the average power during a transition in or out of s.
+// The paper assumes power changes linearly along the transition latency
+// (§4.3), so the average is the midpoint between compute and sleep power.
+func (m *Model) TransitionPower(s SleepState) float64 {
+	return (m.ComputePower() + m.SleepPower(s)) / 2
+}
+
+// FitResult is the outcome of the sleep() best-fit scan.
+type FitResult struct {
+	// State is the selected sleep state; meaningful only if OK.
+	State SleepState
+	// OK reports whether any state fits the predicted stall.
+	OK bool
+	// MinStall is the smallest stall that the selected state requires
+	// (enter + exit + flush); useful for diagnostics.
+	MinStall sim.Cycles
+}
+
+// BestFit scans the catalogue for the deepest sleep state usable within the
+// predicted stall time (§3.1): the stall must cover entering and leaving
+// the state plus, for gated states, the dirty-data flush. flushTime is the
+// caller's estimate of the flush latency for gated states (0 for none).
+// If no state fits, the thread spins the traditional way.
+func (m *Model) BestFit(predictedStall, flushTime sim.Cycles) FitResult {
+	var best FitResult
+	for _, s := range m.states {
+		need := 2 * s.Transition
+		if s.Gated() {
+			need += flushTime
+		}
+		if predictedStall >= need {
+			best = FitResult{State: s, OK: true, MinStall: need}
+		}
+	}
+	return best
+}
+
+// BreakEven reports the stall time beyond which sleeping in s saves energy
+// versus spinning, given the flush time: the point where spin energy equals
+// transition + sleep energy. Used by tests and the documentation to sanity
+// check the catalogue.
+func (m *Model) BreakEven(s SleepState, flushTime sim.Cycles) sim.Cycles {
+	spinP := m.SpinPower()
+	sleepP := m.SleepPower(s)
+	transP := m.TransitionPower(s)
+	if spinP <= sleepP {
+		return sim.MaxCycles
+	}
+	// spinP*T = transP*2L + computeP*flush + sleepP*(T - 2L - flush)
+	// T (spinP - sleepP) = 2L(transP - sleepP) + flush*(computeP - sleepP)
+	num := 2*float64(s.Transition)*(transP-sleepP) + float64(flushTime)*(m.ComputePower()-sleepP)
+	t := num / (spinP - sleepP)
+	if t < 0 {
+		return 0
+	}
+	return sim.Cycles(t)
+}
+
+// String summarizes the model for diagnostics and the Table 3 harness.
+func (m *Model) String() string {
+	return fmt.Sprintf("power.Model{TDPmax=%.1fW compute=%.1fW spin=%.1fW states=%d}",
+		m.tdpMax, m.ComputePower(), m.SpinPower(), len(m.states))
+}

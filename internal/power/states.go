@@ -1,0 +1,102 @@
+// Package power models processor power: an activity-based (Wattch-flavored)
+// dynamic power model calibrated against a microbenchmarked maximum thermal
+// design power (TDPmax), and the catalogue of ACPI-like low-power sleep
+// states from Table 3 of the paper, including the best-fit selection scan
+// performed by the sleep() library call (§3.1).
+package power
+
+import (
+	"fmt"
+
+	"thriftybarrier/internal/sim"
+)
+
+// StateID identifies a sleep state. ActiveState means "not asleep".
+type StateID int
+
+const (
+	// ActiveState is normal execution (no sleep state).
+	ActiveState StateID = iota
+	// Sleep1 is the light Halt state: caches still snoop.
+	Sleep1
+	// Sleep2 gates the caches (no snooping) without lowering voltage.
+	Sleep2
+	// Sleep3 gates the caches and lowers the supply voltage.
+	Sleep3
+)
+
+func (s StateID) String() string {
+	switch s {
+	case ActiveState:
+		return "Active"
+	case Sleep1:
+		return "Sleep1(Halt)"
+	case Sleep2:
+		return "Sleep2"
+	case Sleep3:
+		return "Sleep3"
+	default:
+		return fmt.Sprintf("StateID(%d)", int(s))
+	}
+}
+
+// SleepState describes one low-power state, mirroring a row of Table 3.
+type SleepState struct {
+	ID StateID
+	// Name is the table label.
+	Name string
+	// Savings is the power saving relative to TDPmax (Table 3: "P. Savings").
+	Savings float64
+	// Transition is the latency to enter the state, and equally to leave it
+	// (Table 3: "Tr. Latency"). The exit transition lies fully on the
+	// critical path when external wake-up triggers (§3.3.1).
+	Transition sim.Cycles
+	// Snoops reports whether the cache still responds to protocol requests
+	// while asleep (Table 3: "Snoop?"). States that do not snoop require a
+	// dirty-data flush before entry and clean-invalidation buffering by the
+	// cache controller (§3.1).
+	Snoops bool
+	// VoltageReduced reports whether the supply voltage is lowered
+	// (Table 3: "V. Reduction?"), which additionally cuts leakage.
+	VoltageReduced bool
+}
+
+// Gated reports whether entering this state requires flushing dirty data
+// (the cache cannot respond to protocol interventions).
+func (s SleepState) Gated() bool { return !s.Snoops }
+
+// Table3 returns the three sleep states of the paper's Table 3, inspired by
+// the low-power states of the Intel Pentium family: Halt (70.2% savings,
+// 10 us), Sleep2 (79.2%, 15 us), Sleep3 (97.8%, 35 us, voltage reduction).
+func Table3() []SleepState {
+	return []SleepState{
+		{ID: Sleep1, Name: "Sleep1 (Halt)", Savings: 0.702, Transition: 10 * sim.Microsecond, Snoops: true},
+		{ID: Sleep2, Name: "Sleep2", Savings: 0.792, Transition: 15 * sim.Microsecond, Snoops: false},
+		{ID: Sleep3, Name: "Sleep3", Savings: 0.978, Transition: 35 * sim.Microsecond, Snoops: false, VoltageReduced: true},
+	}
+}
+
+// HaltOnly returns a catalogue containing only the Halt state — the
+// Thrifty-Halt and Oracle-Halt configurations of the evaluation.
+func HaltOnly() []SleepState { return Table3()[:1] }
+
+// Validate checks a sleep-state catalogue for monotonicity: deeper states
+// must save more and take longer to transition, as the best-fit scan
+// assumes (§3.1).
+func Validate(states []SleepState) error {
+	for i, s := range states {
+		if s.Savings <= 0 || s.Savings > 1 {
+			return fmt.Errorf("power: state %s savings %v out of (0,1]", s.Name, s.Savings)
+		}
+		if s.Transition <= 0 {
+			return fmt.Errorf("power: state %s non-positive transition", s.Name)
+		}
+		if i > 0 {
+			prev := states[i-1]
+			if s.Savings < prev.Savings || s.Transition < prev.Transition {
+				return fmt.Errorf("power: states not ordered shallow-to-deep at %s", s.Name)
+			}
+		}
+	}
+	return nil
+}

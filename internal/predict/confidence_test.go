@@ -1,0 +1,72 @@
+package predict
+
+import "testing"
+
+func confTable() *Table {
+	return NewTable(Config{Policy: LastValue, Confidence: true, ConfidenceTolerance: 0.25})
+}
+
+func TestConfidenceGatesUntilStable(t *testing.T) {
+	tab := confTable()
+	tab.Update(1, 1000)
+	if _, ok := tab.Predict(1); ok {
+		t.Fatal("prediction served with zero confidence")
+	}
+	tab.Update(1, 1050) // within 25%: conf 1
+	if _, ok := tab.Predict(1); ok {
+		t.Fatal("prediction served with confidence 1")
+	}
+	tab.Update(1, 1010) // conf 2
+	if v, ok := tab.Predict(1); !ok || v != 1010 {
+		t.Fatalf("stable entry not served: %v,%v", v, ok)
+	}
+}
+
+func TestConfidenceDropsOnSwing(t *testing.T) {
+	tab := confTable()
+	for i := 0; i < 4; i++ {
+		tab.Update(1, 1000)
+	}
+	if _, ok := tab.Predict(1); !ok {
+		t.Fatal("stable entry not served")
+	}
+	// Two wild swings drop confidence below the serve threshold.
+	tab.Update(1, 100)
+	tab.Update(1, 5000)
+	if _, ok := tab.Predict(1); ok {
+		t.Fatal("swinging entry still served")
+	}
+	// Stability re-earns confidence (unlike the permanent cut-off bit).
+	tab.Update(1, 5000)
+	tab.Update(1, 5000)
+	tab.Update(1, 5000)
+	if v, ok := tab.Predict(1); !ok || v != 5000 {
+		t.Fatalf("re-stabilized entry not served: %v,%v", v, ok)
+	}
+}
+
+func TestConfidenceSaturates(t *testing.T) {
+	tab := confTable()
+	for i := 0; i < 20; i++ {
+		tab.Update(1, 1000)
+	}
+	// Saturation at confMax: a single miss must not immediately gate.
+	tab.Update(1, 9000)
+	if _, ok := tab.Predict(1); !ok {
+		t.Fatal("single swing gated a long-stable entry")
+	}
+}
+
+func TestConfidenceDisabledByDefault(t *testing.T) {
+	tab := NewTable(DefaultConfig())
+	tab.Update(1, 1000)
+	if _, ok := tab.Predict(1); !ok {
+		t.Fatal("default table gated by confidence")
+	}
+}
+
+func TestConfidenceToleranceValidation(t *testing.T) {
+	if (Config{Policy: LastValue, ConfidenceTolerance: -1}).Validate() == nil {
+		t.Error("negative tolerance accepted")
+	}
+}

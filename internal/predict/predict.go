@@ -1,0 +1,314 @@
+// Package predict implements the barrier-interval-time predictors of §3.2:
+// a PC-indexed table whose entries carry the prediction state of one static
+// barrier plus the per-thread disable bits set by the overprediction
+// cut-off (§3.3.3) and the underprediction update filter that protects the
+// table from context-switch-inflated intervals (§3.4.2).
+//
+// The paper's production design is last-value prediction; moving-average
+// and exponentially-weighted variants are provided for the predictor
+// ablation, as is a per-thread direct-BST table (the strawman the paper
+// argues against).
+package predict
+
+import (
+	"fmt"
+
+	"thriftybarrier/internal/sim"
+)
+
+// Policy selects how an entry turns its history into a prediction.
+type Policy int
+
+const (
+	// LastValue predicts the previous interval verbatim (the paper's
+	// choice: "simple last-value prediction of PC-indexed barrier interval
+	// time was very accurate").
+	LastValue Policy = iota
+	// MovingAverage predicts the mean of the last K intervals.
+	MovingAverage
+	// EWMA predicts an exponentially weighted moving average.
+	EWMA
+)
+
+func (p Policy) String() string {
+	switch p {
+	case LastValue:
+		return "last-value"
+	case MovingAverage:
+		return "moving-average"
+	case EWMA:
+		return "ewma"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Config parameterizes a Table.
+type Config struct {
+	Policy Policy
+	// Window is the moving-average depth (MovingAverage only).
+	Window int
+	// Alpha is the EWMA weight of the newest observation (EWMA only).
+	Alpha float64
+	// UnderpredictFactor, when > 1, skips the table update if the observed
+	// interval exceeds the current prediction by more than this factor —
+	// the §3.4.2 guard against context-switch/IO-inflated intervals. The
+	// next prediction then reuses the older, shorter interval, exactly as
+	// the paper prescribes. Zero disables the filter.
+	UnderpredictFactor float64
+	// Confidence enables a 2-bit saturating confidence estimator per entry
+	// — the "more sophisticated predictors and/or confidence estimators"
+	// the paper leaves as future work (§3.3.3). Predictions are served
+	// only while confidence is high; unlike the cut-off, an entry that
+	// stabilizes again re-earns its confidence instead of staying disabled.
+	Confidence bool
+	// ConfidenceTolerance is the relative error |actual-predicted|/predicted
+	// under which an update counts as confirming (default 0.25).
+	ConfidenceTolerance float64
+}
+
+// DefaultConfig is the paper's production predictor: last-value, no update
+// filter (dedicated machine).
+func DefaultConfig() Config { return Config{Policy: LastValue} }
+
+// Validate reports an error for inconsistent configurations.
+func (c Config) Validate() error {
+	switch c.Policy {
+	case LastValue:
+	case MovingAverage:
+		if c.Window <= 0 {
+			return fmt.Errorf("predict: moving average needs positive window, got %d", c.Window)
+		}
+	case EWMA:
+		if c.Alpha <= 0 || c.Alpha > 1 {
+			return fmt.Errorf("predict: EWMA alpha %v outside (0,1]", c.Alpha)
+		}
+	default:
+		return fmt.Errorf("predict: unknown policy %d", int(c.Policy))
+	}
+	if c.UnderpredictFactor != 0 && c.UnderpredictFactor <= 1 {
+		return fmt.Errorf("predict: underpredict factor %v must be > 1 (or 0 to disable)", c.UnderpredictFactor)
+	}
+	if c.ConfidenceTolerance < 0 {
+		return fmt.Errorf("predict: negative confidence tolerance %v", c.ConfidenceTolerance)
+	}
+	return nil
+}
+
+// confidence thresholds for the 2-bit estimator.
+const (
+	confMax   = 3
+	confServe = 2
+)
+
+// entry is the prediction state of one static barrier.
+type entry struct {
+	valid    bool
+	last     sim.Cycles
+	window   []sim.Cycles // MovingAverage ring
+	widx     int
+	wcount   int
+	ewma     float64
+	conf     uint8
+	disabled uint64 // per-thread disable bits (≤64 threads)
+}
+
+// Table is a PC-indexed predictor table.
+type Table struct {
+	cfg     Config
+	entries map[uint64]*entry
+
+	// Stats.
+	hits, misses, updates, skippedUpdates, disables uint64
+}
+
+// NewTable builds a predictor table, panicking on invalid configuration.
+func NewTable(cfg Config) *Table {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Table{cfg: cfg, entries: make(map[uint64]*entry)}
+}
+
+// Config returns the table's configuration.
+func (t *Table) Config() Config { return t.cfg }
+
+// raw computes the entry's current prediction without touching statistics
+// or the confidence gate.
+func (t *Table) raw(e *entry) sim.Cycles {
+	switch t.cfg.Policy {
+	case LastValue:
+		return e.last
+	case MovingAverage:
+		n := e.wcount
+		if n > len(e.window) {
+			n = len(e.window)
+		}
+		var sum sim.Cycles
+		for i := 0; i < n; i++ {
+			sum += e.window[i]
+		}
+		return sum / sim.Cycles(n)
+	case EWMA:
+		return sim.Cycles(e.ewma)
+	}
+	return 0
+}
+
+func (t *Table) entryFor(pc uint64) *entry {
+	e := t.entries[pc]
+	if e == nil {
+		e = &entry{}
+		if t.cfg.Policy == MovingAverage {
+			e.window = make([]sim.Cycles, t.cfg.Window)
+		}
+		t.entries[pc] = e
+	}
+	return e
+}
+
+// Predict returns the predicted barrier interval time for the static
+// barrier at pc. ok is false when no history exists yet — the caller falls
+// back to conventional spinning (the first instance of every barrier is
+// handled as warm-up, §3.2.1).
+func (t *Table) Predict(pc uint64) (bit sim.Cycles, ok bool) {
+	e := t.entries[pc]
+	if e == nil || !e.valid {
+		t.misses++
+		return 0, false
+	}
+	if t.cfg.Confidence && e.conf < confServe {
+		t.misses++
+		return 0, false
+	}
+	t.hits++
+	switch t.cfg.Policy {
+	case LastValue:
+		return e.last, true
+	case MovingAverage:
+		n := e.wcount
+		if n > len(e.window) {
+			n = len(e.window)
+		}
+		var sum sim.Cycles
+		for i := 0; i < n; i++ {
+			sum += e.window[i]
+		}
+		return sum / sim.Cycles(n), true
+	case EWMA:
+		return sim.Cycles(e.ewma), true
+	}
+	return 0, false
+}
+
+// Update records the measured interval for pc. The underprediction filter,
+// when configured, skips updates for inordinately inflated intervals so
+// that one preempted barrier instance does not poison future predictions.
+// It reports whether the update was applied.
+func (t *Table) Update(pc uint64, actual sim.Cycles) bool {
+	if actual < 0 {
+		panic(fmt.Sprintf("predict: negative interval %d", actual))
+	}
+	e := t.entryFor(pc)
+	if t.cfg.UnderpredictFactor > 0 && e.valid {
+		if pred := t.raw(e); float64(actual) > t.cfg.UnderpredictFactor*float64(pred) {
+			t.skippedUpdates++
+			return false
+		}
+	}
+	if t.cfg.Confidence && e.valid {
+		pred := t.raw(e)
+		err := actual - pred
+		if err < 0 {
+			err = -err
+		}
+		tol := t.cfg.ConfidenceTolerance
+		if tol == 0 {
+			tol = 0.25
+		}
+		if float64(err) <= tol*float64(pred) {
+			if e.conf < confMax {
+				e.conf++
+			}
+		} else if e.conf > 0 {
+			e.conf--
+		}
+	}
+	t.updates++
+	e.valid = true
+	e.last = actual
+	switch t.cfg.Policy {
+	case MovingAverage:
+		e.window[e.widx] = actual
+		e.widx = (e.widx + 1) % len(e.window)
+		e.wcount++
+	case EWMA:
+		if e.wcount == 0 {
+			e.ewma = float64(actual)
+		} else {
+			e.ewma = t.cfg.Alpha*float64(actual) + (1-t.cfg.Alpha)*e.ewma
+		}
+		e.wcount++
+	}
+	return true
+}
+
+// Disable sets the overprediction cut-off bit for thread on pc's entry:
+// future Enabled checks for that (thread, barrier) pair report false, and
+// the thread falls back to spinning there (§3.3.3).
+func (t *Table) Disable(pc uint64, thread int) {
+	if thread < 0 || thread >= 64 {
+		panic(fmt.Sprintf("predict: thread %d out of range [0,64)", thread))
+	}
+	e := t.entryFor(pc)
+	if e.disabled&(1<<uint(thread)) == 0 {
+		e.disabled |= 1 << uint(thread)
+		t.disables++
+	}
+}
+
+// Enabled reports whether prediction is still allowed for thread at pc.
+func (t *Table) Enabled(pc uint64, thread int) bool {
+	if thread < 0 || thread >= 64 {
+		panic(fmt.Sprintf("predict: thread %d out of range [0,64)", thread))
+	}
+	e := t.entries[pc]
+	return e == nil || e.disabled&(1<<uint(thread)) == 0
+}
+
+// Stats reports table activity: prediction hits and cold misses, applied
+// and filter-skipped updates, and cut-off disables.
+func (t *Table) Stats() (hits, misses, updates, skipped, disables uint64) {
+	return t.hits, t.misses, t.updates, t.skippedUpdates, t.disables
+}
+
+// Entries reports the number of distinct static barriers seen.
+func (t *Table) Entries() int { return len(t.entries) }
+
+// BSTTable is the strawman direct barrier-stall-time predictor used by the
+// predictor ablation: it is keyed by (pc, thread), because stall time is
+// thread-dependent (§3.2), which is exactly why the paper rejects it in
+// favor of the thread-independent BIT.
+type BSTTable struct {
+	inner *Table
+}
+
+// NewBSTTable builds a per-thread last-value BST predictor.
+func NewBSTTable() *BSTTable {
+	return &BSTTable{inner: NewTable(Config{Policy: LastValue})}
+}
+
+func bstKey(pc uint64, thread int) uint64 {
+	// Thread folded into low bits; PCs are word-aligned so no collisions.
+	return pc*64 + uint64(thread)
+}
+
+// Predict returns the predicted stall for (pc, thread).
+func (t *BSTTable) Predict(pc uint64, thread int) (sim.Cycles, bool) {
+	return t.inner.Predict(bstKey(pc, thread))
+}
+
+// Update records the observed stall for (pc, thread).
+func (t *BSTTable) Update(pc uint64, thread int, actual sim.Cycles) {
+	t.inner.Update(bstKey(pc, thread), actual)
+}

@@ -1,0 +1,232 @@
+package predict
+
+import (
+	"testing"
+	"testing/quick"
+
+	"thriftybarrier/internal/sim"
+)
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Policy: MovingAverage, Window: 0},
+		{Policy: EWMA, Alpha: 0},
+		{Policy: EWMA, Alpha: 1.5},
+		{Policy: Policy(99)},
+		{Policy: LastValue, UnderpredictFactor: 0.5},
+	}
+	for _, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("Validate(%+v) = nil, want error", c)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestColdMissThenLastValue(t *testing.T) {
+	tab := NewTable(DefaultConfig())
+	if _, ok := tab.Predict(0x100); ok {
+		t.Fatal("cold table predicted")
+	}
+	tab.Update(0x100, 5000)
+	got, ok := tab.Predict(0x100)
+	if !ok || got != 5000 {
+		t.Fatalf("Predict = %v,%v; want 5000,true", got, ok)
+	}
+	tab.Update(0x100, 7000)
+	if got, _ := tab.Predict(0x100); got != 7000 {
+		t.Fatalf("last-value after second update = %v, want 7000", got)
+	}
+}
+
+func TestEntriesAreIndependentPerPC(t *testing.T) {
+	tab := NewTable(DefaultConfig())
+	tab.Update(0x100, 1000)
+	tab.Update(0x200, 2000)
+	if v, _ := tab.Predict(0x100); v != 1000 {
+		t.Errorf("PC 0x100 = %v, want 1000", v)
+	}
+	if v, _ := tab.Predict(0x200); v != 2000 {
+		t.Errorf("PC 0x200 = %v, want 2000", v)
+	}
+	if tab.Entries() != 2 {
+		t.Errorf("entries = %d, want 2", tab.Entries())
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	tab := NewTable(Config{Policy: MovingAverage, Window: 3})
+	tab.Update(1, 100)
+	if v, _ := tab.Predict(1); v != 100 {
+		t.Fatalf("avg of one = %v", v)
+	}
+	tab.Update(1, 200)
+	tab.Update(1, 300)
+	if v, _ := tab.Predict(1); v != 200 {
+		t.Fatalf("avg of 100,200,300 = %v, want 200", v)
+	}
+	tab.Update(1, 600) // window now 200,300,600
+	if v, _ := tab.Predict(1); v != 366 {
+		t.Fatalf("rolling avg = %v, want 366", v)
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	tab := NewTable(Config{Policy: EWMA, Alpha: 0.5})
+	tab.Update(1, 1000)
+	tab.Update(1, 2000)
+	if v, _ := tab.Predict(1); v != 1500 {
+		t.Fatalf("ewma = %v, want 1500", v)
+	}
+}
+
+func TestUnderpredictionFilter(t *testing.T) {
+	tab := NewTable(Config{Policy: LastValue, UnderpredictFactor: 3})
+	tab.Update(1, 1000)
+	// A context-switch-inflated interval (> 3x) must be rejected.
+	if tab.Update(1, 10000) {
+		t.Fatal("inflated interval was applied")
+	}
+	if v, _ := tab.Predict(1); v != 1000 {
+		t.Fatalf("prediction after filtered update = %v, want 1000", v)
+	}
+	// A plausible increase passes.
+	if !tab.Update(1, 2500) {
+		t.Fatal("plausible interval was rejected")
+	}
+	_, _, updates, skipped, _ := tab.Stats()
+	if updates != 2 || skipped != 1 {
+		t.Fatalf("updates/skipped = %d/%d, want 2/1", updates, skipped)
+	}
+	// First observation is never filtered.
+	tab2 := NewTable(Config{Policy: LastValue, UnderpredictFactor: 3})
+	if !tab2.Update(9, 1_000_000) {
+		t.Fatal("first observation was filtered")
+	}
+}
+
+func TestDisableBits(t *testing.T) {
+	tab := NewTable(DefaultConfig())
+	tab.Update(1, 100)
+	if !tab.Enabled(1, 7) {
+		t.Fatal("fresh entry disabled")
+	}
+	tab.Disable(1, 7)
+	if tab.Enabled(1, 7) {
+		t.Fatal("Disable had no effect")
+	}
+	if !tab.Enabled(1, 8) {
+		t.Fatal("Disable leaked to another thread")
+	}
+	if !tab.Enabled(2, 7) {
+		t.Fatal("Disable leaked to another barrier")
+	}
+	// Prediction itself is still served (other threads use it).
+	if _, ok := tab.Predict(1); !ok {
+		t.Fatal("prediction vanished after disable")
+	}
+	// Idempotent.
+	tab.Disable(1, 7)
+	_, _, _, _, disables := tab.Stats()
+	if disables != 1 {
+		t.Fatalf("disables = %d, want 1", disables)
+	}
+}
+
+func TestDisableOnUnknownPCIsEnabledByDefault(t *testing.T) {
+	tab := NewTable(DefaultConfig())
+	if !tab.Enabled(0xDEAD, 3) {
+		t.Fatal("unknown PC not enabled by default")
+	}
+}
+
+func TestThreadRangePanics(t *testing.T) {
+	tab := NewTable(DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Error("thread 64 did not panic")
+		}
+	}()
+	tab.Disable(1, 64)
+}
+
+func TestNegativeIntervalPanics(t *testing.T) {
+	tab := NewTable(DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Error("negative interval did not panic")
+		}
+	}()
+	tab.Update(1, -5)
+}
+
+func TestBSTTablePerThread(t *testing.T) {
+	tab := NewBSTTable()
+	tab.Update(0x100, 0, 111)
+	tab.Update(0x100, 1, 222)
+	if v, ok := tab.Predict(0x100, 0); !ok || v != 111 {
+		t.Fatalf("thread 0 = %v,%v", v, ok)
+	}
+	if v, ok := tab.Predict(0x100, 1); !ok || v != 222 {
+		t.Fatalf("thread 1 = %v,%v", v, ok)
+	}
+	if _, ok := tab.Predict(0x100, 2); ok {
+		t.Fatal("unseen thread predicted")
+	}
+}
+
+// Property: for last-value, Predict always returns the most recent applied
+// Update, regardless of the sequence.
+func TestLastValueProperty(t *testing.T) {
+	f := func(vals []uint32) bool {
+		tab := NewTable(DefaultConfig())
+		var last sim.Cycles = -1
+		for _, v := range vals {
+			tab.Update(42, sim.Cycles(v))
+			last = sim.Cycles(v)
+		}
+		got, ok := tab.Predict(42)
+		if last < 0 {
+			return !ok
+		}
+		return ok && got == last
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: moving average prediction is always within [min, max] of the
+// observations.
+func TestMovingAverageBoundsProperty(t *testing.T) {
+	f := func(vals []uint16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		tab := NewTable(Config{Policy: MovingAverage, Window: 4})
+		lo, hi := sim.MaxCycles, sim.Cycles(0)
+		for _, v := range vals {
+			c := sim.Cycles(v)
+			tab.Update(7, c)
+			if c < lo {
+				lo = c
+			}
+			if c > hi {
+				hi = c
+			}
+		}
+		got, ok := tab.Predict(7)
+		return ok && got >= lo-1 && got <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if LastValue.String() != "last-value" || MovingAverage.String() != "moving-average" || EWMA.String() != "ewma" {
+		t.Error("Policy.String mismatch")
+	}
+}

@@ -1,0 +1,63 @@
+// Package sim provides the deterministic discrete-event simulation kernel
+// that underlies the CC-NUMA multiprocessor model: a simulated clock in
+// processor cycles, a stable-ordered event queue, seeded random-number
+// streams, and a per-component state timeline recorder used by the energy
+// accounting layer.
+//
+// The modeled machine runs at 1 GHz (Table 1 of the paper), so one cycle is
+// exactly one nanosecond; Cycles doubles as a nanosecond count.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Cycles counts processor clock cycles at the nominal 1 GHz system
+// frequency. All timing in the simulator — including the transition
+// latencies of low-power sleep states — is expressed in Cycles.
+type Cycles int64
+
+// Frequency is the nominal clock frequency of every processor in the
+// modeled system. The paper assumes all processors run at the same nominal
+// frequency so that base cycle counts are meaningful system-wide (§3.2.1).
+const Frequency = 1_000_000_000 // 1 GHz
+
+// Common conversions at 1 GHz.
+const (
+	Nanosecond  Cycles = 1
+	Microsecond Cycles = 1_000
+	Millisecond Cycles = 1_000_000
+	Second      Cycles = 1_000_000_000
+)
+
+// Duration converts a cycle count to wall-clock time at the nominal
+// frequency.
+func (c Cycles) Duration() time.Duration {
+	return time.Duration(c) * time.Nanosecond
+}
+
+// Micros reports the cycle count as (possibly fractional) microseconds.
+func (c Cycles) Micros() float64 { return float64(c) / float64(Microsecond) }
+
+// Seconds reports the cycle count as seconds.
+func (c Cycles) Seconds() float64 { return float64(c) / float64(Second) }
+
+func (c Cycles) String() string {
+	switch {
+	case c >= Second:
+		return fmt.Sprintf("%.3fs", c.Seconds())
+	case c >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(c)/float64(Millisecond))
+	case c >= Microsecond:
+		return fmt.Sprintf("%.3fus", c.Micros())
+	default:
+		return fmt.Sprintf("%dcy", int64(c))
+	}
+}
+
+// FromDuration converts wall-clock time to cycles at the nominal frequency.
+func FromDuration(d time.Duration) Cycles { return Cycles(d.Nanoseconds()) }
+
+// MaxCycles is a sentinel "never" timestamp.
+const MaxCycles = Cycles(1<<63 - 1)

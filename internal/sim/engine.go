@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback. Events fire in (time, sequence) order;
+// sequence is assigned at scheduling time, so two events scheduled for the
+// same cycle fire in the order they were scheduled. This makes runs
+// bit-reproducible, which the tests and the calibration harness rely on.
+type Event struct {
+	when  Cycles
+	seq   uint64
+	fn    func()
+	index int // heap index; -1 once popped or canceled
+}
+
+// When reports the cycle at which the event is (or was) scheduled to fire.
+func (e *Event) When() Cycles { return e.when }
+
+// eventQueue is a min-heap ordered by (when, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a deterministic discrete-event simulator. The zero value is not
+// ready to use; construct one with NewEngine.
+type Engine struct {
+	now     Cycles
+	seq     uint64
+	queue   eventQueue
+	stopped bool
+	fired   uint64
+}
+
+// NewEngine returns an engine with the clock at cycle zero and an empty
+// event queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now reports the current simulated time.
+func (e *Engine) Now() Cycles { return e.now }
+
+// Fired reports the number of events dispatched so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports the number of events still queued.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute cycle when. Scheduling in the past
+// panics: the simulator has no mechanism for retroactive causality, so such
+// a call is always a modeling bug.
+func (e *Engine) At(when Cycles, fn func()) *Event {
+	if when < e.now {
+		panic(fmt.Sprintf("sim: event scheduled at %d, before now %d", when, e.now))
+	}
+	ev := &Event{when: when, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run delay cycles from now.
+func (e *Engine) After(delay Cycles, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", delay))
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// Cancel removes a pending event. Canceling an event that already fired or
+// was already canceled is a no-op and reports false.
+func (e *Engine) Cancel(ev *Event) bool {
+	if ev == nil || ev.index < 0 {
+		return false
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+	return true
+}
+
+// Step fires the single earliest pending event, advancing the clock to its
+// timestamp. It reports false when the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.when
+	e.fired++
+	ev.fn()
+	return true
+}
+
+// Run fires events until the queue drains or Stop is called. It returns the
+// final simulated time.
+func (e *Engine) Run() Cycles {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil fires events with timestamps <= deadline, then sets the clock to
+// deadline (if it has not already passed it).
+func (e *Engine) RunUntil(deadline Cycles) Cycles {
+	e.stopped = false
+	for !e.stopped && len(e.queue) > 0 && e.queue[0].when <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// Stop makes the innermost Run or RunUntil return after the current event's
+// callback completes.
+func (e *Engine) Stop() { e.stopped = true }

@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestEngineFiresInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []Cycles
+	for _, c := range []Cycles{50, 10, 30, 20, 40} {
+		c := c
+		e.At(c, func() { got = append(got, c) })
+	}
+	end := e.Run()
+	if end != 50 {
+		t.Fatalf("final time = %d, want 50", end)
+	}
+	want := []Cycles{10, 20, 30, 40, 50}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fire order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEngineStableTieBreak(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(100, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-cycle events fired out of scheduling order: %v", got)
+		}
+	}
+}
+
+func TestEngineAfterAndNow(t *testing.T) {
+	e := NewEngine()
+	var at Cycles = -1
+	e.After(25, func() {
+		at = e.Now()
+		e.After(5, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 30 {
+		t.Fatalf("nested After landed at %d, want 30", at)
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.At(10, func() { fired = true })
+	if !e.Cancel(ev) {
+		t.Fatal("Cancel of pending event returned false")
+	}
+	if e.Cancel(ev) {
+		t.Fatal("second Cancel returned true")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+}
+
+func TestEngineCancelMidQueue(t *testing.T) {
+	e := NewEngine()
+	var got []Cycles
+	mk := func(c Cycles) *Event {
+		return e.At(c, func() { got = append(got, c) })
+	}
+	mk(10)
+	ev := mk(20)
+	mk(30)
+	e.Cancel(ev)
+	e.Run()
+	if len(got) != 2 || got[0] != 10 || got[1] != 30 {
+		t.Fatalf("got %v, want [10 30]", got)
+	}
+}
+
+func TestEngineSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var got []Cycles
+	for _, c := range []Cycles{10, 20, 30} {
+		c := c
+		e.At(c, func() { got = append(got, c) })
+	}
+	now := e.RunUntil(25)
+	if now != 25 {
+		t.Fatalf("RunUntil returned %d, want 25", now)
+	}
+	if len(got) != 2 {
+		t.Fatalf("events fired: %v, want exactly the first two", got)
+	}
+	e.Run()
+	if len(got) != 3 {
+		t.Fatalf("remaining event did not fire: %v", got)
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 5; i++ {
+		e.At(Cycles(i*10), func() {
+			count++
+			if count == 2 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 2 {
+		t.Fatalf("fired %d events before Stop took effect, want 2", count)
+	}
+	if e.Pending() != 3 {
+		t.Fatalf("pending = %d, want 3", e.Pending())
+	}
+}
+
+func TestEngineSelfScheduling(t *testing.T) {
+	// A classic ticker: each event schedules the next; verify the clock
+	// advances monotonically and deterministically.
+	e := NewEngine()
+	ticks := 0
+	var tick func()
+	tick = func() {
+		ticks++
+		if ticks < 100 {
+			e.After(7, tick)
+		}
+	}
+	e.At(0, tick)
+	end := e.Run()
+	if ticks != 100 {
+		t.Fatalf("ticks = %d, want 100", ticks)
+	}
+	if end != 99*7 {
+		t.Fatalf("end = %d, want %d", end, 99*7)
+	}
+}
+
+func TestCyclesString(t *testing.T) {
+	cases := []struct {
+		c    Cycles
+		want string
+	}{
+		{500, "500cy"},
+		{1500, "1.500us"},
+		{2_500_000, "2.500ms"},
+		{3_000_000_000, "3.000s"},
+	}
+	for _, tc := range cases {
+		if got := tc.c.String(); got != tc.want {
+			t.Errorf("%d.String() = %q, want %q", int64(tc.c), got, tc.want)
+		}
+	}
+}
+
+func TestCyclesDuration(t *testing.T) {
+	if Microsecond.Duration().Microseconds() != 1 {
+		t.Fatal("1us cycles != 1us duration at 1GHz")
+	}
+	if FromDuration(Microsecond.Duration()) != Microsecond {
+		t.Fatal("FromDuration does not invert Duration")
+	}
+}

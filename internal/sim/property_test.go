@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// Property: for any mix of schedules and cancellations, the engine fires
+// exactly the non-canceled events, in nondecreasing time order, with
+// same-time events in scheduling order.
+func TestEngineScheduleCancelProperty(t *testing.T) {
+	f := func(times []uint16, cancelMask []bool) bool {
+		e := NewEngine()
+		type fired struct {
+			when Cycles
+			seq  int
+		}
+		var log []fired
+		events := make([]*Event, len(times))
+		for i, tm := range times {
+			i, tm := i, Cycles(tm)
+			events[i] = e.At(tm, func() { log = append(log, fired{tm, i}) })
+		}
+		canceled := map[int]bool{}
+		for i := range cancelMask {
+			if i < len(events) && cancelMask[i] {
+				e.Cancel(events[i])
+				canceled[i] = true
+			}
+		}
+		e.Run()
+		// Exactly the non-canceled events fired.
+		if len(log) != len(times)-len(canceled) {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, f := range log {
+			if canceled[f.seq] || seen[f.seq] {
+				return false
+			}
+			seen[f.seq] = true
+		}
+		// Time order, with scheduling order within ties.
+		for i := 1; i < len(log); i++ {
+			if log[i].when < log[i-1].when {
+				return false
+			}
+			if log[i].when == log[i-1].when && log[i].seq < log[i-1].seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RunUntil fires exactly the events at or before the deadline,
+// and a subsequent Run fires the rest.
+func TestEngineRunUntilPartitionProperty(t *testing.T) {
+	f := func(times []uint16, deadline uint16) bool {
+		e := NewEngine()
+		var before, after int
+		d := Cycles(deadline)
+		for _, tm := range times {
+			tm := Cycles(tm)
+			if tm <= d {
+				e.At(tm, func() { before++ })
+			} else {
+				e.At(tm, func() { after++ })
+			}
+		}
+		wantBefore := 0
+		for _, tm := range times {
+			if Cycles(tm) <= d {
+				wantBefore++
+			}
+		}
+		e.RunUntil(d)
+		if before != wantBefore || after != 0 {
+			return false
+		}
+		e.Run()
+		return after == len(times)-wantBefore
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the RNG's Intn outputs over a window cover the range with a
+// roughly uniform histogram (chi-square sanity, loose bound).
+func TestRNGUniformityProperty(t *testing.T) {
+	r := NewRNG(12345)
+	const buckets = 16
+	const n = 160000
+	var hist [buckets]int
+	for i := 0; i < n; i++ {
+		hist[r.Intn(buckets)]++
+	}
+	want := n / buckets
+	for b, c := range hist {
+		if c < want*9/10 || c > want*11/10 {
+			t.Fatalf("bucket %d count %d far from %d", b, c, want)
+		}
+	}
+}
+
+// Property: sorted event timestamps equal the sorted input timestamps
+// (nothing lost, nothing invented).
+func TestEngineTimestampConservation(t *testing.T) {
+	f := func(times []uint16) bool {
+		e := NewEngine()
+		var got []uint16
+		for _, tm := range times {
+			tm := tm
+			e.At(Cycles(tm), func() { got = append(got, tm) })
+		}
+		e.Run()
+		want := append([]uint16(nil), times...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,104 @@
+package sim
+
+import "fmt"
+
+// State labels what a processor is doing during an interval of simulated
+// time. The evaluation breaks energy and execution time down by exactly
+// these four categories (Figures 5 and 6 of the paper): Compute also
+// covers non-barrier stalls (memory, locks), Spin is busy-waiting on the
+// barrier flag, Transition covers entering and leaving low-power states,
+// and Sleep is residency in a low-power state.
+type State uint8
+
+const (
+	StateCompute State = iota
+	StateSpin
+	StateTransition
+	StateSleep
+	numStates
+)
+
+// NumStates is the number of distinct timeline states.
+const NumStates = int(numStates)
+
+func (s State) String() string {
+	switch s {
+	case StateCompute:
+		return "Compute"
+	case StateSpin:
+		return "Spin"
+	case StateTransition:
+		return "Transition"
+	case StateSleep:
+		return "Sleep"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// Timeline accumulates, per State, the total simulated time and the total
+// energy a component spent in that state. Energy is accumulated in
+// picojoules to keep integer precision; accessors report joules.
+//
+// Intervals are recorded after the fact (AddInterval) rather than by
+// tracking a "current state", because barrier episodes are resolved
+// analytically and produce their per-thread intervals in one shot.
+type Timeline struct {
+	time   [numStates]Cycles
+	energy [numStates]float64 // picojoules
+}
+
+// AddInterval charges duration d in state s at the given power (watts).
+// Negative durations panic: they always indicate an episode-accounting bug.
+func (t *Timeline) AddInterval(s State, d Cycles, watts float64) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative interval %d in state %s", d, s))
+	}
+	t.time[s] += d
+	// 1 cycle = 1 ns; W * ns = nJ = 1e3 pJ.
+	t.energy[s] += watts * float64(d) * 1e3
+}
+
+// AddEnergy charges extra energy (joules) to state s without advancing
+// time. Used for one-off costs such as flush traffic charged to Compute.
+func (t *Timeline) AddEnergy(s State, joules float64) {
+	t.energy[s] += joules * 1e12
+}
+
+// Time reports total time spent in state s.
+func (t *Timeline) Time(s State) Cycles { return t.time[s] }
+
+// Energy reports total energy (joules) spent in state s.
+func (t *Timeline) Energy(s State) float64 { return t.energy[s] * 1e-12 }
+
+// TotalTime reports time summed over all states.
+func (t *Timeline) TotalTime() Cycles {
+	var sum Cycles
+	for _, v := range t.time {
+		sum += v
+	}
+	return sum
+}
+
+// TotalEnergy reports energy (joules) summed over all states.
+func (t *Timeline) TotalEnergy() float64 {
+	var sum float64
+	for _, v := range t.energy {
+		sum += v
+	}
+	return sum * 1e-12
+}
+
+// Add accumulates another timeline into this one (used to aggregate the 64
+// per-CPU timelines into the system totals).
+func (t *Timeline) Add(o *Timeline) {
+	for i := range t.time {
+		t.time[i] += o.time[i]
+		t.energy[i] += o.energy[i]
+	}
+}
+
+// Reset zeroes the timeline.
+func (t *Timeline) Reset() {
+	*t = Timeline{}
+}

@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimelineAccounting(t *testing.T) {
+	var tl Timeline
+	tl.AddInterval(StateCompute, 1000, 50) // 1000ns at 50W = 50uJ
+	tl.AddInterval(StateSpin, 500, 42.5)
+	tl.AddInterval(StateCompute, 200, 50)
+
+	if got := tl.Time(StateCompute); got != 1200 {
+		t.Errorf("compute time = %d, want 1200", got)
+	}
+	if got := tl.Time(StateSpin); got != 500 {
+		t.Errorf("spin time = %d, want 500", got)
+	}
+	wantE := 50*1200e-9 + 42.5*500e-9
+	if got := tl.TotalEnergy(); math.Abs(got-wantE) > 1e-15 {
+		t.Errorf("total energy = %v, want %v", got, wantE)
+	}
+	if got := tl.TotalTime(); got != 1700 {
+		t.Errorf("total time = %d, want 1700", got)
+	}
+}
+
+func TestTimelineNegativeIntervalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative interval did not panic")
+		}
+	}()
+	var tl Timeline
+	tl.AddInterval(StateSleep, -1, 1)
+}
+
+func TestTimelineAddEnergy(t *testing.T) {
+	var tl Timeline
+	tl.AddEnergy(StateCompute, 1e-6)
+	if got := tl.Energy(StateCompute); math.Abs(got-1e-6) > 1e-18 {
+		t.Errorf("energy = %v, want 1e-6", got)
+	}
+	if tl.Time(StateCompute) != 0 {
+		t.Error("AddEnergy advanced time")
+	}
+}
+
+func TestTimelineAdd(t *testing.T) {
+	var a, b Timeline
+	a.AddInterval(StateCompute, 100, 10)
+	b.AddInterval(StateCompute, 200, 10)
+	b.AddInterval(StateSleep, 50, 1)
+	a.Add(&b)
+	if a.Time(StateCompute) != 300 {
+		t.Errorf("merged compute time = %d, want 300", a.Time(StateCompute))
+	}
+	if a.Time(StateSleep) != 50 {
+		t.Errorf("merged sleep time = %d, want 50", a.Time(StateSleep))
+	}
+}
+
+func TestTimelineReset(t *testing.T) {
+	var tl Timeline
+	tl.AddInterval(StateSpin, 10, 5)
+	tl.Reset()
+	if tl.TotalTime() != 0 || tl.TotalEnergy() != 0 {
+		t.Error("Reset did not zero the timeline")
+	}
+}
+
+// Property: total time equals the sum of per-state times, and energy is
+// additive, for arbitrary interval sequences.
+func TestTimelineAdditivityProperty(t *testing.T) {
+	f := func(durs []uint16, states []uint8) bool {
+		var tl Timeline
+		var wantTime Cycles
+		n := len(durs)
+		if len(states) < n {
+			n = len(states)
+		}
+		for i := 0; i < n; i++ {
+			s := State(states[i] % uint8(numStates))
+			d := Cycles(durs[i])
+			tl.AddInterval(s, d, 1.0)
+			wantTime += d
+		}
+		if tl.TotalTime() != wantTime {
+			return false
+		}
+		var perState Cycles
+		for s := State(0); s < numStates; s++ {
+			perState += tl.Time(s)
+		}
+		return perState == wantTime
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	want := map[State]string{
+		StateCompute:    "Compute",
+		StateSpin:       "Spin",
+		StateTransition: "Transition",
+		StateSleep:      "Sleep",
+	}
+	for s, w := range want {
+		if s.String() != w {
+			t.Errorf("State %d = %q, want %q", s, s.String(), w)
+		}
+	}
+}

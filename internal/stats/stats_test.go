@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Title", "A", "Bee", "C")
+	tab.AddRow("x", 1.5, 42)
+	tab.AddRowStrings("longer-cell", "y", "z")
+	out := tab.String()
+	if !strings.Contains(out, "Title") || !strings.Contains(out, "=====") {
+		t.Error("missing title/underline")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d, want 6", len(lines))
+	}
+	// lines: title, underline, header, separator, row1, row2.
+	if !strings.HasPrefix(lines[4], "x ") {
+		t.Errorf("row misaligned: %q", lines[4])
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	tab.AddRowStrings("with,comma", `with"quote`)
+	csv := tab.CSV()
+	want := "a,b\n\"with,comma\",\"with\"\"quote\"\n"
+	if csv != want {
+		t.Fatalf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(0.1234) != "12.34%" {
+		t.Errorf("Pct = %q", Pct(0.1234))
+	}
+}
+
+func TestBar(t *testing.T) {
+	if b := Bar(0.5, 10); b != "#####....." {
+		t.Errorf("Bar(0.5,10) = %q", b)
+	}
+	if b := Bar(-1, 4); b != "...." {
+		t.Errorf("Bar(-1) = %q", b)
+	}
+	if b := Bar(2, 4); b != "####" {
+		t.Errorf("Bar(2) = %q", b)
+	}
+}
+
+func TestStackedBar(t *testing.T) {
+	b := StackedBar([]float64{0.25, 0.25}, []rune{'C', 'S'}, 8)
+	if b != "CCSS    " {
+		t.Errorf("StackedBar = %q", b)
+	}
+	// Overflow is clipped to the width.
+	b = StackedBar([]float64{0.9, 0.9}, []rune{'C', 'S'}, 10)
+	if len(b) != 10 {
+		t.Errorf("overflowed bar length %d", len(b))
+	}
+}
+
+func TestMeanMinMax(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if Mean(xs) != 2.5 {
+		t.Errorf("Mean = %v", Mean(xs))
+	}
+	lo, hi := MinMax(xs)
+	if lo != 1 || hi != 4 {
+		t.Errorf("MinMax = %v,%v", lo, hi)
+	}
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if lo, hi := MinMax(nil); lo != 0 || hi != 0 {
+		t.Error("MinMax(nil) != 0,0")
+	}
+}
+
+func TestCoefVar(t *testing.T) {
+	if CoefVar([]float64{5, 5, 5, 5}) != 0 {
+		t.Error("constant series CoV != 0")
+	}
+	cv := CoefVar([]float64{1, 3})
+	if math.Abs(cv-0.5) > 1e-12 {
+		t.Errorf("CoefVar(1,3) = %v, want 0.5", cv)
+	}
+	if CoefVar([]float64{1}) != 0 {
+		t.Error("single-element CoV != 0")
+	}
+	if CoefVar([]float64{0, 0}) != 0 {
+		t.Error("zero-mean CoV != 0")
+	}
+}

@@ -1,0 +1,112 @@
+// Package trace exports simulated runs as Chrome Trace Event JSON
+// (chrome://tracing, Perfetto, Speedscope): one track per CPU, one slice
+// per compute phase and per barrier wait, with wait slices named by how
+// the thread waited (spin / sleep state / residual / release). It turns
+// the simulator's episode records into an interactive timeline of the
+// thrifty barrier's behaviour.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"thriftybarrier/internal/core"
+	"thriftybarrier/internal/sim"
+)
+
+// event is one Chrome "complete" (ph=X) trace event. Timestamps and
+// durations are in microseconds, per the trace-event format.
+type event struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// metadataEvent names the process/threads in the viewer.
+type metadataEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+func us(c sim.Cycles) float64 { return float64(c) / 1000 }
+
+// ChromeTrace renders the episode records of a recorded run. Records must
+// come from a single machine (consistent thread count).
+func ChromeTrace(records []core.EpisodeRecord, configName string) ([]byte, error) {
+	if len(records) == 0 {
+		return nil, fmt.Errorf("trace: no episode records (enable recording on the machine)")
+	}
+	nodes := len(records[0].Arrive)
+	sorted := append([]core.EpisodeRecord(nil), records...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Phase < sorted[j].Phase })
+
+	var out []any
+	out = append(out, metadataEvent{
+		Name: "process_name", Ph: "M", PID: 1, TID: 0,
+		Args: map[string]any{"name": "thriftybarrier " + configName},
+	})
+	for t := 0; t < nodes; t++ {
+		out = append(out, metadataEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: t,
+			Args: map[string]any{"name": fmt.Sprintf("cpu%02d", t)},
+		})
+	}
+
+	prevDepart := make([]sim.Cycles, nodes)
+	for _, rec := range sorted {
+		if len(rec.Arrive) != nodes || len(rec.Depart) != nodes {
+			return nil, fmt.Errorf("trace: phase %d has inconsistent thread count", rec.Phase)
+		}
+		for t := 0; t < nodes; t++ {
+			arrive, depart := rec.Arrive[t], rec.Depart[t]
+			if arrive < prevDepart[t] || depart < arrive {
+				return nil, fmt.Errorf("trace: phase %d thread %d has non-monotonic times", rec.Phase, t)
+			}
+			if arrive > prevDepart[t] {
+				out = append(out, event{
+					Name: "compute", Cat: "compute", Ph: "X",
+					Ts: us(prevDepart[t]), Dur: us(arrive - prevDepart[t]),
+					PID: 1, TID: t,
+					Args: map[string]string{"phase": fmt.Sprint(rec.Phase), "pc": fmt.Sprintf("%#x", rec.PC)},
+				})
+			}
+			name, cat := "wait", "wait"
+			args := map[string]string{
+				"phase": fmt.Sprint(rec.Phase),
+				"bit":   rec.BIT.String(),
+			}
+			if t < len(rec.Waits) {
+				w := rec.Waits[t]
+				if w.Kind != "" {
+					name = w.Kind
+					cat = w.Kind
+				}
+				if w.State != "" {
+					name = w.State
+					args["kind"] = w.Kind
+				}
+			}
+			if depart > arrive {
+				out = append(out, event{
+					Name: name, Cat: cat, Ph: "X",
+					Ts: us(arrive), Dur: us(depart - arrive),
+					PID: 1, TID: t, Args: args,
+				})
+			}
+			prevDepart[t] = depart
+		}
+	}
+	return json.MarshalIndent(map[string]any{
+		"traceEvents":     out,
+		"displayTimeUnit": "ms",
+	}, "", " ")
+}

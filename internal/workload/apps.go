@@ -1,0 +1,229 @@
+package workload
+
+// The ten SPLASH-2 stand-ins of Table 2, in the paper's order of
+// decreasing Baseline barrier imbalance. Parameters were calibrated
+// against the measured imbalance of the simulated 64-node Baseline (see
+// TestTable2Calibration): the straggler factor sets the imbalance
+// (≈ Straggler/(1+Straggler)), BaseInstr sets the interval length (100k
+// instructions ≈ 50 µs at IPC 2 and 1 GHz), Swing produces Ocean's
+// interval swings, and OneShot prologues produce FFT/Cholesky's
+// non-repeating barriers.
+
+// Volrend: ray-casting volume renderer. The paper's ideal case — very
+// large intervals and the largest imbalance (48.2%), so deep sleep states
+// fit with room to spare and Thrifty matches Ideal.
+func Volrend() Spec {
+	return Spec{
+		Name:            "Volrend",
+		ProblemSize:     "head",
+		TargetImbalance: 0.4820,
+		Iterations:      20,
+		Seed:            1,
+		Loop: []BarrierSpec{
+			{Label: "render", BaseInstr: 2_400_000, Straggler: 1.05, Rotate: true, Noise: 0.05, DirtyLines: 32, SharedReads: 32},
+			{Label: "composite", BaseInstr: 1_100_000, Straggler: 0.85, Rotate: true, Noise: 0.05, DirtyLines: 16, SharedReads: 16},
+		},
+	}
+}
+
+// Radix: parallel radix sort; moderate imbalance from the per-digit
+// histogram and permutation phases.
+func Radix() Spec {
+	return Spec{
+		Name:            "Radix",
+		ProblemSize:     "1M integers, radix 1,024",
+		TargetImbalance: 0.1950,
+		Iterations:      12,
+		Seed:            2,
+		Loop: []BarrierSpec{
+			{Label: "histogram", BaseInstr: 1_900_000, Straggler: 0.26, Rotate: true, Noise: 0.05, DirtyLines: 32, SharedReads: 16},
+			{Label: "scan", BaseInstr: 950_000, Straggler: 0.24, Rotate: true, Noise: 0.05, SharedReads: 24},
+			{Label: "permute", BaseInstr: 3_100_000, Straggler: 0.26, Rotate: true, Noise: 0.05, DirtyLines: 64, SharedReads: 16},
+		},
+	}
+}
+
+// FMM: fast multipole n-body. Its three main-loop barriers are the
+// Figure 3 example: per-barrier intervals differ (≈0.75x, 1.5x, 0.8x of
+// the mean) but each is stable across instances, while per-thread stall
+// shifts around (rotating stragglers).
+func FMM() Spec {
+	return Spec{
+		Name:            "FMM",
+		ProblemSize:     "16k particles, 8 time steps",
+		TargetImbalance: 0.1656,
+		Iterations:      16,
+		Seed:            3,
+		Loop: []BarrierSpec{
+			{Label: "1", BaseInstr: 1_800_000, Straggler: 0.22, Rotate: true, Noise: 0.06, DirtyLines: 64, SharedReads: 32},
+			{Label: "2", BaseInstr: 3_600_000, Straggler: 0.20, Rotate: true, Noise: 0.06, DirtyLines: 64, SharedReads: 32},
+			{Label: "3", BaseInstr: 1_900_000, Straggler: 0.20, Rotate: true, Noise: 0.06, DirtyLines: 48, SharedReads: 16},
+		},
+	}
+}
+
+// Barnes: Barnes-Hut n-body; tree build plus force computation.
+func Barnes() Spec {
+	return Spec{
+		Name:            "Barnes",
+		ProblemSize:     "16k particles, 8 time steps",
+		TargetImbalance: 0.1593,
+		Iterations:      14,
+		Seed:            4,
+		Loop: []BarrierSpec{
+			{Label: "treebuild", BaseInstr: 1_500_000, Straggler: 0.17, Rotate: true, Noise: 0.05, DirtyLines: 48, SharedReads: 32},
+			{Label: "force", BaseInstr: 4_500_000, Straggler: 0.19, Rotate: true, Noise: 0.05, DirtyLines: 32, SharedReads: 48},
+		},
+	}
+}
+
+// WaterNsq: O(n^2) molecular dynamics; dirty per-thread force arrays make
+// the deep-sleep flush visible (§5.2 names it among the flush-affected).
+func WaterNsq() Spec {
+	return Spec{
+		Name:            "Water-Nsq",
+		ProblemSize:     "512 molecules, 12 time steps",
+		TargetImbalance: 0.1290,
+		Iterations:      12,
+		Seed:            5,
+		Loop: []BarrierSpec{
+			{Label: "intraf", BaseInstr: 1_300_000, Straggler: 0.165, Rotate: true, Noise: 0.05, DirtyLines: 72, SharedReads: 16},
+			{Label: "interf", BaseInstr: 3_200_000, Straggler: 0.165, Rotate: true, Noise: 0.05, DirtyLines: 72, SharedReads: 32},
+			{Label: "update", BaseInstr: 1_000_000, Straggler: 0.14, Rotate: true, Noise: 0.05, DirtyLines: 48, SharedReads: 8},
+		},
+	}
+}
+
+// WaterSp: spatial-decomposition water; smaller imbalance than Nsq.
+func WaterSp() Spec {
+	return Spec{
+		Name:            "Water-Sp",
+		ProblemSize:     "512 molecules, 12 time steps",
+		TargetImbalance: 0.0979,
+		Iterations:      12,
+		Seed:            6,
+		Loop: []BarrierSpec{
+			{Label: "intraf", BaseInstr: 1_200_000, Straggler: 0.11, Rotate: true, Noise: 0.04, DirtyLines: 32, SharedReads: 16},
+			{Label: "interf", BaseInstr: 2_800_000, Straggler: 0.11, Rotate: true, Noise: 0.04, DirtyLines: 32, SharedReads: 24},
+			{Label: "update", BaseInstr: 900_000, Straggler: 0.09, Rotate: true, Noise: 0.04, DirtyLines: 24, SharedReads: 8},
+		},
+	}
+}
+
+// Ocean: regular-grid ocean simulation. Frequently invoked barriers whose
+// interval times swing sharply across instances (§5.2): last-value
+// prediction overkills after a long instance, the external wake-up exposes
+// the exit transition and the flush of its large dirty set, and the
+// overprediction cut-off is what contains the damage.
+func Ocean() Spec {
+	return Spec{
+		Name:            "Ocean",
+		ProblemSize:     "514 by 514 ocean",
+		TargetImbalance: 0.0760,
+		Iterations:      24,
+		Seed:            7,
+		Loop: []BarrierSpec{
+			{Label: "relaxA", BaseInstr: 1_000_000, Straggler: 0.085, Rotate: true, Noise: 0.04, Swing: []float64{1, 0.2, 1.05, 0.22}, DirtyLines: 96, SharedReads: 24},
+			{Label: "relaxB", BaseInstr: 840_000, Straggler: 0.085, Rotate: true, Noise: 0.04, Swing: []float64{0.21, 1, 0.23, 0.95}, DirtyLines: 96, SharedReads: 24},
+			{Label: "multigrid", BaseInstr: 400_000, Straggler: 0.06, Rotate: true, Noise: 0.04, DirtyLines: 48, SharedReads: 16},
+			{Label: "error", BaseInstr: 300_000, Straggler: 0.05, Rotate: true, Noise: 0.04, SharedReads: 8},
+			{Label: "copy", BaseInstr: 400_000, Straggler: 0.05, Rotate: true, Noise: 0.04, DirtyLines: 64, SharedReads: 8},
+		},
+	}
+}
+
+// FFT: six-step FFT — a handful of one-shot barriers with distinct PCs,
+// which leaves the PC-indexed predictor cold; Thrifty behaves exactly like
+// Baseline (§5.1).
+func FFT() Spec {
+	mk := func(label string, base int64, lam float64) BarrierSpec {
+		return BarrierSpec{Label: label, BaseInstr: base, Straggler: lam, Rotate: true, Noise: 0.03, DirtyLines: 64, SharedReads: 32}
+	}
+	return Spec{
+		Name:            "FFT",
+		ProblemSize:     "64k points",
+		TargetImbalance: 0.0382,
+		OneShot:         true,
+		Seed:            8,
+		Prologue: []BarrierSpec{
+			mk("init", 1_600_000, 0.035),
+			mk("transpose1", 3_200_000, 0.045),
+			mk("fft1", 2_800_000, 0.035),
+			mk("transpose2", 3_200_000, 0.045),
+			mk("fft2", 2_800_000, 0.035),
+			mk("transpose3", 3_200_000, 0.045),
+			mk("check", 1_200_000, 0.025),
+		},
+	}
+}
+
+// Cholesky: sparse Cholesky factorization — also a few non-repeating
+// barriers, with very low imbalance.
+func Cholesky() Spec {
+	mk := func(label string, base int64, lam float64) BarrierSpec {
+		return BarrierSpec{Label: label, BaseInstr: base, Straggler: lam, Rotate: true, Noise: 0.02, DirtyLines: 48, SharedReads: 24}
+	}
+	return Spec{
+		Name:            "Cholesky",
+		ProblemSize:     "tk15",
+		TargetImbalance: 0.0164,
+		OneShot:         true,
+		Seed:            9,
+		Prologue: []BarrierSpec{
+			mk("load", 1_400_000, 0.008),
+			mk("reorder", 2_400_000, 0.008),
+			mk("symbolic", 1_900_000, 0.008),
+			mk("numeric1", 4_300_000, 0.008),
+			mk("numeric2", 4_300_000, 0.008),
+			mk("solve", 1_900_000, 0.006),
+		},
+	}
+}
+
+// Radiosity: hierarchical radiosity with task stealing — nearly balanced,
+// so prediction finds no stall worth sleeping for.
+func Radiosity() Spec {
+	return Spec{
+		Name:            "Radiosity",
+		ProblemSize:     "room -ae 5000.0 -en 0.05 -bf 0.1",
+		TargetImbalance: 0.0104,
+		Iterations:      10,
+		Seed:            10,
+		Loop: []BarrierSpec{
+			{Label: "refine", BaseInstr: 2_000_000, Straggler: 0.006, Rotate: true, Noise: 0.008, DirtyLines: 32, SharedReads: 32},
+			{Label: "radiosity", BaseInstr: 3_000_000, Straggler: 0.006, Rotate: true, Noise: 0.008, DirtyLines: 32, SharedReads: 32},
+		},
+	}
+}
+
+// All returns the ten applications in Table 2 order (decreasing
+// imbalance).
+func All() []Spec {
+	return []Spec{
+		Volrend(), Radix(), FMM(), Barnes(), WaterNsq(),
+		WaterSp(), Ocean(), FFT(), Cholesky(), Radiosity(),
+	}
+}
+
+// ByName looks an application up by its Table 2 name.
+func ByName(name string) (Spec, bool) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// TargetApps returns the applications with >= 10% barrier imbalance — the
+// paper's "target applications" over which the headline averages are
+// computed (§4.2).
+func TargetApps() []Spec {
+	var out []Spec
+	for _, s := range All() {
+		if s.TargetImbalance >= 0.10 {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,41 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseTrace checks that arbitrary input never panics the parser and
+// that anything it accepts is internally consistent (uniform thread count,
+// positive durations) and buildable.
+func FuzzParseTrace(f *testing.F) {
+	f.Add("0x100, 10, 20, 30\n0x200, 1, 2, 3\n")
+	f.Add("# comment\n\n1,5.5,6.5\n")
+	f.Add("garbage")
+	f.Add("1,-1,2")
+	f.Add("1,1e300,2\n1,2,3")
+	f.Add("0x100,10\n0x100,10,20")
+	f.Fuzz(func(t *testing.T, input string) {
+		phases, err := ParseTrace(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		threads := TraceThreads(phases)
+		if threads <= 0 {
+			t.Fatalf("accepted trace with %d threads", threads)
+		}
+		for i, ph := range phases {
+			if len(ph.DurationsUS) != threads {
+				t.Fatalf("phase %d has %d durations, want %d", i, len(ph.DurationsUS), threads)
+			}
+			for _, d := range ph.DurationsUS {
+				if d <= 0 {
+					t.Fatalf("accepted non-positive duration %v", d)
+				}
+			}
+		}
+		if _, err := BuildTrace(phases, 2.0); err != nil {
+			t.Fatalf("accepted trace failed to build: %v", err)
+		}
+	})
+}

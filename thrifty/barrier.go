@@ -1,0 +1,476 @@
+// Package thrifty provides an adaptive barrier for goroutines that applies
+// the thrifty-barrier algorithm (Li, Martínez, Huang — HPCA 2004) at the
+// runtime level. Goroutines arriving early at a barrier choose a wait
+// strategy — spin, yield, timed park, or park — based on a per-call-site
+// last-value prediction of the barrier interval time, the software
+// analogue of the paper's selection among processor sleep states.
+//
+// The mapping from the paper's hardware mechanisms:
+//
+//   - Barrier interval time (BIT) prediction (§3.2): measured
+//     release-to-release per call site (the "PC index"), last-value
+//     predicted.
+//   - sleep() best-fit scan (§3.1): the predicted stall is compared with
+//     each wait tier's entry+exit cost; the cheapest-to-hold tier whose
+//     costs are covered is chosen. Short stalls spin (lowest exit
+//     latency), long stalls park (lowest hold cost — the "deep sleep").
+//   - Hybrid wake-up (§3.3): parked waiters arm a timer at the predicted
+//     release minus a margin (internal wake-up) and simultaneously wait on
+//     the round's broadcast channel, which the releasing goroutine closes
+//     (external wake-up, the analogue of the flag-flip invalidation). The
+//     first to fire wins; a timer-woken waiter residual-spins.
+//   - Overprediction cut-off (§3.3.3): a call site whose predictions
+//     repeatedly miss by more than the cut-off fraction of the interval is
+//     disabled and falls back to the default spin-then-park policy.
+//
+// The barrier is always correct regardless of prediction: every waiter
+// ultimately blocks on the round channel, so a wildly wrong prediction can
+// only cost efficiency, never correctness — mirroring the paper's
+// "respects the original barrier semantics".
+package thrifty
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tier identifies a wait strategy, ordered from lowest exit latency /
+// highest hold cost (Spin) to highest exit latency / lowest hold cost
+// (Park) — the software image of Table 3's sleep states.
+type Tier int
+
+const (
+	// TierSpin busy-waits, checking the round channel; cheapest to leave,
+	// most expensive to hold.
+	TierSpin Tier = iota
+	// TierYield loops over runtime.Gosched, sharing the processor.
+	TierYield
+	// TierTimedPark blocks with a timer armed at the predicted release
+	// minus a margin, then residual-spins: the hybrid wake-up.
+	TierTimedPark
+	// TierPark blocks on the round channel until release: the deepest
+	// state, woken externally only.
+	TierPark
+	numTiers
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierSpin:
+		return "spin"
+	case TierYield:
+		return "yield"
+	case TierTimedPark:
+		return "timed-park"
+	case TierPark:
+		return "park"
+	default:
+		return fmt.Sprintf("Tier(%d)", int(t))
+	}
+}
+
+// Options configures a Barrier. The zero value of each field selects the
+// default.
+type Options struct {
+	// SpinThreshold is the largest predicted stall that spins.
+	// Default 20µs.
+	SpinThreshold time.Duration
+	// YieldThreshold is the largest predicted stall that yields.
+	// Default 100µs.
+	YieldThreshold time.Duration
+	// ParkMargin is how long before the predicted release a timed-parked
+	// waiter wakes to residual-spin (the internal wake-up anticipation).
+	// Default 50µs.
+	ParkMargin time.Duration
+	// TimedParkThreshold is the largest predicted stall that uses a timed
+	// park; beyond it the waiter parks outright. Default 5ms.
+	TimedParkThreshold time.Duration
+	// Cutoff is the overprediction threshold as a fraction of the interval
+	// (paper: 10%). A site whose prediction misses by more than this,
+	// MaxStrikes times, is disabled. Default 0.10.
+	Cutoff float64
+	// MaxStrikes is how many cut-off violations disable a site. Default 2.
+	MaxStrikes int
+	// SpinBudget bounds a spin/residual-spin loop before the waiter gives
+	// up and parks (the external bound on a wrong "short" prediction).
+	// Default 30µs worth of spinning.
+	SpinBudget time.Duration
+	// Now overrides the clock (tests). Default time.Now.
+	Now func() time.Time
+}
+
+func (o *Options) fill() {
+	if o.SpinThreshold == 0 {
+		o.SpinThreshold = 20 * time.Microsecond
+	}
+	if o.YieldThreshold == 0 {
+		o.YieldThreshold = 100 * time.Microsecond
+	}
+	if o.ParkMargin == 0 {
+		o.ParkMargin = 50 * time.Microsecond
+	}
+	if o.TimedParkThreshold == 0 {
+		o.TimedParkThreshold = 5 * time.Millisecond
+	}
+	if o.Cutoff == 0 {
+		o.Cutoff = 0.10
+	}
+	if o.MaxStrikes == 0 {
+		o.MaxStrikes = 2
+	}
+	if o.SpinBudget == 0 {
+		o.SpinBudget = 30 * time.Microsecond
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+}
+
+// site is the prediction state of one barrier call site (the PC index).
+type site struct {
+	lastBIT  time.Duration
+	valid    bool
+	strikes  int
+	disabled bool
+	// lastStall is the most recently observed wait duration at this site.
+	// Tier selection clamps the interval-derived prediction with it: when
+	// compute time is tiny, stall == BIT by construction, and without the
+	// clamp the wait tier's own latency inflates BIT, which selects slower
+	// tiers, which inflates BIT further (a positive feedback loop).
+	lastStall      time.Duration
+	lastStallValid bool
+
+	// Stats.
+	waits      uint64
+	tiers      [numTiers]uint64
+	earlyWakes uint64 // timer fired before release (residual spin)
+	lateWakes  uint64 // release beat the timer
+	cutoffHits uint64
+	// parked accumulates wall time this site's waiters spent blocked in a
+	// parking tier — CPU time freed for other work that a spin barrier
+	// would have burned.
+	parked time.Duration
+}
+
+// round is one barrier generation; its channel is closed at release (the
+// external wake-up broadcast) and its done flag is the cheap spin target
+// (a single atomic load per spin iteration instead of a channel select).
+type round struct {
+	ch   chan struct{}
+	done atomic.Bool
+}
+
+// Barrier is a reusable barrier for a fixed number of goroutines with an
+// adaptive, prediction-driven wait policy. It must not be copied after
+// first use.
+type Barrier struct {
+	parties int
+	opts    Options
+
+	mu          sync.Mutex
+	count       int
+	generation  uint64
+	cur         *round
+	lastRelease time.Time
+	sites       map[uintptr]*site
+
+	// spinnable records whether busy-waiting can ever make progress:
+	// with GOMAXPROCS=1 a spinner just blocks the releaser until the
+	// scheduler preempts it (the same condition sync.Mutex's spin guard
+	// checks), so the spin tier degrades to yielding.
+	spinnable bool
+}
+
+// New creates a barrier for parties goroutines. It panics if parties < 1.
+func New(parties int, opts Options) *Barrier {
+	if parties < 1 {
+		panic(fmt.Sprintf("thrifty: parties %d < 1", parties))
+	}
+	opts.fill()
+	b := &Barrier{
+		parties:   parties,
+		opts:      opts,
+		cur:       &round{ch: make(chan struct{})},
+		sites:     make(map[uintptr]*site),
+		spinnable: runtime.GOMAXPROCS(0) > 1,
+	}
+	b.lastRelease = opts.Now()
+	return b
+}
+
+// Parties reports the number of participating goroutines.
+func (b *Barrier) Parties() int { return b.parties }
+
+// Generation reports how many times the barrier has been released.
+func (b *Barrier) Generation() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.generation
+}
+
+// Wait blocks until all parties have called Wait for the current
+// generation. The prediction index is the caller's program counter, the
+// direct analogue of the paper's PC-indexed table; SPMD-style code gets
+// per-static-barrier prediction automatically.
+func (b *Barrier) Wait() {
+	pc, _, _, _ := runtime.Caller(1)
+	b.WaitSite(uintptr(pc))
+}
+
+// WaitSite is Wait with an explicit prediction index, for callers that
+// wrap the barrier (where runtime.Caller would smear distinct phases into
+// one site) — the paper's §3.2 alternative of indexing by barrier
+// structure address.
+func (b *Barrier) WaitSite(key uintptr) {
+	now := b.opts.Now()
+
+	b.mu.Lock()
+	s := b.sites[key]
+	if s == nil {
+		s = &site{}
+		b.sites[key] = s
+	}
+	s.waits++
+	b.count++
+	if b.count == b.parties {
+		// Last arriver: measure the interval, update the predictor, and
+		// release (flip the flag).
+		bit := now.Sub(b.lastRelease)
+		if !s.disabled {
+			s.lastBIT = bit
+			s.valid = true
+		}
+		b.lastRelease = now
+		b.count = 0
+		b.generation++
+		old := b.cur
+		b.cur = &round{ch: make(chan struct{})}
+		b.mu.Unlock()
+		old.done.Store(true)
+		close(old.ch) // external wake-up broadcast
+		return
+	}
+	// Early arriver: predict the stall and pick a tier.
+	rd := b.cur
+	predictedStall, havePred := time.Duration(0), false
+	var predictedRelease time.Time
+	if s.valid && !s.disabled {
+		predictedRelease = b.lastRelease.Add(s.lastBIT)
+		predictedStall = predictedRelease.Sub(now)
+		havePred = predictedStall > 0
+	}
+	bit := s.lastBIT
+	b.mu.Unlock()
+
+	b.mu.Lock()
+	if s.lastStallValid && havePred {
+		if clamp := 2 * s.lastStall; clamp < predictedStall {
+			predictedStall = clamp
+		}
+	}
+	b.mu.Unlock()
+	tier := b.selectTier(predictedStall, havePred)
+	b.recordTier(s, tier)
+	waitStart := b.opts.Now()
+	defer func() {
+		stall := b.opts.Now().Sub(waitStart)
+		b.mu.Lock()
+		s.lastStall = stall
+		s.lastStallValid = true
+		b.mu.Unlock()
+	}()
+
+	switch tier {
+	case TierSpin:
+		b.spinThenPark(rd)
+	case TierYield:
+		b.yieldThenPark(rd)
+	case TierTimedPark:
+		start := b.opts.Now()
+		b.timedPark(s, rd, predictedRelease, bit)
+		b.addParked(s, b.opts.Now().Sub(start))
+	case TierPark:
+		start := b.opts.Now()
+		<-rd.ch
+		b.addParked(s, b.opts.Now().Sub(start))
+		b.checkCutoff(s, predictedRelease, bit)
+	}
+}
+
+// addParked accounts CPU time freed by a parking tier.
+func (b *Barrier) addParked(s *site, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	b.mu.Lock()
+	s.parked += d
+	b.mu.Unlock()
+}
+
+// selectTier is the sleep() best-fit scan (§3.1) over the wait tiers.
+func (b *Barrier) selectTier(stall time.Duration, havePred bool) Tier {
+	if !havePred {
+		// Warm-up / disabled: conventional behaviour — a bounded spin then
+		// park, the usual adaptive-mutex policy.
+		if !b.spinnable {
+			return TierYield
+		}
+		return TierSpin
+	}
+	switch {
+	case stall <= b.opts.SpinThreshold:
+		if !b.spinnable {
+			return TierYield
+		}
+		return TierSpin
+	case stall <= b.opts.YieldThreshold:
+		return TierYield
+	case stall <= b.opts.TimedParkThreshold:
+		return TierTimedPark
+	default:
+		return TierPark
+	}
+}
+
+func (b *Barrier) recordTier(s *site, t Tier) {
+	b.mu.Lock()
+	s.tiers[t]++
+	b.mu.Unlock()
+}
+
+// spinThenPark busy-waits within the spin budget, then parks — a wrong
+// "short" prediction costs at most the budget. The hot loop is a single
+// atomic load; the clock is consulted only every batch.
+func (b *Barrier) spinThenPark(rd *round) {
+	if !b.spinnable {
+		b.yieldThenPark(rd)
+		return
+	}
+	deadline := b.opts.Now().Add(b.opts.SpinBudget)
+	for {
+		for i := 0; i < 1024; i++ {
+			if rd.done.Load() {
+				return
+			}
+		}
+		if b.opts.Now().After(deadline) {
+			<-rd.ch
+			return
+		}
+	}
+}
+
+// yieldThenPark shares the processor while polling, then parks.
+func (b *Barrier) yieldThenPark(rd *round) {
+	deadline := b.opts.Now().Add(b.opts.SpinBudget)
+	for {
+		if rd.done.Load() {
+			return
+		}
+		runtime.Gosched()
+		if b.opts.Now().After(deadline) {
+			<-rd.ch
+			return
+		}
+	}
+}
+
+// timedPark is the hybrid wake-up: block on both the broadcast channel
+// (external) and a timer armed at the predicted release minus the margin
+// (internal); a timer wake residual-spins until the release.
+func (b *Barrier) timedPark(s *site, rd *round, predictedRelease time.Time, bit time.Duration) {
+	wake := predictedRelease.Add(-b.opts.ParkMargin)
+	d := wake.Sub(b.opts.Now())
+	if d <= 0 {
+		<-rd.ch
+		b.checkCutoff(s, predictedRelease, bit)
+		return
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-rd.ch:
+		// External wake-up won: the release beat the timer.
+		b.mu.Lock()
+		s.lateWakes++
+		b.mu.Unlock()
+		b.checkCutoff(s, predictedRelease, bit)
+	case <-timer.C:
+		// Internal wake-up: residual spin for the release (§2's Residual
+		// Spin), bounded by the spin budget, then park.
+		b.mu.Lock()
+		s.earlyWakes++
+		b.mu.Unlock()
+		b.spinThenPark(rd)
+		b.checkCutoff(s, predictedRelease, bit)
+	}
+}
+
+// checkCutoff applies the §3.3.3 overprediction threshold: if the actual
+// release missed the prediction by more than Cutoff x BIT, strike the
+// site; MaxStrikes strikes disable prediction there.
+func (b *Barrier) checkCutoff(s *site, predictedRelease time.Time, bit time.Duration) {
+	if bit <= 0 || predictedRelease.IsZero() {
+		return
+	}
+	actual := b.opts.Now()
+	miss := predictedRelease.Sub(actual)
+	if miss < 0 {
+		miss = -miss
+	}
+	if float64(miss) <= b.opts.Cutoff*float64(bit) {
+		return
+	}
+	b.mu.Lock()
+	s.cutoffHits++
+	s.strikes++
+	if s.strikes >= b.opts.MaxStrikes && !s.disabled {
+		s.disabled = true
+	}
+	b.mu.Unlock()
+}
+
+// SiteStats is a snapshot of one call site's behaviour.
+type SiteStats struct {
+	Key        uintptr
+	Waits      uint64
+	Tiers      [4]uint64 // indexed by Tier
+	EarlyWakes uint64
+	LateWakes  uint64
+	CutoffHits uint64
+	Disabled   bool
+	LastBIT    time.Duration
+	// Parked is the wall time waiters spent blocked instead of spinning —
+	// the CPU time this barrier freed at this site.
+	Parked time.Duration
+}
+
+// Stats is a snapshot of the barrier's behaviour.
+type Stats struct {
+	Generation uint64
+	Sites      []SiteStats
+}
+
+// Stats returns a consistent snapshot of predictor and tier statistics.
+func (b *Barrier) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := Stats{Generation: b.generation}
+	for key, s := range b.sites {
+		out.Sites = append(out.Sites, SiteStats{
+			Key:        key,
+			Waits:      s.waits,
+			Tiers:      s.tiers,
+			EarlyWakes: s.earlyWakes,
+			LateWakes:  s.lateWakes,
+			CutoffHits: s.cutoffHits,
+			Disabled:   s.disabled,
+			LastBIT:    s.lastBIT,
+			Parked:     s.parked,
+		})
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+package thrifty_test
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"thriftybarrier/thrifty"
+)
+
+// ExampleBarrier shows the basic SPMD pattern: a fixed set of goroutines
+// iterating phases separated by barriers. The barrier learns each call
+// site's interval and routes long waits to the parking tiers.
+func ExampleBarrier() {
+	const workers = 4
+	b := thrifty.New(workers, thrifty.Options{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := 0; it < 3; it++ {
+				if w == 0 {
+					time.Sleep(2 * time.Millisecond) // the straggler
+				}
+				b.Wait()
+			}
+		}()
+	}
+	wg.Wait()
+	fmt.Println("generations:", b.Generation())
+	// Output: generations: 3
+}
+
+// ExampleBarrier_waitSite shows explicit prediction keys for wrappers
+// where runtime caller PCs would smear distinct phases together.
+func ExampleBarrier_waitSite() {
+	const workers = 2
+	b := thrifty.New(workers, thrifty.Options{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := 0; it < 2; it++ {
+				b.WaitSite(1) // phase A
+				b.WaitSite(2) // phase B
+			}
+		}()
+	}
+	wg.Wait()
+	fmt.Println("sites:", len(b.Stats().Sites))
+	// Output: sites: 2
+}

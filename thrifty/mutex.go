@@ -1,0 +1,158 @@
+package thrifty
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Mutex is a queue-fair mutex whose waiters choose between spinning and
+// parking from a prediction of their wait — the runtime counterpart of the
+// simulated thrifty MCS lock in internal/locks, and the paper's second
+// future-work direction (§7, "other synchronization constructs, such as
+// locks") applied to goroutines.
+//
+// Each waiter predicts its wait as
+//
+//	queue position × learned lock service time
+//
+// (last-value predicted, the lock-analogue of the barrier interval time).
+// Short predicted waits spin briefly for the lowest handoff latency; long
+// ones park immediately, freeing the processor. Handoff is strict FIFO:
+// the releaser grants ownership directly to the head waiter, so a parked
+// waiter's wake latency is automatically folded into the measured service
+// time and future predictions account for it.
+//
+// The zero value is an unlocked mutex ready for use. A Mutex must not be
+// copied after first use.
+type Mutex struct {
+	mu       sync.Mutex
+	locked   bool
+	queue    []*mutexWaiter
+	svc      time.Duration // last-value service time (hold + handoff)
+	svcValid bool
+	grantAt  time.Time
+
+	spinnable     bool
+	spinnableInit bool
+
+	// Stats.
+	locks  uint64
+	spins  uint64
+	parks  uint64
+	parked time.Duration
+}
+
+type mutexWaiter struct {
+	ch  chan struct{} // buffered(1): the grant token
+	enq time.Time
+}
+
+// mutexSpinCutoff is the largest predicted wait that spins; beyond it the
+// waiter parks (the round trip of a park is on the order of a few
+// microseconds, the same role the sleep-state transition plays in the
+// paper's table scan).
+const mutexSpinCutoff = 20 * time.Microsecond
+
+// Lock acquires m, blocking until it is available.
+func (m *Mutex) Lock() {
+	m.mu.Lock()
+	if !m.spinnableInit {
+		m.spinnable = runtime.GOMAXPROCS(0) > 1
+		m.spinnableInit = true
+	}
+	m.locks++
+	if !m.locked && len(m.queue) == 0 {
+		m.locked = true
+		m.grantAt = time.Now()
+		m.mu.Unlock()
+		return
+	}
+	w := &mutexWaiter{ch: make(chan struct{}, 1), enq: time.Now()}
+	m.queue = append(m.queue, w)
+	position := len(m.queue)
+	predWait := time.Duration(0)
+	if m.svcValid {
+		predWait = time.Duration(position) * m.svc
+	}
+	spin := m.spinnable && m.svcValid && predWait <= mutexSpinCutoff
+	if spin {
+		m.spins++
+	} else {
+		m.parks++
+	}
+	m.mu.Unlock()
+
+	if spin {
+		// Bounded spin for the grant, then park: a wrong "short"
+		// prediction costs at most the budget.
+		deadline := time.Now().Add(2 * mutexSpinCutoff)
+		for {
+			select {
+			case <-w.ch:
+				return
+			default:
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+		}
+	}
+	start := time.Now()
+	<-w.ch
+	if !spin {
+		m.mu.Lock()
+		m.parked += time.Since(start)
+		m.mu.Unlock()
+	}
+}
+
+// Unlock releases m, handing it directly to the longest-waiting goroutine
+// if any. It panics if m is not locked.
+func (m *Mutex) Unlock() {
+	m.mu.Lock()
+	if !m.locked {
+		m.mu.Unlock()
+		panic("thrifty: Unlock of unlocked Mutex")
+	}
+	now := time.Now()
+	// Learn the service time (grant-to-release, which includes any wake
+	// latency the grantee paid) — the lock's last-value predictor.
+	m.svc = now.Sub(m.grantAt)
+	m.svcValid = true
+	if len(m.queue) == 0 {
+		m.locked = false
+		m.mu.Unlock()
+		return
+	}
+	next := m.queue[0]
+	m.queue = m.queue[1:]
+	m.grantAt = now // ownership transfers immediately
+	m.mu.Unlock()
+	next.ch <- struct{}{}
+}
+
+// MutexStats is a snapshot of a Mutex's behaviour.
+type MutexStats struct {
+	Locks uint64
+	// Spins and Parks count contended acquisitions by wait strategy.
+	Spins uint64
+	Parks uint64
+	// Parked is the wall time waiters spent blocked instead of spinning.
+	Parked time.Duration
+	// ServiceTime is the last learned lock service time.
+	ServiceTime time.Duration
+}
+
+// Stats returns a snapshot of the mutex's counters.
+func (m *Mutex) Stats() MutexStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return MutexStats{
+		Locks:       m.locks,
+		Spins:       m.spins,
+		Parks:       m.parks,
+		Parked:      m.parked,
+		ServiceTime: m.svc,
+	}
+}

@@ -1,0 +1,176 @@
+package thrifty
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMutexZeroValue(t *testing.T) {
+	var m Mutex
+	m.Lock()
+	m.Unlock()
+	if s := m.Stats(); s.Locks != 1 {
+		t.Fatalf("locks = %d", s.Locks)
+	}
+}
+
+func TestMutexMutualExclusion(t *testing.T) {
+	var m Mutex
+	counter := 0
+	var wg sync.WaitGroup
+	const workers, iters = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				m.Lock()
+				counter++
+				m.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != workers*iters {
+		t.Fatalf("counter = %d, want %d (lost updates)", counter, workers*iters)
+	}
+}
+
+func TestMutexUnlockOfUnlockedPanics(t *testing.T) {
+	var m Mutex
+	defer func() {
+		if recover() == nil {
+			t.Error("Unlock of unlocked mutex did not panic")
+		}
+	}()
+	m.Unlock()
+}
+
+func TestMutexFIFOHandoff(t *testing.T) {
+	var m Mutex
+	m.Lock()
+	const waiters = 5
+	order := make(chan int, waiters)
+	var ready, wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		i := i
+		ready.Add(1)
+		wg.Add(1)
+		go func() {
+			// Serialize enqueue order: waiter i enqueues after i-1.
+			for {
+				m.mu.Lock()
+				n := len(m.queue)
+				m.mu.Unlock()
+				if n == i {
+					break
+				}
+				time.Sleep(50 * time.Microsecond)
+			}
+			ready.Done()
+			m.Lock()
+			order <- i
+			m.Unlock()
+			wg.Done()
+		}()
+	}
+	ready.Wait()
+	m.Unlock()
+	wg.Wait()
+	close(order)
+	want := 0
+	for got := range order {
+		if got != want {
+			t.Fatalf("handoff order violated: got %d, want %d", got, want)
+		}
+		want++
+	}
+}
+
+func TestMutexLearnsServiceTime(t *testing.T) {
+	var m Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				m.Lock()
+				time.Sleep(time.Millisecond)
+				m.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	s := m.Stats()
+	if s.ServiceTime < 500*time.Microsecond {
+		t.Fatalf("learned service time %v implausibly small for 1ms holds", s.ServiceTime)
+	}
+	// Long service times must route contended waiters to parking.
+	if s.Parks == 0 {
+		t.Fatalf("no parks despite 1ms critical sections: %+v", s)
+	}
+	if s.Parked == 0 {
+		t.Fatal("no parked time accounted")
+	}
+}
+
+func TestMutexStressRace(t *testing.T) {
+	var m Mutex
+	var wg sync.WaitGroup
+	shared := map[int]int{}
+	for w := 0; w < 16; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				m.Lock()
+				shared[w] = shared[w] + 1
+				m.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	for w := 0; w < 16; w++ {
+		if shared[w] != 200 {
+			t.Fatalf("worker %d count = %d", w, shared[w])
+		}
+	}
+}
+
+// Property: arbitrary lock/unlock interleavings never deadlock and never
+// lose a count.
+func TestMutexLivenessProperty(t *testing.T) {
+	f := func(workersRaw, itersRaw uint8) bool {
+		workers := int(workersRaw%6) + 1
+		iters := int(itersRaw%50) + 1
+		var m Mutex
+		count := 0
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < iters; i++ {
+					m.Lock()
+					count++
+					m.Unlock()
+				}
+			}()
+		}
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+			return count == workers*iters
+		case <-time.After(20 * time.Second):
+			return false
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
