@@ -22,6 +22,8 @@ import (
 	"sort"
 
 	"thriftybarrier/internal/core"
+	"thriftybarrier/internal/energy"
+	"thriftybarrier/internal/harness"
 	"thriftybarrier/internal/sim"
 	"thriftybarrier/internal/trace"
 	"thriftybarrier/internal/workload"
@@ -37,6 +39,7 @@ func main() {
 		wakeup   = flag.String("wakeup", "", "override wake-up mechanism: hybrid|external|internal")
 		traceCSV = flag.String("trace", "", "replay a measured barrier trace (CSV) instead of a synthetic app")
 		chrome   = flag.String("chrometrace", "", "write a Chrome Trace Event JSON timeline of the run to this file")
+		jsonOut  = flag.String("json", "", "write the run's machine-readable result (JSON) to this file, or - for stdout")
 		list     = flag.Bool("list", false, "list applications and exit")
 		verbose  = flag.Bool("v", false, "also print per-static-barrier episode summary")
 	)
@@ -123,6 +126,31 @@ func main() {
 		fmt.Printf("wrote %s (open in chrome://tracing or ui.perfetto.dev)\n", *chrome)
 	}
 	n := res.Breakdown.Normalize(base.Breakdown)
+
+	if *jsonOut != "" {
+		// Episode records can run to megabytes when recording is on; the
+		// result JSON carries the aggregates only.
+		baseCopy, resCopy := base, res
+		baseCopy.Episodes, resCopy.Episodes = nil, nil
+		out := struct {
+			App        string            `json:"app"`
+			Config     string            `json:"config"`
+			Nodes      int               `json:"nodes"`
+			Seed       uint64            `json:"seed"`
+			Baseline   core.Result       `json:"baseline"`
+			Run        core.Result       `json:"run"`
+			Normalized energy.Normalized `json:"normalized"`
+		}{name, opts.Name, arch.Nodes, *seed, baseCopy, resCopy, n}
+		b, err := harness.MarshalArtifact(out)
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut == "-" {
+			os.Stdout.Write(b)
+		} else if err := os.WriteFile(*jsonOut, b, 0o644); err != nil {
+			fatal(err)
+		}
+	}
 
 	fmt.Printf("%s on %d nodes, %s (seed %d)\n", name, arch.Nodes, opts.Name, *seed)
 	fmt.Printf("  baseline: span=%v energy=%.4fJ imbalance=%.2f%%\n",

@@ -1,0 +1,17 @@
+package harness
+
+import "encoding/json"
+
+// MarshalArtifact renders an artifact's machine-readable twin as indented
+// JSON with a trailing newline — the results/*.json counterpart the bench
+// writes next to every text table and figure. The row structs the
+// experiment functions return (AppRun, AblationRow, SensitivityRow, …)
+// marshal as-is; host wall-clock is excluded from them so twins stay
+// byte-identical across -j widths (timing lives in the Manifest).
+func MarshalArtifact(data any) ([]byte, error) {
+	b, err := json.MarshalIndent(data, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

@@ -9,6 +9,7 @@ package harness
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"thriftybarrier/internal/core"
 	"thriftybarrier/internal/energy"
@@ -21,7 +22,18 @@ type ConfigRun struct {
 	Result core.Result
 	// Norm is the Figure 5/6 normalization against the app's Baseline.
 	Norm energy.Normalized
+	// Err is non-empty when the run panicked, timed out, or lost its
+	// normalization anchor; such runs carry no measurement and are skipped
+	// by the renderers.
+	Err string `json:",omitempty"`
+	// Wall is the host wall-clock the run consumed. Excluded from artifact
+	// JSON (it would break byte-for-byte determinism checks); the manifest
+	// carries it instead.
+	Wall time.Duration `json:"-"`
 }
+
+// OK reports whether the run produced a measurement.
+func (c ConfigRun) OK() bool { return c.Err == "" }
 
 // AppRun bundles the five configuration runs of one application.
 type AppRun struct {
@@ -42,35 +54,15 @@ func (a AppRun) Run(name string) (ConfigRun, bool) {
 
 // RunApp executes every configuration in configs over one application. The
 // first configuration must be the Baseline (it anchors the normalization).
+// It is the sequential form of Runner.RunApp.
 func RunApp(arch core.Arch, spec workload.Spec, seed uint64, configs []core.Options) AppRun {
-	prog := spec.Build(arch.Nodes, seed)
-	out := AppRun{Spec: spec}
-	var base core.Result
-	for i, opts := range configs {
-		m := core.NewMachine(arch, opts)
-		res := m.Run(prog)
-		if i == 0 {
-			base = res
-			out.Measured = res.Breakdown.SpinFraction()
-		}
-		out.Runs = append(out.Runs, ConfigRun{
-			Config: opts,
-			Result: res,
-			Norm:   res.Breakdown.Normalize(base.Breakdown),
-		})
-	}
-	return out
+	return (&Runner{Jobs: 1}).RunApp(arch, spec, seed, configs)
 }
 
 // RunAll executes the full Figure 5/6 matrix: the five configurations over
-// the ten Table 2 applications.
+// the ten Table 2 applications. It is the sequential form of Runner.RunAll.
 func RunAll(arch core.Arch, seed uint64) []AppRun {
-	configs := core.Configurations()
-	var out []AppRun
-	for _, spec := range workload.All() {
-		out = append(out, RunApp(arch, spec, seed, configs))
-	}
-	return out
+	return (&Runner{Jobs: 1}).RunAll(arch, seed)
 }
 
 // Summary condenses the headline numbers the paper quotes in §5.1: average
@@ -102,7 +94,7 @@ func Summarize(apps []AppRun) []Summary {
 		nTgt := 0
 		for _, app := range apps {
 			r, ok := app.Run(name)
-			if !ok {
+			if !ok || !r.OK() {
 				continue
 			}
 			save := 1 - r.Norm.TotalEnergy()

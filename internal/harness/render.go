@@ -98,6 +98,10 @@ func RenderFigure(apps []AppRun, energyFigure bool) string {
 	for _, app := range apps {
 		fmt.Fprintf(&sb, "%s (imbalance %s)\n", app.Spec.Name, stats.Pct(app.Measured))
 		for _, run := range app.Runs {
+			if !run.OK() {
+				fmt.Fprintf(&sb, "  %-13s FAILED: %s\n", run.Config.Name, run.Err)
+				continue
+			}
 			var fr [sim.NumStates]float64
 			var total float64
 			if energyFigure {
@@ -126,6 +130,9 @@ func RenderFigureCSV(apps []AppRun, energyFigure bool) string {
 		"compute", "spin", "transition", "sleep", "span_ratio")
 	for _, app := range apps {
 		for _, run := range app.Runs {
+			if !run.OK() {
+				continue
+			}
 			var fr [sim.NumStates]float64
 			var total float64
 			if energyFigure {

@@ -11,8 +11,17 @@ import (
 // MarkdownReport runs the complete evaluation — tables, figures,
 // ablations, sensitivity sweeps and extensions — and renders a
 // self-contained Markdown report with paper-vs-measured commentary. It is
-// the machine-generated companion to the hand-written EXPERIMENTS.md.
+// the machine-generated companion to the hand-written EXPERIMENTS.md and
+// the sequential form of Runner.MarkdownReport.
 func MarkdownReport(arch core.Arch, seed uint64) string {
+	return (&Runner{Jobs: 1}).MarkdownReport(arch, seed)
+}
+
+// MarkdownReport is MarkdownReport fanned across the runner's worker pool:
+// the matrix cells and the ablation/sensitivity/extension blocks are all
+// independent, so only the rendering is serialized. A block that fails is
+// reported inline instead of aborting the report.
+func (r *Runner) MarkdownReport(arch core.Arch, seed uint64) string {
 	var sb strings.Builder
 	w := func(format string, args ...any) { fmt.Fprintf(&sb, format+"\n", args...) }
 	codeBlock := func(s string) {
@@ -22,6 +31,59 @@ func MarkdownReport(arch core.Arch, seed uint64) string {
 			sb.WriteByte('\n')
 		}
 		sb.WriteString("```\n\n")
+	}
+
+	// Phase 1: the full matrix, fanned across the pool.
+	apps := r.RunAll(arch, seed)
+
+	// Phase 2: every remaining simulation block, also fanned.
+	observer := 11
+	if observer >= arch.Nodes {
+		observer = arch.Nodes - 1
+	}
+	blocks := r.Do([]Job{
+		{Name: "table2", Run: func() (string, any) { return "", Table2(arch, seed) }},
+		{Name: "fig3", Run: func() (string, any) { return "", Figure3(arch, seed, observer, 4, 4) }},
+		{Name: "ablation A", Run: func() (string, any) {
+			return RenderAblation("A: overprediction cut-off (Ocean)", AblationCutoff(arch, seed)), nil
+		}},
+		{Name: "ablation B", Run: func() (string, any) {
+			return RenderAblation("B: wake-up mechanisms", AblationWakeup(arch, seed)), nil
+		}},
+		{Name: "ablation C", Run: func() (string, any) {
+			return RenderAblation("C: predictor policies", AblationPredictor(arch, seed)), nil
+		}},
+		{Name: "ablation D", Run: func() (string, any) {
+			return RenderAblation("D: preemption filter", AblationPreempt(arch, seed)), nil
+		}},
+		{Name: "ablation E", Run: func() (string, any) {
+			return RenderAblation("E: conventional techniques", AblationConventional(arch, seed)), nil
+		}},
+		{Name: "ablation F", Run: func() (string, any) {
+			return RenderAblation("F: check-in topology", AblationTopology(arch, seed)), nil
+		}},
+		{Name: "ablation G", Run: func() (string, any) {
+			return RenderAblation("G: confidence estimator", AblationConfidence(arch, seed)), nil
+		}},
+		{Name: "sensitivity nodes", Run: func() (string, any) {
+			return RenderSensitivity("Machine size (FMM)", SensitivityNodes(seed)), nil
+		}},
+		{Name: "sensitivity transition", Run: func() (string, any) {
+			return RenderSensitivity("Transition-latency scaling (FMM)", SensitivityTransition(seed)), nil
+		}},
+		{Name: "extension locks", Run: func() (string, any) {
+			sat, mod := LockExperiment(seed)
+			return RenderLocks(sat, mod), nil
+		}},
+		{Name: "extension mp", Run: func() (string, any) {
+			return RenderMP(MPExperiment(seed)), nil
+		}},
+	})
+	blockText := func(i int) string {
+		if blocks[i].Err != "" {
+			return fmt.Sprintf("(block %q failed: %s)\n", blocks[i].Name, blocks[i].Err)
+		}
+		return blocks[i].Text
 	}
 
 	w("# Thrifty Barrier — generated reproduction report")
@@ -39,30 +101,38 @@ func MarkdownReport(arch core.Arch, seed uint64) string {
 
 	w("## Table 2 — Baseline barrier imbalance")
 	w("")
-	t2 := Table2(arch, seed)
-	w("| Application | Paper | Measured |")
-	w("|---|---|---|")
-	for _, r := range t2 {
-		w("| %s | %.2f%% | %.2f%% |", r.App, r.Paper*100, r.Measured*100)
+	if blocks[0].Err != "" {
+		w("%s", blockText(0))
+	} else {
+		t2 := blocks[0].Data.([]Table2Row)
+		w("| Application | Paper | Measured |")
+		w("|---|---|---|")
+		for _, row := range t2 {
+			w("| %s | %.2f%% | %.2f%% |", row.App, row.Paper*100, row.Measured*100)
+		}
 	}
 	w("")
 
 	w("## Figure 3 — BIT vs BST variability (FMM)")
 	w("")
-	observer := 11
-	if observer >= arch.Nodes {
-		observer = arch.Nodes - 1
+	var fig3 Figure3Data
+	if blocks[1].Err != "" {
+		w("%s", blockText(1))
+	} else {
+		fig3 = blocks[1].Data.(Figure3Data)
+		codeBlock(RenderFigure3(fig3))
 	}
-	fig3 := Figure3(arch, seed, observer, 4, 4)
-	codeBlock(RenderFigure3(fig3))
 
 	w("## Figures 5 and 6 — normalized energy and execution time")
 	w("")
-	apps := RunAll(arch, seed)
 	w("| App | Config | Energy | Time |")
 	w("|---|---|---|---|")
 	for _, app := range apps {
 		for _, run := range app.Runs {
+			if !run.OK() {
+				w("| %s | %s | FAILED | %s |", app.Spec.Name, run.Config.Name, run.Err)
+				continue
+			}
 			w("| %s | %s | %.1f%% | %.2f%% |", app.Spec.Name, run.Config.Name,
 				run.Norm.TotalEnergy()*100, run.Norm.SpanRatio*100)
 		}
@@ -72,24 +142,19 @@ func MarkdownReport(arch core.Arch, seed uint64) string {
 
 	w("## Ablations")
 	w("")
-	codeBlock(RenderAblation("A: overprediction cut-off (Ocean)", AblationCutoff(arch, seed)))
-	codeBlock(RenderAblation("B: wake-up mechanisms", AblationWakeup(arch, seed)))
-	codeBlock(RenderAblation("C: predictor policies", AblationPredictor(arch, seed)))
-	codeBlock(RenderAblation("D: preemption filter", AblationPreempt(arch, seed)))
-	codeBlock(RenderAblation("E: conventional techniques", AblationConventional(arch, seed)))
-	codeBlock(RenderAblation("F: check-in topology", AblationTopology(arch, seed)))
-	codeBlock(RenderAblation("G: confidence estimator", AblationConfidence(arch, seed)))
+	for i := 2; i <= 8; i++ {
+		codeBlock(blockText(i))
+	}
 
 	w("## Sensitivity")
 	w("")
-	codeBlock(RenderSensitivity("Machine size (FMM)", SensitivityNodes(seed)))
-	codeBlock(RenderSensitivity("Transition-latency scaling (FMM)", SensitivityTransition(seed)))
+	codeBlock(blockText(9))
+	codeBlock(blockText(10))
 
 	w("## Extensions (paper §7 future work)")
 	w("")
-	sat, mod := LockExperiment(seed)
-	codeBlock(RenderLocks(sat, mod))
-	codeBlock(RenderMP(MPExperiment(seed)))
+	codeBlock(blockText(11))
+	codeBlock(blockText(12))
 
 	w("## Verdict")
 	w("")
@@ -107,12 +172,14 @@ func MarkdownReport(arch core.Arch, seed uint64) string {
 		th.AvgEnergySavings*100, hl.AvgEnergySavings*100)
 	w("- Thrifty target-app slowdown: **%.1f%%** average, **%.1f%%** worst (%s) (paper ~2%%).",
 		th.AvgSlowdown*100, th.WorstSlowdown*100, th.WorstSlowdownApp)
-	bitStab := 0.0
-	for i := range fig3.BarrierLabels {
-		bitStab += fig3.BSTCoefVar[i] / fig3.BITCoefVar[i]
+	if len(fig3.BarrierLabels) > 0 {
+		bitStab := 0.0
+		for i := range fig3.BarrierLabels {
+			bitStab += fig3.BSTCoefVar[i] / fig3.BITCoefVar[i]
+		}
+		bitStab /= float64(len(fig3.BarrierLabels))
+		w("- BIT is **%.1fx** more stable than BST on FMM's main-loop barriers.", bitStab)
 	}
-	bitStab /= float64(len(fig3.BarrierLabels))
-	w("- BIT is **%.1fx** more stable than BST on FMM's main-loop barriers.", bitStab)
 	w("")
 	return sb.String()
 }

@@ -4,6 +4,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"strings"
@@ -114,6 +115,25 @@ func (t *Table) CSV() string {
 		writeRow(row)
 	}
 	return sb.String()
+}
+
+// JSON renders the table as a machine-readable object with its title,
+// column headers and string rows — the generic twin for tables whose rows
+// have no richer struct form.
+func (t *Table) JSON() ([]byte, error) {
+	obj := struct {
+		Title   string     `json:"title,omitempty"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}{Title: t.Title, Columns: t.Columns, Rows: t.Rows}
+	if obj.Rows == nil {
+		obj.Rows = [][]string{}
+	}
+	b, err := json.MarshalIndent(obj, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
 }
 
 // Pct formats a fraction as a percentage string.

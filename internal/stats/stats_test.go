@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -94,5 +95,37 @@ func TestCoefVar(t *testing.T) {
 	}
 	if CoefVar([]float64{0, 0}) != 0 {
 		t.Error("zero-mean CoV != 0")
+	}
+}
+
+func TestTableJSON(t *testing.T) {
+	tab := NewTable("T", "a", "b")
+	tab.AddRowStrings("1", "x,y")
+	b, err := tab.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatalf("twin is not valid JSON: %v\n%s", err, b)
+	}
+	if got.Title != "T" || len(got.Columns) != 2 || len(got.Rows) != 1 || got.Rows[0][1] != "x,y" {
+		t.Errorf("round-trip mismatch: %+v", got)
+	}
+	if b[len(b)-1] != '\n' {
+		t.Error("twin must end with a newline")
+	}
+
+	// An empty table still yields rows: [] (not null) for consumers.
+	b, err = NewTable("", "only").JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"rows": []`) {
+		t.Errorf("empty table rows should marshal as [], got:\n%s", b)
 	}
 }

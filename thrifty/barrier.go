@@ -190,15 +190,16 @@ func New(parties int, opts Options) *Barrier {
 		panic(fmt.Sprintf("thrifty: parties %d < 1", parties))
 	}
 	opts.fill()
-	b := &Barrier{
+	// lastRelease stays zero until the first release: the interval between
+	// construction and the first episode absorbs arbitrary setup time and
+	// must not seed the predictor, so the first measured BIT is discarded.
+	return &Barrier{
 		parties:   parties,
 		opts:      opts,
 		cur:       &round{ch: make(chan struct{})},
 		sites:     make(map[uintptr]*site),
 		spinnable: runtime.GOMAXPROCS(0) > 1,
 	}
-	b.lastRelease = opts.Now()
-	return b
 }
 
 // Parties reports the number of participating goroutines.
@@ -237,10 +238,11 @@ func (b *Barrier) WaitSite(key uintptr) {
 	b.count++
 	if b.count == b.parties {
 		// Last arriver: measure the interval, update the predictor, and
-		// release (flip the flag).
-		bit := now.Sub(b.lastRelease)
-		if !s.disabled {
-			s.lastBIT = bit
+		// release (flip the flag). The first interval is discarded — with
+		// lastRelease still zero it would measure construction-to-release,
+		// i.e. whatever setup time elapsed between New and the first episode.
+		if !b.lastRelease.IsZero() && !s.disabled {
+			s.lastBIT = now.Sub(b.lastRelease)
 			s.valid = true
 		}
 		b.lastRelease = now
@@ -253,7 +255,10 @@ func (b *Barrier) WaitSite(key uintptr) {
 		close(old.ch) // external wake-up broadcast
 		return
 	}
-	// Early arriver: predict the stall and pick a tier.
+	// Early arriver: predict the stall, clamp it, and pick a tier — all in
+	// the arrival critical section, so the prediction and the lastStall
+	// clamp see one consistent site snapshot and the hot path pays no extra
+	// lock round-trips.
 	rd := b.cur
 	predictedStall, havePred := time.Duration(0), false
 	var predictedRelease time.Time
@@ -262,52 +267,64 @@ func (b *Barrier) WaitSite(key uintptr) {
 		predictedStall = predictedRelease.Sub(now)
 		havePred = predictedStall > 0
 	}
-	bit := s.lastBIT
-	b.mu.Unlock()
-
-	b.mu.Lock()
 	if s.lastStallValid && havePred {
 		if clamp := 2 * s.lastStall; clamp < predictedStall {
 			predictedStall = clamp
 		}
 	}
-	b.mu.Unlock()
+	bit := s.lastBIT
 	tier := b.selectTier(predictedStall, havePred)
-	b.recordTier(s, tier)
-	waitStart := b.opts.Now()
-	defer func() {
-		stall := b.opts.Now().Sub(waitStart)
-		b.mu.Lock()
-		s.lastStall = stall
-		s.lastStallValid = true
-		b.mu.Unlock()
-	}()
+	s.tiers[tier]++
+	b.mu.Unlock()
 
+	waitStart := b.opts.Now()
+	var out waitOutcome
 	switch tier {
 	case TierSpin:
 		b.spinThenPark(rd)
 	case TierYield:
 		b.yieldThenPark(rd)
 	case TierTimedPark:
-		start := b.opts.Now()
-		b.timedPark(s, rd, predictedRelease, bit)
-		b.addParked(s, b.opts.Now().Sub(start))
+		out = b.timedPark(rd, predictedRelease)
+		out.parking, out.judge = true, true
 	case TierPark:
-		start := b.opts.Now()
 		<-rd.ch
-		b.addParked(s, b.opts.Now().Sub(start))
-		b.checkCutoff(s, predictedRelease, bit)
+		out.parking, out.judge = true, true
 	}
+	end := b.opts.Now()
+	stall := end.Sub(waitStart)
+
+	// Single post-wait acquisition: the stall sample, parked-time
+	// accounting, wake counters and the cut-off verdict in one shot.
+	b.mu.Lock()
+	s.lastStall = stall
+	s.lastStallValid = true
+	if out.parking && stall > 0 {
+		s.parked += stall
+	}
+	if out.earlyWake {
+		s.earlyWakes++
+	}
+	if out.lateWake {
+		s.lateWakes++
+	}
+	if out.judge {
+		b.applyCutoff(s, predictedRelease, end, bit)
+	}
+	b.mu.Unlock()
 }
 
-// addParked accounts CPU time freed by a parking tier.
-func (b *Barrier) addParked(s *site, d time.Duration) {
-	if d <= 0 {
-		return
-	}
-	b.mu.Lock()
-	s.parked += d
-	b.mu.Unlock()
+// waitOutcome is what the wait path reports back so that all post-wait
+// bookkeeping folds into one critical section.
+type waitOutcome struct {
+	// parking marks a parking tier: the stall counts as freed CPU time.
+	parking bool
+	// earlyWake/lateWake record how a timed park resolved.
+	earlyWake bool
+	lateWake  bool
+	// judge marks waits whose prediction drove a park and must face the
+	// §3.3.3 cut-off.
+	judge bool
 }
 
 // selectTier is the sleep() best-fit scan (§3.1) over the wait tiers.
@@ -333,12 +350,6 @@ func (b *Barrier) selectTier(stall time.Duration, havePred bool) Tier {
 	default:
 		return TierPark
 	}
-}
-
-func (b *Barrier) recordTier(s *site, t Tier) {
-	b.mu.Lock()
-	s.tiers[t]++
-	b.mu.Unlock()
 }
 
 // spinThenPark busy-waits within the spin budget, then parks — a wrong
@@ -380,57 +391,55 @@ func (b *Barrier) yieldThenPark(rd *round) {
 
 // timedPark is the hybrid wake-up: block on both the broadcast channel
 // (external) and a timer armed at the predicted release minus the margin
-// (internal); a timer wake residual-spins until the release.
-func (b *Barrier) timedPark(s *site, rd *round, predictedRelease time.Time, bit time.Duration) {
+// (internal); a timer wake residual-spins until the release. The outcome is
+// reported back rather than recorded here so the caller can fold all
+// post-wait bookkeeping into one critical section.
+func (b *Barrier) timedPark(rd *round, predictedRelease time.Time) (out waitOutcome) {
 	wake := predictedRelease.Add(-b.opts.ParkMargin)
 	d := wake.Sub(b.opts.Now())
 	if d <= 0 {
 		<-rd.ch
-		b.checkCutoff(s, predictedRelease, bit)
-		return
+		return out
 	}
 	timer := time.NewTimer(d)
 	defer timer.Stop()
 	select {
 	case <-rd.ch:
 		// External wake-up won: the release beat the timer.
-		b.mu.Lock()
-		s.lateWakes++
-		b.mu.Unlock()
-		b.checkCutoff(s, predictedRelease, bit)
+		out.lateWake = true
 	case <-timer.C:
 		// Internal wake-up: residual spin for the release (§2's Residual
 		// Spin), bounded by the spin budget, then park.
-		b.mu.Lock()
-		s.earlyWakes++
-		b.mu.Unlock()
+		out.earlyWake = true
 		b.spinThenPark(rd)
-		b.checkCutoff(s, predictedRelease, bit)
 	}
+	return out
 }
 
-// checkCutoff applies the §3.3.3 overprediction threshold: if the actual
-// release missed the prediction by more than Cutoff x BIT, strike the
-// site; MaxStrikes strikes disable prediction there.
-func (b *Barrier) checkCutoff(s *site, predictedRelease time.Time, bit time.Duration) {
+// applyCutoff applies the §3.3.3 overprediction threshold: if the predicted
+// release is later than the actual one by more than Cutoff x BIT, strike
+// the site; MaxStrikes strikes disable prediction there. Only
+// OVERprediction may strike — an oversleeping waiter lands its wake latency
+// on the critical path, which is the failure mode the cut-off exists to
+// bound. Underprediction (actual release later than predicted) costs at
+// most a bounded residual spin under the hybrid wake-up and must never
+// disable a site. Called with b.mu held.
+func (b *Barrier) applyCutoff(s *site, predictedRelease, actual time.Time, bit time.Duration) {
 	if bit <= 0 || predictedRelease.IsZero() {
 		return
 	}
-	actual := b.opts.Now()
-	miss := predictedRelease.Sub(actual)
-	if miss < 0 {
-		miss = -miss
+	over := predictedRelease.Sub(actual)
+	if over <= 0 {
+		return // underprediction: never a strike
 	}
-	if float64(miss) <= b.opts.Cutoff*float64(bit) {
+	if float64(over) <= b.opts.Cutoff*float64(bit) {
 		return
 	}
-	b.mu.Lock()
 	s.cutoffHits++
 	s.strikes++
 	if s.strikes >= b.opts.MaxStrikes && !s.disabled {
 		s.disabled = true
 	}
-	b.mu.Unlock()
 }
 
 // SiteStats is a snapshot of one call site's behaviour.

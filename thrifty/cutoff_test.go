@@ -1,0 +1,168 @@
+package thrifty
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCutoffStrikesOnlyOnOverprediction drives the §3.3.3 verdict with a
+// deterministic clock: underprediction (actual release later than
+// predicted) must never strike a site, while overprediction beyond 10% of
+// the interval disables it after MaxStrikes.
+func TestCutoffStrikesOnlyOnOverprediction(t *testing.T) {
+	base := time.Unix(1000, 0)
+	b := New(2, Options{Now: func() time.Time { return base }})
+	s := &site{}
+	const bit = 10 * time.Millisecond
+	pred := base.Add(100 * time.Millisecond)
+
+	// Gross underprediction: actual release 50% of BIT after the predicted
+	// one, many times over. No strikes, ever.
+	for i := 0; i < 10*b.opts.MaxStrikes; i++ {
+		b.mu.Lock()
+		b.applyCutoff(s, pred, pred.Add(bit/2), bit)
+		b.mu.Unlock()
+	}
+	if s.strikes != 0 || s.cutoffHits != 0 || s.disabled {
+		t.Fatalf("underprediction struck the site: %+v", s)
+	}
+
+	// Overprediction at exactly the threshold (10% of BIT): still no strike.
+	b.mu.Lock()
+	b.applyCutoff(s, pred, pred.Add(-bit/10), bit)
+	b.mu.Unlock()
+	if s.strikes != 0 {
+		t.Fatalf("at-threshold overprediction struck the site: %+v", s)
+	}
+
+	// Overprediction beyond the threshold: strikes, and MaxStrikes (default
+	// 2) of them disable the site.
+	b.mu.Lock()
+	b.applyCutoff(s, pred, pred.Add(-bit/5), bit)
+	b.mu.Unlock()
+	if s.strikes != 1 || s.disabled {
+		t.Fatalf("first violation: strikes=%d disabled=%v, want 1/false", s.strikes, s.disabled)
+	}
+	b.mu.Lock()
+	b.applyCutoff(s, pred, pred.Add(-bit/5), bit)
+	b.mu.Unlock()
+	if s.strikes != 2 || !s.disabled {
+		t.Fatalf("second violation: strikes=%d disabled=%v, want 2/true", s.strikes, s.disabled)
+	}
+
+	// A zero interval or zero prediction never judges.
+	fresh := &site{}
+	b.mu.Lock()
+	b.applyCutoff(fresh, pred, pred.Add(-bit), 0)
+	b.applyCutoff(fresh, time.Time{}, pred, bit)
+	b.mu.Unlock()
+	if fresh.strikes != 0 {
+		t.Fatalf("degenerate inputs struck the site: %+v", fresh)
+	}
+}
+
+// TestUnderpredictionNeverDisables runs a real barrier whose intervals keep
+// doubling: every last-value prediction grossly UNDERpredicts the stall, so
+// the site must never be struck or disabled (the pre-fix absolute-value
+// comparison disabled it after two rounds).
+func TestUnderpredictionNeverDisables(t *testing.T) {
+	const parties = 2
+	b := New(parties, Options{TimedParkThreshold: time.Second, MaxStrikes: 1})
+	var wg sync.WaitGroup
+	for p := 0; p < parties; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d := 2 * time.Millisecond
+			for r := 0; r < 7; r++ {
+				if p == 1 {
+					time.Sleep(d)
+					d *= 2 // every interval dwarfs its prediction
+				}
+				b.WaitSite(0x77)
+			}
+		}()
+	}
+	wg.Wait()
+	s := b.Stats().Sites[0]
+	if s.CutoffHits != 0 || s.Disabled {
+		t.Fatalf("pure underprediction struck the site: %+v", s)
+	}
+	if parked := s.Tiers[TierTimedPark] + s.Tiers[TierPark]; parked == 0 {
+		t.Skipf("scheduler produced no parking waits to judge: %+v", s)
+	}
+}
+
+// TestFirstIntervalDiscarded pins the New fix: setup time between
+// construction and the first episode must not become the site's first BIT.
+func TestFirstIntervalDiscarded(t *testing.T) {
+	now := time.Unix(2000, 0)
+	b := New(1, Options{Now: func() time.Time { return now }})
+	now = now.Add(time.Hour) // arbitrary setup delay before the first episode
+	b.WaitSite(0x1)
+	if s := b.Stats().Sites[0]; s.LastBIT != 0 {
+		t.Fatalf("first interval absorbed setup time: BIT=%v, want 0 (discarded)", s.LastBIT)
+	}
+	// The second interval is a true release-to-release measurement.
+	now = now.Add(3 * time.Millisecond)
+	b.WaitSite(0x1)
+	if s := b.Stats().Sites[0]; s.LastBIT != 3*time.Millisecond {
+		t.Fatalf("second interval BIT=%v, want 3ms", s.LastBIT)
+	}
+}
+
+// TestWaitSiteStatsStress hammers WaitSite from many goroutines across
+// several sites while Stats and Generation poll concurrently — the -race
+// regression test for the folded critical sections.
+func TestWaitSiteStatsStress(t *testing.T) {
+	const parties = 8
+	const rounds = 60
+	b := New(parties, Options{})
+	stop := make(chan struct{})
+	var pollers sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		pollers.Add(1)
+		go func() {
+			defer pollers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = b.Stats()
+					_ = b.Generation()
+				}
+			}
+		}()
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < parties; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if p == r%parties {
+					time.Sleep(time.Duration(r%3) * 100 * time.Microsecond)
+				}
+				b.WaitSite(uintptr(0x100 + r%3)) // rotate across three sites
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	pollers.Wait()
+	st := b.Stats()
+	if st.Generation != rounds {
+		t.Fatalf("generation = %d, want %d", st.Generation, rounds)
+	}
+	var waits uint64
+	for _, s := range st.Sites {
+		waits += s.Waits
+	}
+	if waits != parties*rounds {
+		t.Fatalf("total waits = %d, want %d", waits, parties*rounds)
+	}
+}

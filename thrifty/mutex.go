@@ -98,13 +98,17 @@ func (m *Mutex) Lock() {
 			}
 		}
 	}
+	// Park. Whichever path led here — a predicted-long wait or a spin whose
+	// prediction ran out — the time blocked on the grant channel is CPU time
+	// freed for other work, and is accounted as such (an underpredicting
+	// spin must not corrupt the parked measurement by going untallied).
+	// This is the only post-wait lock acquisition on the path.
 	start := time.Now()
 	<-w.ch
-	if !spin {
-		m.mu.Lock()
-		m.parked += time.Since(start)
-		m.mu.Unlock()
-	}
+	blocked := time.Since(start)
+	m.mu.Lock()
+	m.parked += blocked
+	m.mu.Unlock()
 }
 
 // Unlock releases m, handing it directly to the longest-waiting goroutine

@@ -141,6 +141,43 @@ func TestMutexStressRace(t *testing.T) {
 	}
 }
 
+// TestMutexSpinFallbackAccountsParkedTime pins the measurement fix: a
+// waiter that predicted a short wait, spun out its budget, and then parked
+// must still tally the blocked time into Parked (previously it went
+// untallied, understating the freed CPU time the stats report).
+func TestMutexSpinFallbackAccountsParkedTime(t *testing.T) {
+	var m Mutex
+	// Prime the service-time predictor with a fast uncontended acquisition
+	// so the next contended waiter predicts a short wait and spins.
+	m.Lock()
+	m.Unlock()
+	if s := m.Stats(); s.ServiceTime > mutexSpinCutoff {
+		t.Skipf("uncontended service time %v too slow to prime a spin prediction", s.ServiceTime)
+	}
+
+	m.Lock()
+	entered := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		close(entered)
+		m.Lock() // predicts short, spins out the budget, then parks ~5ms
+		m.Unlock()
+		close(done)
+	}()
+	<-entered
+	time.Sleep(5 * time.Millisecond) // hold far beyond the spin budget
+	m.Unlock()
+	<-done
+
+	s := m.Stats()
+	if s.Spins == 0 {
+		t.Skipf("waiter did not take the spin path: %+v", s)
+	}
+	if s.Parked < time.Millisecond {
+		t.Fatalf("spin-then-park blocked ~5ms but Parked=%v: fallback park not accounted", s.Parked)
+	}
+}
+
 // Property: arbitrary lock/unlock interleavings never deadlock and never
 // lose a count.
 func TestMutexLivenessProperty(t *testing.T) {
