@@ -15,7 +15,7 @@
 //
 //	thriftybench -all                 # everything (default)
 //	thriftybench -table2 -fig5        # selected experiments
-//	thriftybench -ablation cutoff     # one ablation (cutoff|wakeup|predictor|preempt)
+//	thriftybench -ablation cutoff     # one ablation (cutoff|wakeup|predictor|preempt|…|faults)
 //	thriftybench -nodes 16 -seed 7    # smaller machine, different seed
 //	thriftybench -all -out results    # also write text + CSV + JSON files
 //	thriftybench -all -j 1            # sequential (identical output)
@@ -45,7 +45,7 @@ func main() {
 		fig5     = flag.Bool("fig5", false, "run and print Figure 5 (normalized energy)")
 		fig6     = flag.Bool("fig6", false, "run and print Figure 6 (normalized execution time)")
 		summary  = flag.Bool("summary", false, "print the headline numbers of section 5.1")
-		ablation = flag.String("ablation", "", "run one ablation: cutoff|wakeup|predictor|preempt|conventional|topology|confidence|dvfs|straggler")
+		ablation = flag.String("ablation", "", "run one ablation: cutoff|wakeup|predictor|preempt|conventional|topology|confidence|dvfs|straggler|faults")
 		sens     = flag.String("sensitivity", "", "run one sweep: nodes|transition|lockcontention|barrierlatency")
 		ext      = flag.String("extension", "", "run one extension experiment: locks|mp")
 		nodes    = flag.Int("nodes", 64, "machine size (power of two <= 64)")
@@ -157,6 +157,10 @@ func main() {
 			rows := harness.AblationConfidence(arch, *seed)
 			return harness.RenderAblation("Ablation F: cut-off vs confidence estimator (section 3.3.3 future work)", rows), rows
 		},
+		"faults": func() (string, any) {
+			rows := harness.AblationFaults(arch, *seed)
+			return harness.RenderFaults(rows), rows
+		},
 	}
 	sweeps := map[string]func() (string, any){
 		"lockcontention": func() (string, any) {
@@ -227,7 +231,7 @@ func main() {
 		return fn
 	}
 	if *ablation != "" {
-		fn := lookup("ablation", ablations, *ablation, "cutoff|wakeup|predictor|preempt|conventional|topology|confidence|dvfs|straggler")
+		fn := lookup("ablation", ablations, *ablation, "cutoff|wakeup|predictor|preempt|conventional|topology|confidence|dvfs|straggler|faults")
 		addPost("ablation_"+*ablation+".txt", "ablation "+*ablation, fn)
 	}
 	if *sens != "" {
@@ -239,7 +243,7 @@ func main() {
 		addPost("extension_"+*ext+".txt", "extension "+*ext, fn)
 	}
 	if *all {
-		for _, name := range []string{"cutoff", "wakeup", "predictor", "preempt", "conventional", "topology", "confidence", "dvfs", "straggler"} {
+		for _, name := range []string{"cutoff", "wakeup", "predictor", "preempt", "conventional", "topology", "confidence", "dvfs", "straggler", "faults"} {
 			addPost("ablation_"+name+".txt", "ablation "+name, ablations[name])
 		}
 		for _, name := range []string{"nodes", "transition", "lockcontention", "barrierlatency"} {

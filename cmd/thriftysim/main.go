@@ -20,9 +20,11 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"thriftybarrier/internal/core"
 	"thriftybarrier/internal/energy"
+	"thriftybarrier/internal/fault"
 	"thriftybarrier/internal/harness"
 	"thriftybarrier/internal/sim"
 	"thriftybarrier/internal/trace"
@@ -37,6 +39,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "workload seed")
 		cutoff   = flag.Float64("cutoff", -1, "override overprediction cut-off (fraction of BIT; 0 disables)")
 		wakeup   = flag.String("wakeup", "", "override wake-up mechanism: hybrid|external|internal")
+		faultStr = flag.String("fault", "", "inject faults, e.g. drop=0.2,timerfail=0.1,drift=200us,driftrate=0.5 (see internal/fault)")
 		traceCSV = flag.String("trace", "", "replay a measured barrier trace (CSV) instead of a synthetic app")
 		chrome   = flag.String("chrometrace", "", "write a Chrome Trace Event JSON timeline of the run to this file")
 		jsonOut  = flag.String("json", "", "write the run's machine-readable result (JSON) to this file, or - for stdout")
@@ -53,15 +56,19 @@ func main() {
 		return
 	}
 
+	// Validate enumerated flags up front: a typo exits immediately with a
+	// usage diagnostic instead of silently misconfiguring a long run.
 	var opts core.Options
+	var names []string
 	found := false
 	for _, o := range core.Configurations() {
+		names = append(names, o.Name)
 		if o.Name == *config {
 			opts, found = o, true
 		}
 	}
 	if !found {
-		fatal(fmt.Errorf("unknown configuration %q", *config))
+		usage("unknown -config %q (want %s)", *config, strings.Join(names, "|"))
 	}
 	if *cutoff >= 0 {
 		opts.Cutoff = *cutoff
@@ -75,7 +82,17 @@ func main() {
 	case "internal":
 		opts.Wakeup = core.WakeupInternal
 	default:
-		fatal(fmt.Errorf("unknown wakeup %q", *wakeup))
+		usage("unknown -wakeup %q (want hybrid|external|internal)", *wakeup)
+	}
+	plan, err := fault.Parse(*faultStr)
+	if err != nil {
+		usage("bad -fault spec: %v", err)
+	}
+	if plan != nil {
+		if plan.Seed == 0 {
+			plan.Seed = *seed
+		}
+		opts.Faults = plan
 	}
 
 	var prog core.SliceProgram
@@ -167,6 +184,12 @@ func main() {
 		res.Stats.FalseWakeups, res.Stats.Disables, res.Stats.FlushLines)
 	fmt.Printf("  predictor: hits=%d misses=%d skippedUpdates=%d\n",
 		res.Stats.PredictorHits, res.Stats.PredictorMisses, res.Stats.SkippedUpdates)
+	if opts.Faults.Active() {
+		fmt.Printf("  faults (%s): dropped=%d timerFail=%d drifted=%d recoveries=%d preempts=%d stalls=%d\n",
+			opts.Faults, res.Stats.DroppedWakeups, res.Stats.TimerFailures,
+			res.Stats.DriftedTimers, res.Stats.Recoveries,
+			res.Stats.InjectedPreempts, res.Stats.InjectedStalls)
+	}
 
 	if *verbose {
 		type agg struct {
@@ -214,4 +237,11 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "thriftysim:", err)
 	os.Exit(1)
+}
+
+// usage reports a flag-validation failure and exits 2, the conventional
+// bad-invocation status (fatal's exit 1 is kept for runtime errors).
+func usage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "thriftysim: "+format+"\n", args...)
+	os.Exit(2)
 }

@@ -1,0 +1,103 @@
+// Cancellation: broken-barrier semantics with WaitContext.
+//
+// Eight workers rendezvous repeatedly; partway through, one of them is
+// given a deadline it cannot meet. When its context expires mid-wait, the
+// current generation breaks: the cancelled worker returns its context
+// error and every other waiter — however deep in its wait tier — returns
+// thrifty.ErrBroken instead of hanging on a rendezvous that can no longer
+// complete. A supervisor then Resets the barrier and the survivors carry
+// on without the lost participant.
+//
+// Run with:
+//
+//	go run ./examples/cancellation
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"thriftybarrier/thrifty"
+)
+
+const workers = 8
+
+func main() {
+	b := thrifty.New(workers, thrifty.Options{
+		// The stall watchdog is the telemetry companion to ErrBroken: it
+		// reports generations that outlive a multiple of their predicted
+		// interval (e.g. a participant that deserted without cancelling).
+		OnStall: func(si thrifty.StallInfo) {
+			fmt.Printf("watchdog: generation %d stalled, %d/%d arrived after %v\n",
+				si.Generation, si.Arrived, si.Parties, si.Waited.Round(time.Millisecond))
+		},
+	})
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := 0; it < 6; it++ {
+				ctx := context.Background()
+				d := 5 * time.Millisecond // the phase's compute
+				if w == 3 && it == 3 {
+					// This worker's budget covers its own compute but not
+					// the straggler below: the deadline expires mid-wait.
+					var cancel context.CancelFunc
+					ctx, cancel = context.WithTimeout(ctx, 20*time.Millisecond)
+					defer cancel()
+				}
+				if w == 0 && it == 3 {
+					d = 100 * time.Millisecond // the straggler everyone waits on
+				}
+				time.Sleep(d)
+
+				err := b.WaitContext(ctx)
+				switch {
+				case err == nil:
+					// Rendezvous completed.
+				case errors.Is(err, context.DeadlineExceeded):
+					fmt.Printf("worker %d: deadline expired mid-wait at iteration %d; leaving\n", w, it)
+					return
+				case errors.Is(err, thrifty.ErrBroken):
+					fmt.Printf("worker %d: barrier broke at iteration %d (a peer cancelled)\n", w, it)
+					return
+				default:
+					fmt.Printf("worker %d: %v\n", w, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Recovery: the barrier stays broken (fail-fast) until Reset re-arms
+	// it. Resize the team by building a new barrier for the survivors.
+	fmt.Printf("\nbroken=%v after the storm; Reset re-arms it\n", b.Broken())
+	b.Reset()
+
+	survivors := thrifty.New(workers-1, thrifty.Options{})
+	for w := 0; w < workers-1; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := 0; it < 3; it++ {
+				time.Sleep(2 * time.Millisecond)
+				if err := survivors.WaitContext(context.Background()); err != nil {
+					fmt.Printf("survivor hit %v\n", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := b.Stats()
+	fmt.Printf("first barrier: %d generations completed, %d broken\n", st.Generation, st.Breaks)
+	fmt.Printf("survivor barrier: %d generations completed\n", survivors.Generation())
+}

@@ -168,25 +168,58 @@ func (m *Machine) goToSleep(t int, ep *episode, w *waiter, st power.SleepState, 
 	w.sleepStart = ready + st.Transition
 	m.stats.Sleeps[st.Name]++
 
+	// Arm the wake-up machinery, subject to the fault plan: a dropped
+	// invalidation silences the external channel, a failed timer the
+	// internal one. Whichever channels survive behave exactly as §3.3
+	// describes — which is the point: hybrid wake-up still has a bounded
+	// path when either single channel is lost.
+	externalLive, internalLive := false, false
 	if m.opts.Wakeup == WakeupHybrid || m.opts.Wakeup == WakeupExternal {
-		w.cancelMonitor = m.proto.Monitor(t, ep.flagAddr, func(at sim.Cycles) {
-			// Monitor callbacks run inside the releasing Write; hop onto
-			// the event queue at the delivery time.
-			w.cancelMonitor = nil
-			m.engine.At(at, func() { m.externalWake(t, ep, w, at) })
-		})
-	}
-	if predictedWake == sim.MaxCycles {
-		// Fixed policies (unconditional, spin-then-sleep) have no
-		// prediction to program a timer with: external wake-up only.
-		return
-	}
-	if m.opts.Wakeup == WakeupHybrid || m.opts.Wakeup == WakeupInternal {
-		wake := predictedWake - st.Transition
-		if wake < w.sleepStart {
-			wake = w.sleepStart
+		if m.opts.Faults.DropWakeupAt(ep.phase, t) {
+			m.stats.DroppedWakeups++
+		} else {
+			externalLive = true
+			w.cancelMonitor = m.proto.Monitor(t, ep.flagAddr, func(at sim.Cycles) {
+				// Monitor callbacks run inside the releasing Write; hop onto
+				// the event queue at the delivery time.
+				w.cancelMonitor = nil
+				m.engine.At(at, func() { m.externalWake(t, ep, w, at) })
+			})
 		}
-		w.timer = m.engine.At(wake, func() { m.internalWake(t, ep, w, wake) })
+	}
+	// Fixed policies (unconditional, spin-then-sleep) have no prediction
+	// to program a timer with: external wake-up only.
+	if predictedWake != sim.MaxCycles &&
+		(m.opts.Wakeup == WakeupHybrid || m.opts.Wakeup == WakeupInternal) {
+		if m.opts.Faults.TimerFailsAt(ep.phase, t) {
+			m.stats.TimerFailures++
+		} else {
+			internalLive = true
+			wake := predictedWake - st.Transition
+			if d := m.opts.Faults.TimerDriftAt(ep.phase, t); d > 0 {
+				wake += d
+				m.stats.DriftedTimers++
+			}
+			if wake < w.sleepStart {
+				wake = w.sleepStart
+			}
+			w.timer = m.engine.At(wake, func() { m.internalWake(t, ep, w, wake) })
+		}
+	}
+	if !externalLive && !internalLive {
+		// Every wake-up channel is gone: without intervention this sleeper
+		// never departs — the literal "unbounded" case of §3.3. An OS
+		// watchdog revives it after the recovery timeout; the timeout is
+		// chosen to dwarf any barrier interval, so the damage is huge but
+		// finite and measurable.
+		at := w.sleepStart + m.opts.Faults.RecoveryTimeout()
+		w.timer = m.engine.At(at, func() {
+			if w.departed || w.woken {
+				return
+			}
+			m.stats.Recoveries++
+			m.internalWake(t, ep, w, at)
+		})
 	}
 }
 

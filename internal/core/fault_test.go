@@ -1,0 +1,204 @@
+package core
+
+import (
+	"testing"
+
+	"thriftybarrier/internal/fault"
+	"thriftybarrier/internal/sim"
+)
+
+// faultedThrifty returns the Thrifty configuration with a fault plan
+// attached (and optionally a different wake-up mode).
+func faultedThrifty(wakeup WakeupMode, plan *fault.Plan) Options {
+	o := Thrifty()
+	o.Wakeup = wakeup
+	o.Faults = plan
+	return o
+}
+
+// sleepyProg is a workload whose early threads reliably sleep: a long
+// predictable imbalance (thread 0 is a 100us straggler on top of 100us of
+// compute) over enough instances to warm the predictor.
+func sleepyProg() Program {
+	return UniformProgram(0x200, 12, imbalancedWork(200_000, 200_000))
+}
+
+// A faulted run is a pure function of (arch seed, plan): running it twice
+// gives identical spans, energy, and fault counters.
+func TestFaultedRunIsDeterministic(t *testing.T) {
+	plan := &fault.Plan{Seed: 3, DropWakeup: 0.3, TimerFail: 0.2,
+		DriftRate: 0.3, Drift: 50 * sim.Microsecond}
+	a := runProg(t, testArch(), faultedThrifty(WakeupHybrid, plan), sleepyProg(), false)
+	b := runProg(t, testArch(), faultedThrifty(WakeupHybrid, plan), sleepyProg(), false)
+	if a.Span != b.Span {
+		t.Errorf("span diverged: %v vs %v", a.Span, b.Span)
+	}
+	if a.Stats.DroppedWakeups != b.Stats.DroppedWakeups ||
+		a.Stats.TimerFailures != b.Stats.TimerFailures ||
+		a.Stats.DriftedTimers != b.Stats.DriftedTimers ||
+		a.Stats.Recoveries != b.Stats.Recoveries {
+		t.Errorf("fault counters diverged: %+v vs %+v", a.Stats, b.Stats)
+	}
+	if a.Breakdown.TotalEnergy() != b.Breakdown.TotalEnergy() {
+		t.Errorf("energy diverged: %v vs %v", a.Breakdown.TotalEnergy(), b.Breakdown.TotalEnergy())
+	}
+}
+
+// The paper's §3.3 argument, run as an experiment: with external-only
+// wake-up a dropped invalidation strands the sleeper until the OS recovery
+// (huge slowdown); with hybrid wake-up the internal timer bounds the
+// damage, so the same drop rate costs almost nothing.
+func TestHybridBoundsDroppedWakeups(t *testing.T) {
+	prog := sleepyProg()
+	arch := testArch()
+	clean := runProg(t, arch, faultedThrifty(WakeupHybrid, nil), prog, false)
+
+	plan := &fault.Plan{Seed: 5, DropWakeup: 0.5}
+	hybrid := runProg(t, arch, faultedThrifty(WakeupHybrid, plan), prog, false)
+	external := runProg(t, arch, faultedThrifty(WakeupExternal, plan), prog, false)
+
+	if hybrid.Stats.DroppedWakeups == 0 || external.Stats.DroppedWakeups == 0 {
+		t.Fatalf("plan injected no drops (hybrid %d, external %d)",
+			hybrid.Stats.DroppedWakeups, external.Stats.DroppedWakeups)
+	}
+	if external.Stats.Recoveries == 0 {
+		t.Fatal("external-only run with dropped invalidations never needed recovery")
+	}
+	if hybrid.Stats.Recoveries != 0 {
+		t.Errorf("hybrid run needed %d recoveries; the timer should bound every drop",
+			hybrid.Stats.Recoveries)
+	}
+
+	hybridSlow := float64(hybrid.Span) / float64(clean.Span)
+	externalSlow := float64(external.Span) / float64(clean.Span)
+	// Hybrid pays at most the overprediction slack per drop; external pays
+	// the ~50ms recovery timeout, orders of magnitude above the ~100us BIT.
+	if hybridSlow > 1.5 {
+		t.Errorf("hybrid slowdown %.2fx under drops; timer should bound it", hybridSlow)
+	}
+	if externalSlow < 2*hybridSlow {
+		t.Errorf("external-only slowdown %.2fx not clearly worse than hybrid %.2fx",
+			externalSlow, hybridSlow)
+	}
+}
+
+// The mirror case: a failed internal timer strands an internal-only
+// sleeper, while hybrid's external invalidation still wakes it on time.
+func TestHybridBoundsTimerFailures(t *testing.T) {
+	prog := sleepyProg()
+	arch := testArch()
+	plan := &fault.Plan{Seed: 5, TimerFail: 0.5}
+
+	hybrid := runProg(t, arch, faultedThrifty(WakeupHybrid, plan), prog, false)
+	internal := runProg(t, arch, faultedThrifty(WakeupInternal, plan), prog, false)
+
+	if hybrid.Stats.TimerFailures == 0 || internal.Stats.TimerFailures == 0 {
+		t.Fatalf("plan injected no timer failures (hybrid %d, internal %d)",
+			hybrid.Stats.TimerFailures, internal.Stats.TimerFailures)
+	}
+	if internal.Stats.Recoveries == 0 {
+		t.Fatal("internal-only run with failed timers never needed recovery")
+	}
+	if hybrid.Stats.Recoveries != 0 {
+		t.Errorf("hybrid run needed %d recoveries; the invalidation should bound every failure",
+			hybrid.Stats.Recoveries)
+	}
+	if internal.Span <= hybrid.Span {
+		t.Errorf("internal-only span %v not worse than hybrid %v under timer failures",
+			internal.Span, hybrid.Span)
+	}
+}
+
+// Every stranded sleeper is eventually revived: the run terminates and
+// all episodes complete even when both channels are lost.
+func TestRecoveryRescuesStrandedSleepers(t *testing.T) {
+	// Drop every invalidation under external-only wake-up: every sleeper
+	// is stranded, and only recovery lets the program finish.
+	plan := &fault.Plan{Seed: 1, DropWakeup: 1.0, Recovery: 5 * sim.Millisecond}
+	res := runProg(t, testArch(), faultedThrifty(WakeupExternal, plan), sleepyProg(), true)
+	if res.Stats.Episodes != 12 {
+		t.Fatalf("episodes = %d, want 12: a stranded sleeper hung the run", res.Stats.Episodes)
+	}
+	if res.Stats.Recoveries == 0 {
+		t.Fatal("no recoveries despite every invalidation being dropped")
+	}
+	// Barrier semantics hold even on the recovery path: no departure
+	// precedes its release.
+	for _, ep := range res.Episodes {
+		for th, d := range ep.Depart {
+			if d < ep.ReleaseAt {
+				t.Fatalf("phase %d thread %d departed at %v before release %v",
+					ep.Phase, th, d, ep.ReleaseAt)
+			}
+		}
+	}
+}
+
+// Drifted timers fire late but still fire: no recovery needed, bounded
+// lateness, counted in the stats.
+func TestTimerDriftIsBoundedLateness(t *testing.T) {
+	plan := &fault.Plan{Seed: 2, DriftRate: 1.0, Drift: 200 * sim.Microsecond}
+	res := runProg(t, testArch(), faultedThrifty(WakeupInternal, plan), sleepyProg(), false)
+	if res.Stats.DriftedTimers == 0 {
+		t.Fatal("driftrate=1.0 drifted no timers")
+	}
+	if res.Stats.Recoveries != 0 {
+		t.Errorf("drifted (but live) timers forced %d recoveries", res.Stats.Recoveries)
+	}
+	if res.Stats.Episodes != 12 {
+		t.Fatalf("episodes = %d, want 12", res.Stats.Episodes)
+	}
+}
+
+// A preemption storm delays arrivals but never breaks barrier semantics,
+// and the injected counters record it.
+func TestPreemptionStormCompletes(t *testing.T) {
+	plan := &fault.Plan{Seed: 4, PreemptRate: 0.3, PreemptDelay: sim.Millisecond,
+		StallRate: 0.1, StallDelay: 2 * sim.Millisecond}
+	res := runProg(t, testArch(), faultedThrifty(WakeupHybrid, plan), sleepyProg(), true)
+	if res.Stats.InjectedPreempts == 0 {
+		t.Fatal("storm injected no preemptions")
+	}
+	if res.Stats.InjectedStalls == 0 {
+		t.Fatal("storm injected no stalls")
+	}
+	if res.Stats.Episodes != 12 {
+		t.Fatalf("episodes = %d, want 12", res.Stats.Episodes)
+	}
+	for _, ep := range res.Episodes {
+		for th, d := range ep.Depart {
+			if d < ep.ReleaseAt {
+				t.Fatalf("phase %d thread %d departed at %v before release %v",
+					ep.Phase, th, d, ep.ReleaseAt)
+			}
+		}
+	}
+}
+
+// An inactive plan must not perturb the run at all: Options.Faults = zero
+// plan is byte-for-byte the unfaulted machine.
+func TestInactivePlanIsTransparent(t *testing.T) {
+	prog := sleepyProg()
+	arch := testArch()
+	clean := runProg(t, arch, faultedThrifty(WakeupHybrid, nil), prog, false)
+	zero := runProg(t, arch, faultedThrifty(WakeupHybrid, &fault.Plan{Seed: 9}), prog, false)
+	if clean.Span != zero.Span {
+		t.Errorf("zero plan changed the span: %v vs %v", clean.Span, zero.Span)
+	}
+	if clean.Breakdown.TotalEnergy() != zero.Breakdown.TotalEnergy() {
+		t.Errorf("zero plan changed the energy: %v vs %v",
+			clean.Breakdown.TotalEnergy(), zero.Breakdown.TotalEnergy())
+	}
+}
+
+func TestOptionsValidateFaults(t *testing.T) {
+	o := Thrifty()
+	o.Faults = &fault.Plan{DropWakeup: 2}
+	if o.Validate() == nil {
+		t.Error("out-of-range fault rate accepted")
+	}
+	o.Faults = &fault.Plan{DropWakeup: 0.5}
+	if err := o.Validate(); err != nil {
+		t.Errorf("valid fault plan rejected: %v", err)
+	}
+}

@@ -128,6 +128,14 @@ type Stats struct {
 	PredictorHits   uint64
 	PredictorMisses uint64
 	SkippedUpdates  uint64
+
+	// Fault-injection counters (zero unless Options.Faults is set).
+	DroppedWakeups   int // external wake-up invalidations lost
+	TimerFailures    int // armed internal timers that never fired
+	DriftedTimers    int // internal timers that fired late
+	Recoveries       int // stranded sleepers revived by the OS watchdog
+	InjectedPreempts int // fault-plan preemptions
+	InjectedStalls   int // fault-plan node stalls
 }
 
 // Result is the outcome of one run.
@@ -359,6 +367,20 @@ func (m *Machine) startPhase(t, k int, at sim.Cycles) {
 		// other work, charged as Compute from the application's view.
 		m.cpus[t].ChargeCompute(spec.PreemptDelay)
 		dur += spec.PreemptDelay
+	}
+	// Fault-plan scheduling noise: injected preemptions (§3.4.2 storms)
+	// and long node stalls both delay this thread's arrival; like the
+	// scripted preemption above they are charged as Compute ("other
+	// stalls … fall into this category", §5.2).
+	if d, ok := m.opts.Faults.PreemptAt(k, t); ok {
+		m.cpus[t].ChargeCompute(d)
+		dur += d
+		m.stats.InjectedPreempts++
+	}
+	if d, ok := m.opts.Faults.StallAt(k, t); ok {
+		m.cpus[t].ChargeCompute(d)
+		dur += d
+		m.stats.InjectedStalls++
 	}
 	arrive := at + dur
 	m.engine.At(arrive, func() { m.arrive(t, k, arrive) })

@@ -10,6 +10,7 @@ package core
 import (
 	"fmt"
 
+	"thriftybarrier/internal/fault"
 	"thriftybarrier/internal/power"
 	"thriftybarrier/internal/predict"
 	"thriftybarrier/internal/sim"
@@ -112,6 +113,14 @@ type Options struct {
 	// window, guarding the positive-feedback drift of pure slack
 	// reclamation (default 0.9).
 	DVFSMargin float64
+	// Faults, when non-nil, injects the §3.3/§3.4 failure modes into the
+	// run: lost external wake-up invalidations, internal-timer drift and
+	// failure, preemption storms, and node stalls. Decisions are a pure
+	// function of (plan seed, phase, thread), so a faulted run is exactly
+	// reproducible. A sleeper that loses every wake-up channel is revived
+	// by an OS-watchdog recovery after the plan's (large) recovery
+	// timeout — the measurable stand-in for "unbounded" lateness.
+	Faults *fault.Plan
 	// TreeArity, when >= 2, replaces the flat check-in (Figure 2's single
 	// lock-protected counter) with a combining tree of that arity: threads
 	// check into per-group counter lines, and the last thread of each
@@ -160,6 +169,9 @@ func (o Options) Validate() error {
 	}
 	if o.YieldReschedule < 0 {
 		return fmt.Errorf("core: negative yield reschedule delay")
+	}
+	if err := o.Faults.Validate(); err != nil {
+		return err
 	}
 	if o.YieldReschedule > 0 && (o.Unconditional || o.SpinThenSleep > 0 || len(o.States) > 0) {
 		return fmt.Errorf("core: yield policy excludes sleep policies")

@@ -1,0 +1,184 @@
+package fault
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"thriftybarrier/internal/sim"
+)
+
+// Decisions must be pure functions of (seed, kind, phase, thread): identical
+// across calls and call orders, independent of any shared state.
+func TestDecisionsAreDeterministic(t *testing.T) {
+	p := &Plan{Seed: 42, DropWakeup: 0.3, TimerFail: 0.3, DriftRate: 0.3,
+		Drift: 100 * sim.Microsecond, PreemptRate: 0.3, PreemptDelay: sim.Millisecond,
+		StallRate: 0.3, StallDelay: sim.Millisecond}
+	q := &Plan{Seed: 42, DropWakeup: 0.3, TimerFail: 0.3, DriftRate: 0.3,
+		Drift: 100 * sim.Microsecond, PreemptRate: 0.3, PreemptDelay: sim.Millisecond,
+		StallRate: 0.3, StallDelay: sim.Millisecond}
+	for phase := 0; phase < 50; phase++ {
+		for thread := 0; thread < 16; thread++ {
+			if p.DropWakeupAt(phase, thread) != q.DropWakeupAt(phase, thread) {
+				t.Fatalf("drop decision diverged at (%d,%d)", phase, thread)
+			}
+			if p.TimerFailsAt(phase, thread) != q.TimerFailsAt(phase, thread) {
+				t.Fatalf("timerfail decision diverged at (%d,%d)", phase, thread)
+			}
+			if p.TimerDriftAt(phase, thread) != q.TimerDriftAt(phase, thread) {
+				t.Fatalf("drift decision diverged at (%d,%d)", phase, thread)
+			}
+			d1, ok1 := p.PreemptAt(phase, thread)
+			d2, ok2 := q.PreemptAt(phase, thread)
+			if d1 != d2 || ok1 != ok2 {
+				t.Fatalf("preempt decision diverged at (%d,%d)", phase, thread)
+			}
+		}
+	}
+}
+
+// Different fault kinds draw independently: a (phase, thread) pair dropping
+// its wake-up says nothing about its timer failing.
+func TestKindsAreDecorrelated(t *testing.T) {
+	p := &Plan{Seed: 1, DropWakeup: 0.5, TimerFail: 0.5}
+	agree := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if p.DropWakeupAt(i, 0) == p.TimerFailsAt(i, 0) {
+			agree++
+		}
+	}
+	// Independent fair coins agree ~50% of the time; 40–60% is ~4.5σ slack.
+	if agree < n*2/5 || agree > n*3/5 {
+		t.Fatalf("drop and timerfail decisions agree %d/%d times; kinds look correlated", agree, n)
+	}
+}
+
+// Observed fault frequency must track the configured rate.
+func TestRateIsHonored(t *testing.T) {
+	for _, rate := range []float64{0.05, 0.2, 0.5} {
+		p := &Plan{Seed: 9, DropWakeup: rate}
+		hits := 0
+		const n = 10000
+		for i := 0; i < n; i++ {
+			if p.DropWakeupAt(i, i%64) {
+				hits++
+			}
+		}
+		got := float64(hits) / n
+		if math.Abs(got-rate) > 0.03 {
+			t.Errorf("rate %.2f: observed %.3f", rate, got)
+		}
+	}
+}
+
+// Different seeds fault different pairs at the same rate.
+func TestSeedDecorrelates(t *testing.T) {
+	a := &Plan{Seed: 1, DropWakeup: 0.5}
+	b := &Plan{Seed: 2, DropWakeup: 0.5}
+	same := true
+	for i := 0; i < 64 && same; i++ {
+		same = a.DropWakeupAt(i, 0) == b.DropWakeupAt(i, 0)
+	}
+	if same {
+		t.Fatal("plans with different seeds made identical decisions")
+	}
+}
+
+// A nil plan injects nothing and never panics.
+func TestNilPlanIsInert(t *testing.T) {
+	var p *Plan
+	if p.Active() {
+		t.Error("nil plan reports Active")
+	}
+	if p.DropWakeupAt(0, 0) || p.TimerFailsAt(0, 0) {
+		t.Error("nil plan injected a fault")
+	}
+	if d := p.TimerDriftAt(0, 0); d != 0 {
+		t.Errorf("nil plan drifted %v", d)
+	}
+	if _, ok := p.PreemptAt(0, 0); ok {
+		t.Error("nil plan preempted")
+	}
+	if _, ok := p.StallAt(0, 0); ok {
+		t.Error("nil plan stalled")
+	}
+	if p.RecoveryTimeout() != DefaultRecovery {
+		t.Errorf("nil plan recovery = %v, want %v", p.RecoveryTimeout(), DefaultRecovery)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("nil plan failed validation: %v", err)
+	}
+	if s := p.String(); s != "none" {
+		t.Errorf("nil plan String() = %q", s)
+	}
+}
+
+func TestParse(t *testing.T) {
+	p, err := Parse("drop=0.2,timerfail=0.1,drift=200us,driftrate=0.5,preempt=0.01,recovery=100ms,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DropWakeup != 0.2 || p.TimerFail != 0.1 || p.DriftRate != 0.5 || p.Seed != 7 {
+		t.Errorf("parsed plan %+v", p)
+	}
+	if p.Drift != 200*sim.Microsecond {
+		t.Errorf("drift = %v, want 200us", p.Drift)
+	}
+	if p.Recovery != 100*sim.Millisecond {
+		t.Errorf("recovery = %v, want 100ms", p.Recovery)
+	}
+	if p.PreemptDelay == 0 {
+		t.Error("preempt rate set but no default delay applied")
+	}
+
+	if p, err := Parse(""); err != nil || p != nil {
+		t.Errorf("empty spec: got (%v, %v), want (nil, nil)", p, err)
+	}
+	if p, err := Parse("none"); err != nil || p != nil {
+		t.Errorf("spec none: got (%v, %v), want (nil, nil)", p, err)
+	}
+	for _, bad := range []string{"drop", "drop=2", "drop=-1", "bogus=0.5", "drift=xyz", "seed=abc"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted a malformed spec", bad)
+		}
+	}
+	if _, err := Parse("bogus=1"); err == nil || !strings.Contains(err.Error(), "drop") {
+		t.Errorf("unknown-key error should list accepted keys, got %v", err)
+	}
+}
+
+// String renders in Parse syntax and round-trips to an equivalent plan.
+func TestStringRoundTrips(t *testing.T) {
+	p, err := Parse("drop=0.2,drift=200us,driftrate=0.5,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("Parse(String()) = %v (spec %q)", err, p.String())
+	}
+	if *q != *p {
+		t.Errorf("round trip changed the plan: %+v vs %+v", p, q)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Plan{
+		{DropWakeup: 1.5},
+		{TimerFail: -0.1},
+		{Drift: -1},
+		{DriftRate: 0.5},   // rate without duration
+		{PreemptRate: 0.5}, // rate without delay
+		{StallRate: 0.5},   // rate without delay
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: %+v passed validation", i, p)
+		}
+	}
+	ok := Plan{DropWakeup: 0.5, DriftRate: 0.5, Drift: sim.Microsecond}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"thriftybarrier/internal/core"
+	"thriftybarrier/internal/fault"
 	"thriftybarrier/internal/predict"
 	"thriftybarrier/internal/sim"
 	"thriftybarrier/internal/workload"
@@ -165,6 +166,61 @@ func AblationPreempt(arch core.Arch, seed uint64) []AblationRow {
 			App: spec.Name + "+preempt", Variant: name,
 			Energy: n.TotalEnergy(), Time: n.SpanRatio, Stats: res.Stats,
 		})
+	}
+	return rows
+}
+
+// AblationFaults runs the §3.3 failure narrative as injected faults on
+// FMM: dropped external wake-up invalidations at increasing rates under
+// hybrid vs external-only wake-up (with and without the §3.3.3 cut-off),
+// and failed internal timers under hybrid vs internal-only. The table is
+// the robustness claim in numbers: whichever single channel a fault
+// silences, hybrid still has a bounded path — drops are bounded by the
+// timer, timer failures by the invalidation — while either single-channel
+// mechanism strands its sleepers until the (enormous) OS recovery
+// timeout. Fault decisions are a pure function of (seed, phase, thread),
+// so rows are byte-identical across harness worker widths.
+func AblationFaults(arch core.Arch, seed uint64) []AblationRow {
+	spec := workload.FMM()
+	prog := spec.Build(arch.Nodes, seed)
+	base := core.NewMachine(arch, core.Baseline()).Run(prog)
+
+	var rows []AblationRow
+	add := func(variant string, opts core.Options) {
+		res := core.NewMachine(arch, opts).Run(prog)
+		n := res.Breakdown.Normalize(base.Breakdown)
+		rows = append(rows, AblationRow{
+			App: spec.Name, Variant: variant,
+			Energy: n.TotalEnergy(), Time: n.SpanRatio, Stats: res.Stats,
+		})
+	}
+	variant := func(mode core.WakeupMode, plan *fault.Plan) core.Options {
+		o := core.Thrifty()
+		o.Wakeup = mode
+		o.Faults = plan
+		return o
+	}
+
+	for _, rate := range []float64{0, 0.05, 0.20, 0.50} {
+		plan := &fault.Plan{Seed: seed, DropWakeup: rate}
+		if rate == 0 {
+			plan = nil
+		}
+		add(fmt.Sprintf("hybrid, drop=%.0f%%", rate*100), variant(core.WakeupHybrid, plan))
+		add(fmt.Sprintf("external, drop=%.0f%%", rate*100), variant(core.WakeupExternal, plan))
+	}
+	// Without the cut-off, a repeatedly-stranded external-only sleeper
+	// keeps paying the recovery timeout; with it, prediction is disabled
+	// at the damaged (barrier, thread) after the first overshoot and the
+	// thread spins instead — the Disables column tells the story.
+	noCut := variant(core.WakeupExternal, &fault.Plan{Seed: seed, DropWakeup: 0.20})
+	noCut.Cutoff = 0
+	add("external, drop=20%, cutoff=off", noCut)
+
+	for _, rate := range []float64{0.20, 0.50} {
+		plan := &fault.Plan{Seed: seed, TimerFail: rate}
+		add(fmt.Sprintf("hybrid, timerfail=%.0f%%", rate*100), variant(core.WakeupHybrid, plan))
+		add(fmt.Sprintf("internal, timerfail=%.0f%%", rate*100), variant(core.WakeupInternal, plan))
 	}
 	return rows
 }

@@ -361,3 +361,57 @@ func TestAblationStraggler(t *testing.T) {
 		t.Errorf("rotating straggler: direct-BST energy %.3f below BIT %.3f", bstRot.Energy, bitRot.Energy)
 	}
 }
+
+func TestAblationFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("faults ablation in -short mode")
+	}
+	arch := core.DefaultArch().WithNodes(8)
+	rows := AblationFaults(arch, 1)
+	byVariant := map[string]AblationRow{}
+	for _, r := range rows {
+		byVariant[r.Variant] = r
+	}
+	// The §3.3 robustness claim: under dropped invalidations the hybrid
+	// timer bounds the damage, while external-only sleepers are stranded
+	// until the OS recovery — orders of magnitude slower.
+	hybrid := byVariant["hybrid, drop=20%"]
+	external := byVariant["external, drop=20%"]
+	if hybrid.Stats.DroppedWakeups == 0 || external.Stats.DroppedWakeups == 0 {
+		t.Fatal("drop=20% rows injected no drops")
+	}
+	if hybrid.Stats.Recoveries != 0 {
+		t.Errorf("hybrid needed %d recoveries under drops", hybrid.Stats.Recoveries)
+	}
+	if external.Stats.Recoveries == 0 {
+		t.Error("external-only survived dropped invalidations without recovery")
+	}
+	if hybrid.Time > 1.10 {
+		t.Errorf("hybrid slowdown %.4f under drop=20%%; the timer should bound it", hybrid.Time)
+	}
+	if external.Time < 2*hybrid.Time {
+		t.Errorf("external-only time %.4f not clearly worse than hybrid %.4f",
+			external.Time, hybrid.Time)
+	}
+	// Without the cut-off, damaged (barrier, thread) pairs keep paying
+	// the recovery timeout on every instance.
+	noCut := byVariant["external, drop=20%, cutoff=off"]
+	if noCut.Time < external.Time {
+		t.Errorf("cutoff=off time %.4f below cutoff=on %.4f; cut-off should self-heal repeated damage",
+			noCut.Time, external.Time)
+	}
+	// The mirror case: failed timers strand internal-only sleepers; the
+	// hybrid invalidation bounds them.
+	hybridTF := byVariant["hybrid, timerfail=50%"]
+	internalTF := byVariant["internal, timerfail=50%"]
+	if hybridTF.Stats.Recoveries != 0 {
+		t.Errorf("hybrid needed %d recoveries under timer failures", hybridTF.Stats.Recoveries)
+	}
+	if internalTF.Stats.Recoveries == 0 {
+		t.Error("internal-only survived failed timers without recovery")
+	}
+	if internalTF.Time < 2*hybridTF.Time {
+		t.Errorf("internal-only time %.4f not clearly worse than hybrid %.4f",
+			internalTF.Time, hybridTF.Time)
+	}
+}

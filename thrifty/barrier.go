@@ -27,15 +27,43 @@
 // ultimately blocks on the round channel, so a wildly wrong prediction can
 // only cost efficiency, never correctness — mirroring the paper's
 // "respects the original barrier semantics".
+//
+// Misbehaving participants are handled with CyclicBarrier-style
+// broken-barrier semantics: WaitContext lets a waiter abandon the
+// rendezvous, which breaks the current generation — every other waiter is
+// woken with ErrBroken instead of hanging on a barrier that can no longer
+// complete — and Reset re-arms the barrier. An optional stall watchdog
+// (Options.OnStall) reports generations that exceed a multiple of their
+// predicted interval, so deserted or wedged barriers surface as telemetry
+// rather than silent hangs.
 package thrifty
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// ErrBroken reports that the barrier's current generation was broken — a
+// participant's context was cancelled or expired mid-wait, or Reset was
+// called while waiters were blocked. Once broken, every blocked waiter
+// (including already-parked ones) is woken and receives ErrBroken, and
+// every new arrival fails fast with ErrBroken until Reset re-arms the
+// barrier. This is the CyclicBarrier-style all-or-none contract: a broken
+// generation never releases, so no caller can mistake a partial rendezvous
+// for a completed one.
+var ErrBroken = errors.New("thrifty: barrier is broken")
+
+// noCopy triggers go vet's copylocks check on values embedding it,
+// enforcing the "must not be copied after first use" doc contract.
+type noCopy struct{}
+
+func (*noCopy) Lock()   {}
+func (*noCopy) Unlock() {}
 
 // Tier identifies a wait strategy, ordered from lowest exit latency /
 // highest hold cost (Spin) to highest exit latency / lowest hold cost
@@ -98,8 +126,43 @@ type Options struct {
 	// up and parks (the external bound on a wrong "short" prediction).
 	// Default 30µs worth of spinning.
 	SpinBudget time.Duration
+	// OnStall, when non-nil, arms a stall watchdog: if a generation stays
+	// open longer than StallMultiple times the site's predicted interval
+	// (floored at StallFloor), OnStall is invoked once for that generation
+	// with a snapshot of who arrived. The callback runs on the watchdog
+	// timer's goroutine, must not call back into the barrier, and is
+	// diagnostic only — it does not break the generation (a deserted
+	// participant may still arrive; call Reset to give up on it).
+	OnStall func(StallInfo)
+	// StallMultiple scales the predicted interval into the watchdog
+	// deadline. Default 8.
+	StallMultiple float64
+	// StallFloor is the minimum watchdog deadline, covering warm-up
+	// generations with no prediction yet. Default 1s.
+	StallFloor time.Duration
 	// Now overrides the clock (tests). Default time.Now.
 	Now func() time.Time
+}
+
+// StallInfo is the watchdog's report of a generation that exceeded its
+// deadline: which call site the generation belongs to, how many of the
+// parties made it, and how long the generation has been open.
+type StallInfo struct {
+	// Generation is the stalled generation's index (the barrier's release
+	// count when it opened).
+	Generation uint64
+	// Site is the prediction key of the generation's first arriver — the
+	// call site that is stalled.
+	Site uintptr
+	// Arrived and Parties report the head count: Parties-Arrived
+	// participants are missing.
+	Arrived, Parties int
+	// Waited is how long the generation has been open (since the first
+	// arrival).
+	Waited time.Duration
+	// PredictedBIT is the interval prediction the deadline was derived
+	// from (zero during warm-up, when only StallFloor applies).
+	PredictedBIT time.Duration
 }
 
 func (o *Options) fill() {
@@ -123,6 +186,12 @@ func (o *Options) fill() {
 	}
 	if o.SpinBudget == 0 {
 		o.SpinBudget = 30 * time.Microsecond
+	}
+	if o.StallMultiple == 0 {
+		o.StallMultiple = 8
+	}
+	if o.StallFloor == 0 {
+		o.StallFloor = time.Second
 	}
 	if o.Now == nil {
 		o.Now = time.Now
@@ -155,18 +224,30 @@ type site struct {
 	parked time.Duration
 }
 
-// round is one barrier generation; its channel is closed at release (the
-// external wake-up broadcast) and its done flag is the cheap spin target
-// (a single atomic load per spin iteration instead of a channel select).
+// round is one barrier generation; its channel is closed at release or
+// break (the external wake-up broadcast) and its done flag is the cheap
+// spin target (a single atomic load per spin iteration instead of a
+// channel select). A waiter woken through either must consult broken to
+// tell a release from a break: the break path stores broken before done,
+// so a waiter that observes done and then reads broken sees the truth.
 type round struct {
-	ch   chan struct{}
-	done atomic.Bool
+	ch     chan struct{}
+	done   atomic.Bool
+	broken atomic.Bool
+
+	// Watchdog state, guarded by the barrier mutex. firstSite/openedAt
+	// identify the generation for the OnStall report.
+	watchdog  *time.Timer
+	firstSite uintptr
+	openedAt  time.Time
 }
 
 // Barrier is a reusable barrier for a fixed number of goroutines with an
 // adaptive, prediction-driven wait policy. It must not be copied after
-// first use.
+// first use (go vet's copylocks check enforces this).
 type Barrier struct {
+	noCopy noCopy //nolint:unused // vet copylocks marker
+
 	parties int
 	opts    Options
 
@@ -176,6 +257,8 @@ type Barrier struct {
 	cur         *round
 	lastRelease time.Time
 	sites       map[uintptr]*site
+	breaks      uint64
+	stalls      uint64
 
 	// spinnable records whether busy-waiting can ever make progress:
 	// with GOMAXPROCS=1 a spinner just blocks the releaser until the
@@ -216,19 +299,73 @@ func (b *Barrier) Generation() uint64 {
 // generation. The prediction index is the caller's program counter, the
 // direct analogue of the paper's PC-indexed table; SPMD-style code gets
 // per-static-barrier prediction automatically.
+//
+// If the barrier is broken while waiting (another participant's context
+// was cancelled, or Reset was called), Wait panics with ErrBroken: the
+// error-free signature has no way to report a failed rendezvous, and
+// proceeding silently would forfeit the barrier guarantee. Code that mixes
+// in cancellable participants should use WaitContext throughout.
 func (b *Barrier) Wait() {
 	pc, _, _, _ := runtime.Caller(1)
-	b.WaitSite(uintptr(pc))
+	if err := b.waitSite(nil, uintptr(pc)); err != nil {
+		panic(err)
+	}
 }
 
 // WaitSite is Wait with an explicit prediction index, for callers that
 // wrap the barrier (where runtime.Caller would smear distinct phases into
 // one site) — the paper's §3.2 alternative of indexing by barrier
-// structure address.
+// structure address. Like Wait, it panics with ErrBroken if the barrier is
+// broken.
 func (b *Barrier) WaitSite(key uintptr) {
+	if err := b.waitSite(nil, key); err != nil {
+		panic(err)
+	}
+}
+
+// WaitContext is Wait with cancellation. It blocks until all parties have
+// arrived (returning nil), the barrier breaks (returning ErrBroken), or
+// ctx is cancelled.
+//
+// Cancellation breaks the current generation: the cancelled waiter returns
+// ctx.Err(), and every other participant — including ones already parked
+// deep in a wait tier, which are woken through the round's broadcast
+// channel — returns ErrBroken instead of hanging forever on a rendezvous
+// that can no longer complete. The barrier stays broken (all Wait variants
+// fail fast with ErrBroken) until Reset re-arms it. A ctx that is already
+// cancelled on entry returns ctx.Err() without joining or breaking the
+// generation.
+func (b *Barrier) WaitContext(ctx context.Context) error {
+	pc, _, _, _ := runtime.Caller(1)
+	return b.waitSite(ctx, uintptr(pc))
+}
+
+// WaitSiteContext is WaitContext with an explicit prediction index.
+func (b *Barrier) WaitSiteContext(ctx context.Context, key uintptr) error {
+	return b.waitSite(ctx, key)
+}
+
+// waitSite is the shared wait path. A nil ctx never cancels (its done
+// channel is nil, which no select case ever fires on), so the plain Wait
+// forms pay no extra cost beyond a nil check per spin batch.
+func (b *Barrier) waitSite(ctx context.Context, key uintptr) error {
+	var done <-chan struct{}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			// Cancelled before arrival: the caller never joined this
+			// generation, so there is nothing to break.
+			return err
+		}
+		done = ctx.Done()
+	}
 	now := b.opts.Now()
 
 	b.mu.Lock()
+	rd := b.cur
+	if rd.broken.Load() {
+		b.mu.Unlock()
+		return ErrBroken
+	}
 	s := b.sites[key]
 	if s == nil {
 		s = &site{}
@@ -236,6 +373,9 @@ func (b *Barrier) WaitSite(key uintptr) {
 	}
 	s.waits++
 	b.count++
+	if b.count == 1 && b.opts.OnStall != nil {
+		b.armWatchdog(rd, s, key, now)
+	}
 	if b.count == b.parties {
 		// Last arriver: measure the interval, update the predictor, and
 		// release (flip the flag). The first interval is discarded — with
@@ -250,16 +390,19 @@ func (b *Barrier) WaitSite(key uintptr) {
 		b.generation++
 		old := b.cur
 		b.cur = &round{ch: make(chan struct{})}
+		if old.watchdog != nil {
+			old.watchdog.Stop()
+			old.watchdog = nil
+		}
 		b.mu.Unlock()
 		old.done.Store(true)
 		close(old.ch) // external wake-up broadcast
-		return
+		return nil
 	}
 	// Early arriver: predict the stall, clamp it, and pick a tier — all in
 	// the arrival critical section, so the prediction and the lastStall
 	// clamp see one consistent site snapshot and the hot path pays no extra
 	// lock round-trips.
-	rd := b.cur
 	predictedStall, havePred := time.Duration(0), false
 	var predictedRelease time.Time
 	if s.valid && !s.disabled {
@@ -279,20 +422,38 @@ func (b *Barrier) WaitSite(key uintptr) {
 
 	waitStart := b.opts.Now()
 	var out waitOutcome
+	cancelled := false
 	switch tier {
 	case TierSpin:
-		b.spinThenPark(rd)
+		cancelled = b.spinThenPark(rd, done)
 	case TierYield:
-		b.yieldThenPark(rd)
+		cancelled = b.yieldThenPark(rd, done)
 	case TierTimedPark:
-		out = b.timedPark(rd, predictedRelease)
+		out, cancelled = b.timedPark(rd, predictedRelease, done)
 		out.parking, out.judge = true, true
 	case TierPark:
-		<-rd.ch
+		select {
+		case <-rd.ch:
+		case <-done:
+			cancelled = true
+		}
 		out.parking, out.judge = true, true
 	}
 	end := b.opts.Now()
 	stall := end.Sub(waitStart)
+
+	if cancelled {
+		if released := b.breakRound(rd); !released {
+			return ctx.Err()
+		}
+		// The release won the race against the cancellation: this waiter
+		// completed the rendezvous, so it reports success and its sample
+		// feeds the predictor like any other wait.
+	} else if rd.broken.Load() {
+		// Woken by a break, not a release: no stall sample, no cut-off
+		// verdict — a broken generation measures nothing.
+		return ErrBroken
+	}
 
 	// Single post-wait acquisition: the stall sample, parked-time
 	// accounting, wake counters and the cut-off verdict in one shot.
@@ -312,6 +473,122 @@ func (b *Barrier) WaitSite(key uintptr) {
 		b.applyCutoff(s, predictedRelease, end, bit)
 	}
 	b.mu.Unlock()
+	return nil
+}
+
+// breakRound breaks rd's generation on behalf of a cancelled waiter. It
+// reports true if rd had in fact already been released (the cancellation
+// lost the race and the waiter completed normally). Otherwise the
+// generation is marked broken — waking every parked waiter through the
+// round channel — unless another waiter broke it first.
+func (b *Barrier) breakRound(rd *round) (released bool) {
+	b.mu.Lock()
+	if rd.broken.Load() {
+		b.mu.Unlock()
+		return false
+	}
+	if b.cur != rd {
+		// Only a release swaps b.cur away from an unbroken round.
+		b.mu.Unlock()
+		return true
+	}
+	b.breakLocked(rd)
+	b.mu.Unlock()
+	close(rd.ch)
+	return false
+}
+
+// breakLocked marks the current generation broken: waiters counted so far
+// are about to leave with ErrBroken, and the stale release timestamp is
+// cleared so the first interval measured after Reset is discarded (it
+// would span the broken period, poisoning the predictor exactly like the
+// construction-to-first-release interval). Called with b.mu held; the
+// caller must close(rd.ch) after unlocking.
+func (b *Barrier) breakLocked(rd *round) {
+	rd.broken.Store(true)
+	rd.done.Store(true) // after broken: spin-woken waiters re-check broken
+	b.count = 0
+	b.breaks++
+	b.lastRelease = time.Time{}
+	if rd.watchdog != nil {
+		rd.watchdog.Stop()
+		rd.watchdog = nil
+	}
+}
+
+// Reset re-arms the barrier: if the current generation has blocked waiters
+// (or is already broken), they are woken with ErrBroken, and a fresh
+// generation is installed. Use it to recover after a break, or to abandon
+// a generation whose missing participant will never arrive (e.g. after the
+// stall watchdog fired).
+func (b *Barrier) Reset() {
+	b.mu.Lock()
+	rd := b.cur
+	needClose := false
+	if !rd.broken.Load() && b.count > 0 {
+		b.breakLocked(rd)
+		needClose = true
+	}
+	b.cur = &round{ch: make(chan struct{})}
+	b.count = 0
+	// The interval spanning a Reset measures recovery time, not the
+	// application's phase: discard it like the construction interval.
+	b.lastRelease = time.Time{}
+	if rd.watchdog != nil {
+		rd.watchdog.Stop()
+		rd.watchdog = nil
+	}
+	b.mu.Unlock()
+	if needClose {
+		close(rd.ch)
+	}
+}
+
+// Broken reports whether the current generation is broken (and Reset has
+// not yet re-armed the barrier).
+func (b *Barrier) Broken() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.cur.broken.Load()
+}
+
+// armWatchdog schedules the stall check for a newly opened generation:
+// the deadline is StallMultiple x the site's predicted interval, floored
+// at StallFloor. Called with b.mu held, on the generation's first arrival.
+func (b *Barrier) armWatchdog(rd *round, s *site, key uintptr, now time.Time) {
+	d := b.opts.StallFloor
+	var bit time.Duration
+	if s.valid && !s.disabled {
+		bit = s.lastBIT
+		if m := time.Duration(b.opts.StallMultiple * float64(bit)); m > d {
+			d = m
+		}
+	}
+	rd.firstSite, rd.openedAt = key, now
+	gen := b.generation
+	rd.watchdog = time.AfterFunc(d, func() { b.stallCheck(rd, gen, bit) })
+}
+
+// stallCheck runs when a generation's watchdog deadline expires: if the
+// generation is still open (neither released nor broken), it reports the
+// stall. The callback is invoked without holding the barrier lock.
+func (b *Barrier) stallCheck(rd *round, gen uint64, bit time.Duration) {
+	b.mu.Lock()
+	if b.cur != rd || rd.broken.Load() {
+		b.mu.Unlock()
+		return
+	}
+	info := StallInfo{
+		Generation:   gen,
+		Site:         rd.firstSite,
+		Arrived:      b.count,
+		Parties:      b.parties,
+		Waited:       b.opts.Now().Sub(rd.openedAt),
+		PredictedBIT: bit,
+	}
+	b.stalls++
+	b.mu.Unlock()
+	b.opts.OnStall(info)
 }
 
 // waitOutcome is what the wait path reports back so that all post-wait
@@ -354,37 +631,60 @@ func (b *Barrier) selectTier(stall time.Duration, havePred bool) Tier {
 
 // spinThenPark busy-waits within the spin budget, then parks — a wrong
 // "short" prediction costs at most the budget. The hot loop is a single
-// atomic load; the clock is consulted only every batch.
-func (b *Barrier) spinThenPark(rd *round) {
+// atomic load; the clock and the cancellation channel are consulted only
+// every batch (done is nil for plain Wait callers and never fires). It
+// reports whether the wait ended by cancellation.
+func (b *Barrier) spinThenPark(rd *round, done <-chan struct{}) (cancelled bool) {
 	if !b.spinnable {
-		b.yieldThenPark(rd)
-		return
+		return b.yieldThenPark(rd, done)
 	}
 	deadline := b.opts.Now().Add(b.opts.SpinBudget)
 	for {
 		for i := 0; i < 1024; i++ {
 			if rd.done.Load() {
-				return
+				return false
+			}
+		}
+		if done != nil {
+			select {
+			case <-done:
+				return true
+			default:
 			}
 		}
 		if b.opts.Now().After(deadline) {
-			<-rd.ch
-			return
+			select {
+			case <-rd.ch:
+				return false
+			case <-done:
+				return true
+			}
 		}
 	}
 }
 
 // yieldThenPark shares the processor while polling, then parks.
-func (b *Barrier) yieldThenPark(rd *round) {
+func (b *Barrier) yieldThenPark(rd *round, done <-chan struct{}) (cancelled bool) {
 	deadline := b.opts.Now().Add(b.opts.SpinBudget)
 	for {
 		if rd.done.Load() {
-			return
+			return false
+		}
+		if done != nil {
+			select {
+			case <-done:
+				return true
+			default:
+			}
 		}
 		runtime.Gosched()
 		if b.opts.Now().After(deadline) {
-			<-rd.ch
-			return
+			select {
+			case <-rd.ch:
+				return false
+			case <-done:
+				return true
+			}
 		}
 	}
 }
@@ -394,12 +694,16 @@ func (b *Barrier) yieldThenPark(rd *round) {
 // (internal); a timer wake residual-spins until the release. The outcome is
 // reported back rather than recorded here so the caller can fold all
 // post-wait bookkeeping into one critical section.
-func (b *Barrier) timedPark(rd *round, predictedRelease time.Time) (out waitOutcome) {
+func (b *Barrier) timedPark(rd *round, predictedRelease time.Time, done <-chan struct{}) (out waitOutcome, cancelled bool) {
 	wake := predictedRelease.Add(-b.opts.ParkMargin)
 	d := wake.Sub(b.opts.Now())
 	if d <= 0 {
-		<-rd.ch
-		return out
+		select {
+		case <-rd.ch:
+		case <-done:
+			cancelled = true
+		}
+		return out, cancelled
 	}
 	timer := time.NewTimer(d)
 	defer timer.Stop()
@@ -411,9 +715,11 @@ func (b *Barrier) timedPark(rd *round, predictedRelease time.Time) (out waitOutc
 		// Internal wake-up: residual spin for the release (§2's Residual
 		// Spin), bounded by the spin budget, then park.
 		out.earlyWake = true
-		b.spinThenPark(rd)
+		cancelled = b.spinThenPark(rd, done)
+	case <-done:
+		cancelled = true
 	}
-	return out
+	return out, cancelled
 }
 
 // applyCutoff applies the §3.3.3 overprediction threshold: if the predicted
@@ -460,14 +766,19 @@ type SiteStats struct {
 // Stats is a snapshot of the barrier's behaviour.
 type Stats struct {
 	Generation uint64
-	Sites      []SiteStats
+	// Breaks counts generations that ended broken — by a cancelled
+	// participant or by Reset — instead of releasing.
+	Breaks uint64
+	// Stalls counts stall-watchdog firings (OnStall invocations).
+	Stalls uint64
+	Sites  []SiteStats
 }
 
 // Stats returns a consistent snapshot of predictor and tier statistics.
 func (b *Barrier) Stats() Stats {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	out := Stats{Generation: b.generation}
+	out := Stats{Generation: b.generation, Breaks: b.breaks, Stalls: b.stalls}
 	for key, s := range b.sites {
 		out.Sites = append(out.Sites, SiteStats{
 			Key:        key,

@@ -1,0 +1,305 @@
+package thrifty
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// The acceptance demo: one participant's context is cancelled while the
+// others are parked deep in their wait tiers; every other waiter returns
+// ErrBroken promptly — far inside the watchdog bound — instead of hanging.
+func TestCancelBreaksParkedWaiters(t *testing.T) {
+	const parties = 8
+	stalled := make(chan StallInfo, 1)
+	b := New(parties, Options{
+		OnStall:    func(si StallInfo) { stalled <- si },
+		StallFloor: 2 * time.Second, // the watchdog bound the break must beat
+	})
+
+	// parties-2 healthy waiters plus the victim join; one participant never
+	// arrives, so the generation can only end by breaking.
+	ctx, cancel := context.WithCancel(context.Background())
+	errs := make(chan error, parties-1)
+	for i := 0; i < parties-2; i++ {
+		go func() { errs <- b.WaitContext(context.Background()) }()
+	}
+	// Give the healthy waiters time to park, then join with a cancellable
+	// context and pull the plug.
+	time.Sleep(20 * time.Millisecond)
+	go func() { errs <- b.WaitContext(ctx) }()
+	time.Sleep(20 * time.Millisecond)
+
+	start := time.Now()
+	cancel()
+	var gotCtx, gotBroken int
+	for i := 0; i < parties-1; i++ {
+		select {
+		case err := <-errs:
+			switch {
+			case errors.Is(err, context.Canceled):
+				gotCtx++
+			case errors.Is(err, ErrBroken):
+				gotBroken++
+			default:
+				t.Fatalf("waiter returned %v", err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("only %d/%d waiters returned within the watchdog bound", i, parties-1)
+		}
+	}
+	elapsed := time.Since(start)
+	if gotCtx != 1 || gotBroken != parties-2 {
+		t.Fatalf("outcomes: %d ctx errors, %d ErrBroken; want 1 and %d", gotCtx, gotBroken, parties-2)
+	}
+	if elapsed > time.Second {
+		t.Errorf("break took %v to propagate; want well under the %v watchdog bound", elapsed, 2*time.Second)
+	}
+	select {
+	case si := <-stalled:
+		t.Errorf("watchdog fired (%+v); the break should have beaten it", si)
+	default:
+	}
+	if !b.Broken() {
+		t.Error("barrier not marked broken after a cancelled participant")
+	}
+	if st := b.Stats(); st.Breaks != 1 {
+		t.Errorf("breaks = %d, want 1", st.Breaks)
+	}
+}
+
+// A broken barrier fails fast for every Wait variant until Reset re-arms
+// it, after which it completes normally again.
+func TestBrokenFailsFastUntilReset(t *testing.T) {
+	b := New(2, Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- b.WaitContext(ctx) }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter returned %v", err)
+	}
+
+	if err := b.WaitContext(context.Background()); !errors.Is(err, ErrBroken) {
+		t.Fatalf("WaitContext on broken barrier returned %v, want ErrBroken", err)
+	}
+	func() {
+		defer func() {
+			if r := recover(); r != ErrBroken { //nolint:errorlint // panics with the exact sentinel
+				t.Errorf("Wait on broken barrier panicked with %v, want ErrBroken", r)
+			}
+		}()
+		b.Wait()
+	}()
+
+	b.Reset()
+	if b.Broken() {
+		t.Fatal("barrier still broken after Reset")
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := b.WaitContext(context.Background()); err != nil {
+				t.Errorf("post-Reset wait returned %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// A context cancelled before arrival never joins the generation: the
+// waiter gets its ctx error, and the barrier is NOT broken for the others.
+func TestPreCancelledDoesNotBreak(t *testing.T) {
+	b := New(2, Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := b.WaitContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled wait returned %v", err)
+	}
+	if b.Broken() {
+		t.Fatal("pre-arrival cancellation broke the barrier")
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := b.WaitContext(context.Background()); err != nil {
+				t.Errorf("wait returned %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Reset with live waiters wakes them all with ErrBroken.
+func TestResetWakesWaiters(t *testing.T) {
+	const parties = 4
+	b := New(parties, Options{})
+	errs := make(chan error, parties-1)
+	for i := 0; i < parties-1; i++ {
+		go func() { errs <- b.WaitContext(context.Background()) }()
+	}
+	time.Sleep(20 * time.Millisecond)
+	b.Reset()
+	for i := 0; i < parties-1; i++ {
+		if err := <-errs; !errors.Is(err, ErrBroken) {
+			t.Fatalf("reset waiter returned %v, want ErrBroken", err)
+		}
+	}
+}
+
+// The stall watchdog reports a deserted generation: parties-1 arrivals,
+// one missing, deadline floored at StallFloor.
+func TestWatchdogReportsDesertedGeneration(t *testing.T) {
+	const parties = 4
+	stalled := make(chan StallInfo, 1)
+	b := New(parties, Options{
+		OnStall:    func(si StallInfo) { stalled <- si },
+		StallFloor: 30 * time.Millisecond,
+	})
+	errs := make(chan error, parties-1)
+	for i := 0; i < parties-1; i++ {
+		go func() { errs <- b.WaitContext(context.Background()) }()
+	}
+	select {
+	case si := <-stalled:
+		if si.Arrived != parties-1 || si.Parties != parties {
+			t.Errorf("stall report %d/%d arrived, want %d/%d", si.Arrived, si.Parties, parties-1, parties)
+		}
+		if si.Waited < 30*time.Millisecond {
+			t.Errorf("stall reported after %v, below the %v floor", si.Waited, 30*time.Millisecond)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("watchdog never fired for a deserted generation")
+	}
+	if st := b.Stats(); st.Stalls != 1 {
+		t.Errorf("stalls = %d, want 1", st.Stalls)
+	}
+	// The deserter is still welcome: its arrival completes the generation.
+	go func() { errs <- b.WaitContext(context.Background()) }()
+	for i := 0; i < parties; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("waiter returned %v after the deserter arrived", err)
+		}
+	}
+}
+
+// A completed generation must not fire the watchdog.
+func TestWatchdogQuietOnHealthyBarrier(t *testing.T) {
+	const parties = 4
+	var stalls atomic.Int64
+	b := New(parties, Options{
+		OnStall:    func(StallInfo) { stalls.Add(1) },
+		StallFloor: 20 * time.Millisecond,
+	})
+	var wg sync.WaitGroup
+	for r := 0; r < 5; r++ {
+		for i := 0; i < parties; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				b.WaitSite(0x1)
+			}()
+		}
+		wg.Wait()
+	}
+	time.Sleep(50 * time.Millisecond) // past any stale deadline
+	if n := stalls.Load(); n != 0 {
+		t.Errorf("watchdog fired %d times on a healthy barrier", n)
+	}
+}
+
+// Chaos property test (run under -race): randomized cancellations racing
+// releases across many generations. Two invariants, per generation:
+//
+//  1. No early return: a waiter that returns nil saw a real release, so
+//     within one generation outcomes are all-nil or none-nil.
+//  2. No lost break: if any joined waiter was cancelled and the round did
+//     not release, every other joined waiter got ErrBroken (nobody hung —
+//     the test completing is the proof).
+func TestChaosCancellationsVsReleases(t *testing.T) {
+	const (
+		parties = 6
+		rounds  = 120
+	)
+	b := New(parties, Options{})
+	rng := rand.New(rand.NewSource(1))
+	for round := 0; round < rounds; round++ {
+		// Pick a victim with a random cancellation deadline, and a
+		// straggler whose late arrival stretches the round so that the
+		// deadline genuinely races the release (sometimes firing mid-wait,
+		// sometimes losing to the release, occasionally pre-arrival).
+		victim := rng.Intn(parties * 2) // >= parties: nobody cancelled
+		deadline := time.Duration(rng.Intn(400)) * time.Microsecond
+		straggler := rng.Intn(parties)
+		lag := time.Duration(rng.Intn(600)) * time.Microsecond
+
+		outcomes := make([]error, parties)
+		var wg sync.WaitGroup
+		for i := 0; i < parties; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				ctx := context.Background()
+				if i == victim {
+					var cancel context.CancelFunc
+					ctx, cancel = context.WithTimeout(ctx, deadline)
+					defer cancel()
+				}
+				if i == straggler {
+					time.Sleep(lag)
+				}
+				outcomes[i] = b.WaitSiteContext(ctx, 0x42)
+				if i == victim && outcomes[i] != nil && !b.Broken() {
+					// The context expired before the victim joined, so (by
+					// design) nothing broke — the supervisor gives up on the
+					// generation so the remaining waiters are not stranded.
+					b.Reset()
+				}
+			}(i)
+		}
+		wg.Wait()
+
+		var nils, breaks, ctxErrs int
+		for i, err := range outcomes {
+			switch {
+			case err == nil:
+				nils++
+			case errors.Is(err, ErrBroken):
+				breaks++
+			case errors.Is(err, context.DeadlineExceeded):
+				ctxErrs++
+				if i != victim {
+					t.Fatalf("round %d: non-victim %d got a ctx error", round, i)
+				}
+			default:
+				t.Fatalf("round %d: waiter %d returned %v", round, i, err)
+			}
+		}
+		if nils != parties && nils != 0 {
+			t.Fatalf("round %d: %d nil returns out of %d — a waiter returned before release",
+				round, nils, parties)
+		}
+		if nils == 0 && ctxErrs == 0 {
+			t.Fatalf("round %d: broke with no cancelled participant", round)
+		}
+		if b.Broken() {
+			b.Reset()
+		}
+	}
+	st := b.Stats()
+	if st.Generation == 0 {
+		t.Error("chaos run never completed a generation")
+	}
+	if st.Breaks == 0 {
+		t.Error("chaos run never broke a generation; cancellation path untested")
+	}
+}

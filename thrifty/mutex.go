@@ -1,6 +1,7 @@
 package thrifty
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"time"
@@ -24,8 +25,10 @@ import (
 // time and future predictions account for it.
 //
 // The zero value is an unlocked mutex ready for use. A Mutex must not be
-// copied after first use.
+// copied after first use (go vet's copylocks check enforces this).
 type Mutex struct {
+	noCopy noCopy //nolint:unused // vet copylocks marker
+
 	mu       sync.Mutex
 	locked   bool
 	queue    []*mutexWaiter
@@ -37,10 +40,11 @@ type Mutex struct {
 	spinnableInit bool
 
 	// Stats.
-	locks  uint64
-	spins  uint64
-	parks  uint64
-	parked time.Duration
+	locks   uint64
+	spins   uint64
+	parks   uint64
+	cancels uint64
+	parked  time.Duration
 }
 
 type mutexWaiter struct {
@@ -56,6 +60,34 @@ const mutexSpinCutoff = 20 * time.Microsecond
 
 // Lock acquires m, blocking until it is available.
 func (m *Mutex) Lock() {
+	m.lock(nil) //nolint:errcheck // nil ctx never cancels, so lock cannot fail
+}
+
+// LockContext acquires m like Lock, but gives up if ctx is cancelled or
+// expires first, returning ctx.Err(). A cancelled waiter is unlinked from
+// the FIFO queue without disturbing its neighbours' positions; if the
+// cancellation races the grant — the releaser has already dequeued the
+// waiter and the ownership token is in flight — the cancelled goroutine
+// accepts the grant and immediately passes ownership to the next waiter,
+// so the lock is never leaked and FIFO order is preserved. A nil ctx
+// behaves exactly like Lock.
+func (m *Mutex) LockContext(ctx context.Context) error {
+	if ctx == nil {
+		m.lock(nil) //nolint:errcheck
+		return nil
+	}
+	return m.lock(ctx)
+}
+
+// lock is the shared acquisition path; ctx may be nil (never cancels).
+func (m *Mutex) lock(ctx context.Context) error {
+	var done <-chan struct{}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		done = ctx.Done()
+	}
 	m.mu.Lock()
 	if !m.spinnableInit {
 		m.spinnable = runtime.GOMAXPROCS(0) > 1
@@ -66,7 +98,7 @@ func (m *Mutex) Lock() {
 		m.locked = true
 		m.grantAt = time.Now()
 		m.mu.Unlock()
-		return
+		return nil
 	}
 	w := &mutexWaiter{ch: make(chan struct{}, 1), enq: time.Now()}
 	m.queue = append(m.queue, w)
@@ -85,12 +117,15 @@ func (m *Mutex) Lock() {
 
 	if spin {
 		// Bounded spin for the grant, then park: a wrong "short"
-		// prediction costs at most the budget.
+		// prediction costs at most the budget. done is nil for plain Lock
+		// callers and its case never fires.
 		deadline := time.Now().Add(2 * mutexSpinCutoff)
 		for {
 			select {
 			case <-w.ch:
-				return
+				return nil
+			case <-done:
+				return m.cancelWait(ctx, w)
 			default:
 			}
 			if time.Now().After(deadline) {
@@ -104,26 +139,65 @@ func (m *Mutex) Lock() {
 	// spin must not corrupt the parked measurement by going untallied).
 	// This is the only post-wait lock acquisition on the path.
 	start := time.Now()
-	<-w.ch
+	select {
+	case <-w.ch:
+	case <-done:
+		return m.cancelWait(ctx, w)
+	}
 	blocked := time.Since(start)
 	m.mu.Lock()
 	m.parked += blocked
 	m.mu.Unlock()
+	return nil
+}
+
+// cancelWait withdraws a cancelled waiter. If w is still queued it is
+// unlinked in place (later waiters keep their relative order). If it is
+// gone, the releaser has already dequeued it and the grant token is in
+// flight: the only safe move is to accept the grant — it is guaranteed to
+// arrive, the send is buffered — and hand ownership straight onward,
+// because dropping the token would leave the mutex locked forever.
+func (m *Mutex) cancelWait(ctx context.Context, w *mutexWaiter) error {
+	m.mu.Lock()
+	m.cancels++
+	for i, q := range m.queue {
+		if q == w {
+			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			m.mu.Unlock()
+			return ctx.Err()
+		}
+	}
+	m.mu.Unlock()
+	<-w.ch
+	// We briefly own the lock. Pass it on without learning a service time:
+	// grant-to-regrant here measures the cancellation race, not a real
+	// hold, and would corrupt the wait predictor.
+	m.release(false)
+	return ctx.Err()
 }
 
 // Unlock releases m, handing it directly to the longest-waiting goroutine
 // if any. It panics if m is not locked.
 func (m *Mutex) Unlock() {
+	m.release(true)
+}
+
+// release is the shared hand-off path. learn controls whether the
+// grant-to-release interval updates the service-time predictor (true for
+// real Unlocks, false when a cancelled grantee forwards ownership).
+func (m *Mutex) release(learn bool) {
 	m.mu.Lock()
 	if !m.locked {
 		m.mu.Unlock()
 		panic("thrifty: Unlock of unlocked Mutex")
 	}
 	now := time.Now()
-	// Learn the service time (grant-to-release, which includes any wake
-	// latency the grantee paid) — the lock's last-value predictor.
-	m.svc = now.Sub(m.grantAt)
-	m.svcValid = true
+	if learn {
+		// Learn the service time (grant-to-release, which includes any wake
+		// latency the grantee paid) — the lock's last-value predictor.
+		m.svc = now.Sub(m.grantAt)
+		m.svcValid = true
+	}
 	if len(m.queue) == 0 {
 		m.locked = false
 		m.mu.Unlock()
@@ -142,6 +216,8 @@ type MutexStats struct {
 	// Spins and Parks count contended acquisitions by wait strategy.
 	Spins uint64
 	Parks uint64
+	// Cancels counts LockContext acquisitions abandoned by cancellation.
+	Cancels uint64
 	// Parked is the wall time waiters spent blocked instead of spinning.
 	Parked time.Duration
 	// ServiceTime is the last learned lock service time.
@@ -156,6 +232,7 @@ func (m *Mutex) Stats() MutexStats {
 		Locks:       m.locks,
 		Spins:       m.spins,
 		Parks:       m.parks,
+		Cancels:     m.cancels,
 		Parked:      m.parked,
 		ServiceTime: m.svc,
 	}
