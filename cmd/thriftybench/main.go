@@ -68,6 +68,13 @@ func main() {
 		*table1, *table2, *table3, *fig3, *fig5, *fig6, *summary = true, true, true, true, true, true, true
 	}
 
+	if *nodes < 1 || *nodes > 64 || *nodes&(*nodes-1) != 0 {
+		usage("bad -nodes %d (want a power of two <= 64)", *nodes)
+	}
+	if *jobs < 1 {
+		usage("bad -j %d (want >= 1)", *jobs)
+	}
+
 	arch := core.DefaultArch().WithNodes(*nodes)
 	if *observer >= *nodes {
 		*observer = *nodes - 1
@@ -226,7 +233,7 @@ func main() {
 	lookup := func(kind string, m map[string]func() (string, any), key, want string) func() (string, any) {
 		fn, ok := m[key]
 		if !ok {
-			fatal(fmt.Errorf("unknown %s %q (want %s)", kind, key, want))
+			usage("unknown -%s %q (want %s)", kind, key, want)
 		}
 		return fn
 	}
@@ -326,4 +333,11 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "thriftybench:", err)
 	os.Exit(1)
+}
+
+// usage reports a flag-validation failure and exits 2, the conventional
+// bad-invocation status (fatal's exit 1 is kept for runtime errors).
+func usage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "thriftybench: "+format+"\n", args...)
+	os.Exit(2)
 }

@@ -70,6 +70,9 @@ func main() {
 	if !found {
 		usage("unknown -config %q (want %s)", *config, strings.Join(names, "|"))
 	}
+	if *traceCSV == "" && (*nodes < 1 || *nodes > 64 || *nodes&(*nodes-1) != 0) {
+		usage("bad -nodes %d (want a power of two <= 64)", *nodes)
+	}
 	if *cutoff >= 0 {
 		opts.Cutoff = *cutoff
 	}
@@ -121,7 +124,7 @@ func main() {
 	} else {
 		spec, ok := workload.ByName(*app)
 		if !ok {
-			fatal(fmt.Errorf("unknown application %q (use -list)", *app))
+			usage("unknown -app %q (use -list)", *app)
 		}
 		prog = spec.Build(*nodes, *seed)
 		name = spec.Name

@@ -1,0 +1,56 @@
+package main_test
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// buildCmd compiles this command into t.TempDir and returns the binary path.
+func buildCmd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "thriftysim")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// Flag-validation failures must exit 2 with the diagnostic on stderr and
+// nothing on stdout, so `thriftysim ... > results.txt` never captures an
+// error message as data.
+func TestBadFlagsExitTwoStdoutClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary")
+	}
+	bin := buildCmd(t)
+	cases := [][]string{
+		{"-config", "Bogus"},
+		{"-app", "NoSuchApp"},
+		{"-wakeup", "psychic"},
+		{"-fault", "drop=banana"},
+		{"-nodes", "3"},
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		cmd := exec.Command(bin, args...)
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		err := cmd.Run()
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("%v: expected exit error, got %v", args, err)
+		}
+		if code := ee.ExitCode(); code != 2 {
+			t.Errorf("%v: exit %d, want 2 (stderr: %s)", args, code, stderr.String())
+		}
+		if stdout.Len() != 0 {
+			t.Errorf("%v: stdout not clean: %q", args, stdout.String())
+		}
+		if stderr.Len() == 0 {
+			t.Errorf("%v: no diagnostic on stderr", args)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+// Command thriftyvet runs the thrifty-barrier analyzer suite.
+//
+// It works in two modes:
+//
+//   - Standalone, over package patterns resolved against the enclosing
+//     module:
+//
+//     thriftyvet ./...
+//     thriftyvet -lockedwait=false ./examples/... ./cmd/...
+//
+//   - As a go vet tool, speaking the vet unit-checker protocol:
+//
+//     go vet -vettool=$(which thriftyvet) ./...
+//
+// Standalone exit codes: 0 no findings, 1 findings (or analysis failure),
+// 2 usage error. Diagnostics go to stdout; operational errors to stderr.
+//
+// The -github flag re-renders findings as GitHub Actions workflow
+// annotations (::error file=...) and, when GITHUB_STEP_SUMMARY is set,
+// appends a markdown summary for the job page.
+//
+// Findings are suppressed with a directive comment on, or on the line
+// before, the flagged line:
+//
+//	//lint:ignore barriercopy reason for the exception
+//	//lint:file-ignore sleeptable reason the whole file is exempt
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"thriftybarrier/internal/analysis"
+	"thriftybarrier/internal/analysis/load"
+	"thriftybarrier/internal/analysis/suite"
+)
+
+func main() {
+	progname := filepath.Base(os.Args[0])
+
+	// go vet probes its tool with -V=full before anything else, and with
+	// -flags for a JSON description of the flags it may forward. The suite
+	// exposes none through vet, so the answer is the empty list.
+	if len(os.Args) == 2 && strings.HasPrefix(os.Args[1], "-V") {
+		printVersion(progname)
+		return
+	}
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	// In unit-checker mode the go command passes a single *.cfg argument.
+	if len(os.Args) == 2 && strings.HasSuffix(os.Args[1], ".cfg") {
+		os.Exit(unitcheck(os.Args[1]))
+	}
+	os.Exit(standalone(progname))
+}
+
+// printVersion implements the go vet -V=full handshake: the reported
+// buildID must change whenever the tool binary changes, so vet can cache
+// results keyed on it. Hashing the executable is the x/tools convention.
+func printVersion(progname string) {
+	f, err := os.Open(os.Args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, h.Sum(nil))
+}
+
+func standalone(progname string) int {
+	fs := flag.NewFlagSet(progname, flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] [packages]\n\n", progname)
+		fmt.Fprintf(os.Stderr, "Runs the thrifty-barrier analyzers over the packages (default ./...).\n")
+		fmt.Fprintf(os.Stderr, "Also usable as go vet -vettool=$(which %s) ./...\n\nFlags:\n", progname)
+		fs.PrintDefaults()
+	}
+	github := fs.Bool("github", false, "emit findings as GitHub Actions annotations and a step summary")
+	enabled := map[string]*bool{}
+	for _, a := range suite.All() {
+		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" analyzer: "+a.Doc)
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return 2
+	}
+	var analyzers []*analysis.Analyzer
+	for _, a := range suite.All() {
+		if *enabled[a.Name] {
+			analyzers = append(analyzers, a)
+		}
+	}
+	if len(analyzers) == 0 {
+		fmt.Fprintf(os.Stderr, "%s: all analyzers disabled\n", progname)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		return 1
+	}
+	root, modPath, err := load.ModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		return 1
+	}
+	loader, err := load.NewLoader(load.Config{
+		ModulePath:   modPath,
+		ModuleDir:    root,
+		IncludeTests: true,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		return 1
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		return 2
+	}
+	findings, err := analysis.Run(pkgs, analyzers)
+	code := 0
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		code = 1
+	}
+	for i := range findings {
+		findings[i].Pos.Filename = relPath(cwd, findings[i].Pos.Filename)
+	}
+	for _, f := range findings {
+		if *github {
+			// Workflow-command annotation: renders on the PR diff.
+			fmt.Printf("::error file=%s,line=%d,col=%d::[%s] %s\n",
+				f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+		} else {
+			fmt.Println(f.String())
+		}
+	}
+	if *github {
+		writeStepSummary(findings)
+	}
+	if len(findings) > 0 {
+		code = 1
+	}
+	return code
+}
+
+func relPath(base, name string) string {
+	if rel, err := filepath.Rel(base, name); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return name
+}
+
+// writeStepSummary appends a markdown digest of the findings to the file
+// named by GITHUB_STEP_SUMMARY, when running under GitHub Actions.
+func writeStepSummary(findings []analysis.Finding) {
+	path := os.Getenv("GITHUB_STEP_SUMMARY")
+	if path == "" {
+		return
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "thriftyvet: step summary: %v\n", err)
+		return
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "## thriftyvet\n\n")
+	if len(findings) == 0 {
+		fmt.Fprintf(f, "No findings. :white_check_mark:\n")
+		return
+	}
+	fmt.Fprintf(f, "%d finding(s):\n\n", len(findings))
+	fmt.Fprintf(f, "| Location | Analyzer | Message |\n|---|---|---|\n")
+	for _, fd := range findings {
+		fmt.Fprintf(f, "| `%s:%d:%d` | %s | %s |\n",
+			fd.Pos.Filename, fd.Pos.Line, fd.Pos.Column, fd.Analyzer, strings.ReplaceAll(fd.Message, "|", "\\|"))
+	}
+}

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"thriftybarrier/internal/analysis"
+	"thriftybarrier/internal/analysis/load"
+	"thriftybarrier/internal/analysis/suite"
+)
+
+// vetConfig is the JSON configuration the go command writes for each
+// package unit when driving a vet tool. Field names and semantics follow
+// cmd/go/internal/work's vetConfig.
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoVersion    string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ImportMap   map[string]string // import path -> canonical path
+	PackageFile map[string]string // canonical path -> export data file
+	Standard    map[string]bool
+
+	PackageVetx map[string]string // canonical path -> vet facts file
+	VetxOnly    bool              // only write facts, no diagnostics wanted
+	VetxOutput  string            // where to write this unit's facts
+
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes one package unit described by cfgFile and returns
+// the process exit code: 0 clean, 1 operational error, 2 diagnostics
+// (matching x/tools' unitchecker, whose nonzero codes go vet surfaces).
+func unitcheck(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "thriftyvet: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "thriftyvet: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+
+	// The suite keeps no cross-package facts, so the facts file is always
+	// empty — but it must exist for the go command's caching.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "thriftyvet: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "thriftyvet: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	// Imports resolve through the export data the go command already
+	// built: ImportMap canonicalizes the path, PackageFile locates the
+	// compiled package, and the gc importer reads it.
+	compiled := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		return compiled.Import(path)
+	})
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	tconf := types.Config{Importer: imp, Sizes: types.SizesFor(cfg.Compiler, "amd64")}
+	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "thriftyvet: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	pkg := &load.Package{
+		Path:  cfg.ImportPath,
+		Name:  tpkg.Name(),
+		Dir:   cfg.Dir,
+		Files: files,
+		Fset:  fset,
+		Types: tpkg,
+		Info:  info,
+	}
+	findings, err := analysis.Run([]*load.Package{pkg}, suite.All())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "thriftyvet: %v\n", err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s [%s]\n", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,159 @@
+// Package analysis is a self-contained, stdlib-only re-creation of the
+// core of golang.org/x/tools/go/analysis, sized for this repository's
+// linter suite (cmd/thriftyvet). The API mirrors the upstream shapes —
+// Analyzer, Pass, Diagnostic — so the analyzers in the sibling packages
+// could be ported to the real framework by changing one import, but the
+// driver, package loader and golden-file test harness here depend only on
+// the standard library (go/ast, go/types, go/importer): the build
+// environment deliberately has no module dependencies.
+//
+// The suite exists because the thrifty barrier's correctness contract is
+// easy to violate silently (see DESIGN.md §7): a copied Barrier splits
+// predictor state, a mismatched party count deadlocks, an ignored
+// ErrBroken leaves a generation broken forever, a Wait under a held lock
+// is the classic sleep-holding-a-lock deadlock, and a non-monotone
+// sleep-state table breaks the §3.3.2 best-fit selection scan. The
+// analyzers catch each of these at vet time.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check: a name (also the suppression key
+// for //lint:ignore directives), user-facing documentation, and the Run
+// function applied once per loaded package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, command-line flags and
+	// suppression directives. It must be a valid Go identifier.
+	Name string
+	// Doc is the analyzer's documentation: a one-line summary, a blank
+	// line, then detail.
+	Doc string
+	// Run applies the check to one package and reports diagnostics
+	// through the pass.
+	Run func(*Pass) error
+}
+
+// Pass presents one package to an analyzer: its syntax, type
+// information, and a sink for diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ThriftyPkg is the import path of the public barrier package whose
+// invariants most of the suite guards.
+const ThriftyPkg = "thriftybarrier/thrifty"
+
+// PowerPkg is the import path of the sleep-state catalogue package.
+const PowerPkg = "thriftybarrier/internal/power"
+
+// IsNamed reports whether t (after stripping one level of pointer) is the
+// named type pkgPath.name. Matching is by path and name rather than
+// object identity, so it works across distinct type-check universes (the
+// loader type-checks a package once as an analysis target with test files
+// and once as a dependency without them).
+func IsNamed(t types.Type, pkgPath, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// ReceiverOf resolves a method call expression x.M(...) to the named type
+// of x and the method name. It returns ok=false for non-method calls.
+func ReceiverOf(info *types.Info, call *ast.CallExpr) (recv types.Type, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	selection, found := info.Selections[sel]
+	if !found || selection.Kind() != types.MethodVal {
+		return nil, "", false
+	}
+	return selection.Recv(), sel.Sel.Name, true
+}
+
+// IsMethodCall reports whether call invokes method name on the named type
+// pkgPath.typeName (value or pointer receiver).
+func IsMethodCall(info *types.Info, call *ast.CallExpr, pkgPath, typeName, name string) bool {
+	recv, method, ok := ReceiverOf(info, call)
+	return ok && method == name && IsNamed(recv, pkgPath, typeName)
+}
+
+// IsPkgFunc reports whether call invokes the package-level function
+// pkgPath.name (e.g. errors.Is, os.Exit).
+func IsPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return false
+	}
+	obj := info.Uses[id]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath && fn.Name() == name && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// EnclosingFunc returns the innermost function literal or declaration in
+// stack (a path of ancestor nodes, outermost first).
+func EnclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// WalkStack walks the files like ast.Inspect but hands the visitor the
+// full ancestor stack (outermost first, ending at n itself).
+func WalkStack(files []*ast.File, visit func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			if !visit(n, stack) {
+				// Inspect sends no closing nil for a skipped subtree.
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			return true
+		})
+	}
+}

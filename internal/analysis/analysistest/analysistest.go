@@ -1,0 +1,161 @@
+// Package analysistest runs an analyzer over golden-file packages under a
+// testdata directory and checks its diagnostics against the expectations
+// written in the sources — the same contract as
+// golang.org/x/tools/go/analysis/analysistest, rebuilt on the stdlib-only
+// loader.
+//
+// Expectations are comments of the form
+//
+//	b.Wait() // want "regexp"
+//	x() // want `regexp with "quotes"` "second regexp"
+//
+// Every diagnostic on a line must match one unconsumed expectation on
+// that line, and every expectation must be matched, or the test fails.
+// The driver's //lint:ignore directives are honored, so fixtures can
+// exercise suppression too.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strings"
+	"testing"
+
+	"thriftybarrier/internal/analysis"
+	"thriftybarrier/internal/analysis/load"
+)
+
+// TestData returns the testdata directory shared by the analyzer suite:
+// internal/analysis/testdata, located relative to this source file so
+// tests can run from any package directory.
+func TestData() string {
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		panic("analysistest: cannot locate caller")
+	}
+	return filepath.Join(filepath.Dir(file), "..", "testdata")
+}
+
+// Run loads each package path from dir/src, applies the analyzer, and
+// reports mismatches between its diagnostics and the // want
+// expectations through t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	root, modPath, err := load.ModuleRoot(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	loader, err := load.NewLoader(load.Config{
+		ModulePath:   modPath,
+		ModuleDir:    root,
+		SrcRoots:     []string{filepath.Join(dir, "src")},
+		IncludeTests: false,
+	})
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	pkgs, err := loader.Load(pkgpaths...)
+	if err != nil {
+		t.Fatalf("analysistest: load: %v", err)
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("analysistest: %s: type error: %v", pkg.Path, terr)
+		}
+	}
+	findings, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: run: %v", err)
+	}
+
+	expects := expectations(t, pkgs)
+	for _, f := range findings {
+		key := lineKey{f.Pos.Filename, f.Pos.Line}
+		matched := false
+		rest := expects[key][:0]
+		for _, exp := range expects[key] {
+			if !matched && exp.re.MatchString(f.Message) {
+				matched = true
+				continue
+			}
+			rest = append(rest, exp)
+		}
+		expects[key] = rest
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", f.Pos.Filename, f.Pos.Line, f.Message)
+		}
+	}
+	for key, exps := range expects {
+		for _, exp := range exps {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", key.file, key.line, exp.re.String())
+		}
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type expectation struct {
+	re *regexp.Regexp
+}
+
+// expectations parses the // want comments of every file.
+func expectations(t *testing.T, pkgs []*load.Package) map[lineKey][]expectation {
+	t.Helper()
+	out := map[lineKey][]expectation{}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(text, "want ") {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					patterns, err := parseWant(strings.TrimPrefix(text, "want "))
+					if err != nil {
+						t.Fatalf("%s:%d: bad want comment: %v", pos.Filename, pos.Line, err)
+					}
+					key := lineKey{pos.Filename, pos.Line}
+					for _, p := range patterns {
+						re, err := regexp.Compile(p)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, p, err)
+						}
+						out[key] = append(out[key], expectation{re: re})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// parseWant splits a want payload into its quoted or backquoted regexps.
+func parseWant(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var quote byte
+		switch s[0] {
+		case '"', '`':
+			quote = s[0]
+		default:
+			return nil, fmt.Errorf("expected quoted regexp at %q", s)
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated regexp in %q", s)
+		}
+		out = append(out, s[1:1+end])
+		s = strings.TrimSpace(s[2+end:])
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty want comment")
+	}
+	return out, nil
+}

@@ -1,0 +1,12 @@
+package barriercopy_test
+
+import (
+	"testing"
+
+	"thriftybarrier/internal/analysis/analysistest"
+	"thriftybarrier/internal/analysis/barriercopy"
+)
+
+func TestBarrierCopy(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), barriercopy.Analyzer, "barriercopy")
+}

@@ -1,0 +1,12 @@
+package brokenreset_test
+
+import (
+	"testing"
+
+	"thriftybarrier/internal/analysis/analysistest"
+	"thriftybarrier/internal/analysis/brokenreset"
+)
+
+func TestBrokenReset(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), brokenreset.Analyzer, "brokenreset")
+}

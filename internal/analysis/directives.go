@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression directives, in the staticcheck style:
+//
+//	//lint:ignore analyzer1[,analyzer2] reason
+//	//lint:file-ignore analyzer1[,analyzer2] reason
+//
+// An ignore directive suppresses the listed analyzers' diagnostics on the
+// directive's own line and on the line immediately below it (so it can sit
+// either at the end of the offending line or on its own line above). A
+// file-ignore directive, anywhere in a file, suppresses the listed
+// analyzers for the whole file. The analyzer list may be "*" to suppress
+// every analyzer. A reason is mandatory; a directive without one is
+// ignored (and the diagnostic stays).
+
+// suppressor answers "is this diagnostic suppressed?" for one package.
+type suppressor struct {
+	fset *token.FileSet
+	// line directives: filename -> line -> analyzer names ("*" wildcards).
+	lines map[string]map[int][]string
+	// file directives: filename -> analyzer names.
+	files map[string][]string
+}
+
+func newSuppressor(fset *token.FileSet, files []*ast.File) *suppressor {
+	s := &suppressor{fset: fset, lines: map[string]map[int][]string{}, files: map[string][]string{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				var fileWide bool
+				switch {
+				case strings.HasPrefix(text, "lint:ignore "):
+					text = strings.TrimPrefix(text, "lint:ignore ")
+				case strings.HasPrefix(text, "lint:file-ignore "):
+					text = strings.TrimPrefix(text, "lint:file-ignore ")
+					fileWide = true
+				default:
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					continue // no reason given: directive is ineffective
+				}
+				names := strings.Split(fields[0], ",")
+				pos := s.fset.Position(c.Pos())
+				if fileWide {
+					s.files[pos.Filename] = append(s.files[pos.Filename], names...)
+					continue
+				}
+				m := s.lines[pos.Filename]
+				if m == nil {
+					m = map[int][]string{}
+					s.lines[pos.Filename] = m
+				}
+				m[pos.Line] = append(m[pos.Line], names...)
+				m[pos.Line+1] = append(m[pos.Line+1], names...)
+			}
+		}
+	}
+	return s
+}
+
+func matches(names []string, analyzer string) bool {
+	for _, n := range names {
+		if n == "*" || n == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// suppressed reports whether analyzer's diagnostic at pos is covered by a
+// directive.
+func (s *suppressor) suppressed(analyzer string, pos token.Pos) bool {
+	p := s.fset.Position(pos)
+	if matches(s.files[p.Filename], analyzer) {
+		return true
+	}
+	if m := s.lines[p.Filename]; m != nil && matches(m[p.Line], analyzer) {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,43 @@
+package analysis_test
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"thriftybarrier/internal/analysis/load"
+)
+
+// TestThriftyvetExamplesClean builds the real cmd/thriftyvet binary and
+// runs it over the shipped example programs: the documentation must pass
+// its own linter with zero diagnostics.
+func TestThriftyvetExamplesClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary")
+	}
+	root, _, err := load.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "thriftyvet")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/thriftyvet")
+	build.Dir = root
+	out, err := build.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	var stdout, stderr bytes.Buffer
+	cmd := exec.Command(bin, "./examples/...", "./cmd/...")
+	cmd.Dir = root
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Errorf("thriftyvet over examples/ and cmd/: %v\nstdout:\n%s\nstderr:\n%s",
+			err, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("expected zero diagnostics, got:\n%s", stdout.String())
+	}
+}

@@ -1,0 +1,400 @@
+// Package load is a small, stdlib-only package loader for the analysis
+// driver: the subset of golang.org/x/tools/go/packages that cmd/thriftyvet
+// and the analysistest harness need. It resolves "./..."-style patterns
+// inside this module, parses each package with comments, and type-checks
+// it with full types.Info.
+//
+// Imports are resolved without a network or module cache:
+//
+//   - module-local import paths (thriftybarrier/...) are type-checked
+//     recursively from source, without test files, and cached;
+//   - any other path is first looked up under the configured GOPATH-style
+//     source roots (the analysistest testdata/src layout), then handed to
+//     go/importer's "source" importer, which type-checks the standard
+//     library from GOROOT/src.
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the package's import path; external test packages get the
+	// conventional "_test" suffix.
+	Path string
+	// Name is the package name from the source files.
+	Name string
+	// Dir is the directory holding the source files.
+	Dir   string
+	Files []*ast.File
+	Fset  *token.FileSet
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects every type-checking error in the package's own
+	// files (errors in dependencies surface as import errors here too).
+	TypeErrors []error
+}
+
+// Config parameterizes a load session.
+type Config struct {
+	// ModulePath and ModuleDir anchor module-local import resolution
+	// (e.g. "thriftybarrier" -> the repository root).
+	ModulePath string
+	ModuleDir  string
+	// SrcRoots are GOPATH-style roots searched before the standard
+	// library for non-module import paths: an import "a/b" resolves to
+	// <root>/a/b. Used by analysistest for testdata/src fixtures.
+	SrcRoots []string
+	// IncludeTests adds in-package _test.go files to each target package
+	// and loads external (pkg_test) test packages alongside.
+	IncludeTests bool
+}
+
+// Loader carries the caches of one load session. A single Loader should
+// be reused across packages: the standard-library source importer is by
+// far the most expensive part and caches internally.
+type Loader struct {
+	cfg    Config
+	fset   *token.FileSet
+	source types.Importer
+	// deps caches module-local dependency packages (type-checked without
+	// test files). loading guards against import cycles.
+	deps    map[string]*types.Package
+	loading map[string]bool
+}
+
+// NewLoader validates cfg and prepares a session.
+func NewLoader(cfg Config) (*Loader, error) {
+	if cfg.ModulePath == "" || cfg.ModuleDir == "" {
+		return nil, fmt.Errorf("load: ModulePath and ModuleDir are required")
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		cfg:     cfg,
+		fset:    fset,
+		source:  importer.ForCompiler(fset, "source", nil),
+		deps:    map[string]*types.Package{},
+		loading: map[string]bool{},
+	}, nil
+}
+
+// Fset returns the session's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// ModuleRoot locates the enclosing module: it walks up from dir to the
+// first directory containing go.mod and returns that directory and the
+// module path declared in it.
+func ModuleRoot(dir string) (root, modulePath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("load: %s/go.mod has no module line", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("load: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Load resolves the patterns and returns the type-checked packages,
+// sorted by import path. Supported patterns: "./..." and "./dir/..."
+// walks, "./dir" and "dir" directories relative to the module root, and
+// plain import paths resolvable through the module or the source roots.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	dirs := map[string]string{} // import path -> dir
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			if err := l.walk(l.cfg.ModuleDir, dirs); err != nil {
+				return nil, err
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base := strings.TrimSuffix(pat, "/...")
+			dir, _, err := l.resolve(base)
+			if err != nil {
+				return nil, err
+			}
+			if err := l.walk(dir, dirs); err != nil {
+				return nil, err
+			}
+		default:
+			dir, path, err := l.resolve(pat)
+			if err != nil {
+				return nil, err
+			}
+			dirs[path] = dir
+		}
+	}
+	paths := make([]string, 0, len(dirs))
+	for p := range dirs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	var pkgs []*Package
+	for _, path := range paths {
+		got, err := l.loadDir(path, dirs[path])
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, got...)
+	}
+	return pkgs, nil
+}
+
+// resolve maps one non-wildcard pattern to (dir, import path).
+func (l *Loader) resolve(pat string) (dir, path string, err error) {
+	clean := strings.TrimPrefix(pat, "./")
+	if clean == "." || clean == "" {
+		return l.cfg.ModuleDir, l.cfg.ModulePath, nil
+	}
+	// A directory inside the module?
+	cand := filepath.Join(l.cfg.ModuleDir, filepath.FromSlash(clean))
+	if st, err := os.Stat(cand); err == nil && st.IsDir() && !strings.HasPrefix(clean, l.cfg.ModulePath) {
+		return cand, l.cfg.ModulePath + "/" + filepath.ToSlash(clean), nil
+	}
+	// A module-local import path?
+	if clean == l.cfg.ModulePath {
+		return l.cfg.ModuleDir, clean, nil
+	}
+	if rest, ok := strings.CutPrefix(clean, l.cfg.ModulePath+"/"); ok {
+		return filepath.Join(l.cfg.ModuleDir, filepath.FromSlash(rest)), clean, nil
+	}
+	// A source-root (testdata) import path?
+	for _, root := range l.cfg.SrcRoots {
+		cand := filepath.Join(root, filepath.FromSlash(clean))
+		if st, err := os.Stat(cand); err == nil && st.IsDir() {
+			return cand, clean, nil
+		}
+	}
+	return "", "", fmt.Errorf("load: cannot resolve pattern %q", pat)
+}
+
+// walk collects every package directory under root (go-style: testdata,
+// vendor, and _/. prefixed directories are skipped).
+func (l *Loader) walk(root string, dirs map[string]string) error {
+	return filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(p)
+		if err != nil {
+			return err
+		}
+		hasGo := false
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				hasGo = true
+				break
+			}
+		}
+		if !hasGo {
+			return nil
+		}
+		rel, err := filepath.Rel(l.cfg.ModuleDir, p)
+		if err != nil {
+			return err
+		}
+		path := l.cfg.ModulePath
+		if rel != "." {
+			path = l.cfg.ModulePath + "/" + filepath.ToSlash(rel)
+		}
+		dirs[path] = p
+		return nil
+	})
+}
+
+// parseDir parses the buildable .go files of dir into three groups:
+// the primary package files, its in-package tests, and external
+// (name_test) test files.
+func (l *Loader) parseDir(dir string) (primary, tests, xtests []*ast.File, err error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ctxt := build.Default
+	var names []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		ok, err := ctxt.MatchFile(dir, name)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var primaryName string
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		switch {
+		case strings.HasSuffix(name, "_test.go") && strings.HasSuffix(f.Name.Name, "_test"):
+			xtests = append(xtests, f)
+		case strings.HasSuffix(name, "_test.go"):
+			tests = append(tests, f)
+		default:
+			if primaryName == "" {
+				primaryName = f.Name.Name
+			} else if f.Name.Name != primaryName {
+				return nil, nil, nil, fmt.Errorf("load: %s: conflicting package names %s and %s", dir, primaryName, f.Name.Name)
+			}
+			primary = append(primary, f)
+		}
+	}
+	return primary, tests, xtests, nil
+}
+
+// loadDir type-checks the package(s) in dir for analysis: the primary
+// package (with in-package tests when configured) and, when present and
+// requested, the external test package.
+func (l *Loader) loadDir(path, dir string) ([]*Package, error) {
+	primary, tests, xtests, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	files := primary
+	if l.cfg.IncludeTests {
+		files = append(append([]*ast.File{}, primary...), tests...)
+	}
+	if len(files) > 0 {
+		pkg, err := l.check(path, dir, files)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	if l.cfg.IncludeTests && len(xtests) > 0 {
+		pkg, err := l.check(path+"_test", dir, xtests)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// check type-checks one file group as an analysis target.
+func (l *Loader) check(path, dir string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	var errs []error
+	conf := types.Config{
+		Importer: (*depImporter)(l),
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	tpkg, _ := conf.Check(path, l.fset, files, info)
+	return &Package{
+		Path:       path,
+		Name:       files[0].Name.Name,
+		Dir:        dir,
+		Files:      files,
+		Fset:       l.fset,
+		Types:      tpkg,
+		Info:       info,
+		TypeErrors: errs,
+	}, nil
+}
+
+// depImporter resolves imports for the type checker.
+type depImporter Loader
+
+func (imp *depImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(imp)
+	if pkg, ok := l.deps[path]; ok {
+		return pkg, nil
+	}
+	dir, ok := l.depDir(path)
+	if !ok {
+		return l.source.Import(path)
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("load: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	primary, _, _, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(primary) == 0 {
+		return nil, fmt.Errorf("load: no buildable Go files in %s", dir)
+	}
+	var errs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	tpkg, err := conf.Check(path, l.fset, primary, nil)
+	if err != nil {
+		return nil, fmt.Errorf("load: dependency %s: %w", path, err)
+	}
+	_ = errs
+	l.deps[path] = tpkg
+	return tpkg, nil
+}
+
+// depDir maps an import path to a source directory, or reports that the
+// path is not ours (standard library).
+func (l *Loader) depDir(path string) (string, bool) {
+	if path == l.cfg.ModulePath {
+		return l.cfg.ModuleDir, true
+	}
+	if rest, ok := strings.CutPrefix(path, l.cfg.ModulePath+"/"); ok {
+		return filepath.Join(l.cfg.ModuleDir, filepath.FromSlash(rest)), true
+	}
+	for _, root := range l.cfg.SrcRoots {
+		cand := filepath.Join(root, filepath.FromSlash(path))
+		if st, err := os.Stat(cand); err == nil && st.IsDir() {
+			return cand, true
+		}
+	}
+	return "", false
+}

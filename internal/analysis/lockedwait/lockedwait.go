@@ -1,0 +1,125 @@
+// Package lockedwait flags barrier waits performed while a mutex acquired
+// in the same function is still held — the classic sleep-holding-a-lock
+// deadlock.
+//
+// A thrifty barrier routes long predicted stalls to parking tiers: the
+// waiting goroutine blocks, possibly for the whole barrier interval. If
+// it blocks while holding a sync.Mutex, sync.RWMutex or thrifty.Mutex,
+// every other goroutine that needs that lock — typically including the
+// barrier participants it is waiting for — stalls behind it, and the
+// rendezvous can never complete: the sleeper holds the very resource its
+// release depends on. (The paper's §3.1 sleep states have the same
+// hazard in hardware: a processor must not go to sleep holding a lock
+// other processors spin on.)
+//
+// The analysis is a single in-order scan of each function body: Lock and
+// RLock calls add the receiver to the held set, Unlock and RUnlock
+// remove it, a deferred Unlock keeps it held to function end, and any
+// Wait/WaitSite/WaitContext/WaitSiteContext call on a thrifty.Barrier
+// while the set is non-empty is reported. Function literals are scanned
+// independently (they run on other goroutines' stacks).
+package lockedwait
+
+import (
+	"go/ast"
+	"go/types"
+
+	"thriftybarrier/internal/analysis"
+)
+
+// Analyzer is the lockedwait analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockedwait",
+	Doc: "flags Barrier.Wait* calls made while a mutex acquired in the same " +
+		"function is still held (sleep-holding-a-lock deadlock)",
+	Run: run,
+}
+
+var waitMethods = map[string]bool{
+	"Wait": true, "WaitSite": true, "WaitContext": true, "WaitSiteContext": true,
+}
+
+// lockTypes are the lock implementations tracked by the held-set.
+var lockTypes = []struct{ pkg, name string }{
+	{"sync", "Mutex"},
+	{"sync", "RWMutex"},
+	{analysis.ThriftyPkg, "Mutex"},
+}
+
+func isLockType(t types.Type) bool {
+	for _, lt := range lockTypes {
+		if analysis.IsNamed(t, lt.pkg, lt.name) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					scanFunc(pass, info, fn.Body)
+				}
+			case *ast.FuncLit:
+				scanFunc(pass, info, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// scanFunc walks one function body in source order, maintaining the set
+// of held mutexes keyed by the receiver expression's printed form.
+// Nested function literals are skipped here; the outer Inspect in run
+// visits them with a fresh, empty held-set.
+func scanFunc(pass *analysis.Pass, info *types.Info, body *ast.BlockStmt) {
+	held := map[string]ast.Expr{} // receiver text -> acquisition site
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			// A deferred Unlock releases at function end: the lock stays
+			// held for the rest of the scan. Don't let the generic call
+			// handling below treat it as an immediate release.
+			return false
+		case *ast.CallExpr:
+			recv, method, ok := analysis.ReceiverOf(info, n)
+			if !ok {
+				return true
+			}
+			sel := n.Fun.(*ast.SelectorExpr)
+			switch {
+			case (method == "Lock" || method == "RLock") && isLockType(recv):
+				held[types.ExprString(sel.X)] = sel.X
+			case (method == "Unlock" || method == "RUnlock") && isLockType(recv):
+				delete(held, types.ExprString(sel.X))
+			case waitMethods[method] && analysis.IsNamed(recv, analysis.ThriftyPkg, "Barrier"):
+				if len(held) > 0 {
+					name := anyHeld(held)
+					pass.Reportf(n.Pos(),
+						"%s called while mutex %q is held: a parked barrier waiter holding a lock deadlocks every goroutine that needs it (unlock before waiting)",
+						"(*thrifty.Barrier)."+method, name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// anyHeld returns a deterministic representative of the held set (the
+// lexicographically smallest receiver expression).
+func anyHeld(held map[string]ast.Expr) string {
+	best := ""
+	for k := range held {
+		if best == "" || k < best {
+			best = k
+		}
+	}
+	return best
+}

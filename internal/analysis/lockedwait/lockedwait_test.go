@@ -1,0 +1,12 @@
+package lockedwait_test
+
+import (
+	"testing"
+
+	"thriftybarrier/internal/analysis/analysistest"
+	"thriftybarrier/internal/analysis/lockedwait"
+)
+
+func TestLockedWait(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockedwait.Analyzer, "lockedwait")
+}

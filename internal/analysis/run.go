@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+
+	"thriftybarrier/internal/analysis/load"
+)
+
+// Finding is one diagnostic after suppression filtering, resolved to a
+// file position.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
+}
+
+// Run applies every analyzer to every package, filters findings through
+// the //lint:ignore directives, and returns them sorted by position.
+// Packages with type errors are skipped and reported through the returned
+// error (analysis of ill-typed code produces unreliable findings).
+func Run(pkgs []*load.Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	var broken []string
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrors) > 0 {
+			broken = append(broken, fmt.Sprintf("%s: %v", pkg.Path, pkg.TypeErrors[0]))
+			continue
+		}
+		sup := newSuppressor(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.Report = func(d Diagnostic) {
+				if sup.suppressed(a.Name, d.Pos) {
+					return
+				}
+				findings = append(findings, Finding{
+					Analyzer: a.Name,
+					Pos:      pkg.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	if len(broken) > 0 {
+		return findings, fmt.Errorf("type errors in %d package(s), e.g. %s", len(broken), broken[0])
+	}
+	return findings, nil
+}

@@ -1,0 +1,226 @@
+// Package sleeptable validates sleep-state catalogue literals (the
+// paper's Table 3 shape, []power.SleepState) at vet time.
+//
+// The §3.3.2 state-selection loop scans the catalogue shallow-to-deep and
+// picks the deepest state whose round-trip transition fits the predicted
+// stall. That scan is only correct if the table is monotone: transition
+// latency strictly increasing and power strictly decreasing (savings
+// strictly increasing) with depth. A non-monotone table makes the scan
+// settle on a state that is strictly worse than a neighbour — silently,
+// since every individual state is still "valid". internal/power.Validate
+// checks this at run time; this analyzer checks every composite literal
+// whose element fields are compile-time constants before the code ever
+// runs.
+//
+// Additionally, when the catalogue literal is a field of a configuration
+// literal that also carries a constant overprediction cut-off (field
+// Cutoff) and a constant nominal barrier interval (field named BIT,
+// NominalBIT, Interval or MeanInterval), each state's round trip
+// (2×Transition) is checked against Cutoff×BIT: a state whose round trip
+// exceeds the cut-off window can never be selected profitably — the
+// §3.3.3 cut-off would strike any site that used it.
+package sleeptable
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"thriftybarrier/internal/analysis"
+)
+
+// Analyzer is the sleeptable analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "sleeptable",
+	Doc: "validates sleep-state table literals: transition latency strictly " +
+		"increasing, power strictly decreasing with depth, savings in (0,1], " +
+		"and round trips within the configured cut-off window",
+	Run: run,
+}
+
+// bitFieldNames are accepted spellings of a nominal barrier-interval
+// field in a configuration literal.
+var bitFieldNames = map[string]bool{
+	"BIT": true, "NominalBIT": true, "Interval": true, "MeanInterval": true,
+}
+
+// state holds the constant-valued fields of one element literal.
+type state struct {
+	lit        ast.Expr
+	name       string
+	savings    constant.Value // float
+	transition constant.Value // int (sim.Cycles)
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	analysis.WalkStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		tv, ok := info.Types[lit]
+		if !ok || !isSleepStateSeq(tv.Type) {
+			return true
+		}
+		states := elements(info, lit)
+		checkMonotone(pass, states)
+		if cutoff, bit, ok := enclosingCutoffBIT(info, stack); ok {
+			checkCutoff(pass, states, cutoff, bit)
+		}
+		return true
+	})
+	return nil
+}
+
+// isSleepStateSeq reports whether t is a slice or array of
+// power.SleepState.
+func isSleepStateSeq(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return analysis.IsNamed(u.Elem(), analysis.PowerPkg, "SleepState")
+	case *types.Array:
+		return analysis.IsNamed(u.Elem(), analysis.PowerPkg, "SleepState")
+	}
+	return false
+}
+
+// elements extracts the constant Savings/Transition fields of each
+// element literal; non-literal or non-constant elements yield nil values
+// and are skipped by the checks.
+func elements(info *types.Info, lit *ast.CompositeLit) []state {
+	var out []state
+	for _, elt := range lit.Elts {
+		el, ok := elt.(*ast.CompositeLit)
+		if !ok {
+			out = append(out, state{lit: elt})
+			continue
+		}
+		s := state{lit: elt, name: "?"}
+		fields := structFields(info, el)
+		if v, ok := fields["Name"]; ok && v != nil && v.Kind() == constant.String {
+			s.name = constant.StringVal(v)
+		}
+		s.savings = fields["Savings"]
+		s.transition = fields["Transition"]
+		out = append(out, s)
+	}
+	return out
+}
+
+// structFields maps field names of a (possibly positional) struct
+// literal to their constant values (nil when not constant).
+func structFields(info *types.Info, lit *ast.CompositeLit) map[string]constant.Value {
+	out := map[string]constant.Value{}
+	tv, ok := info.Types[lit]
+	if !ok {
+		return out
+	}
+	st, ok := tv.Type.Underlying().(*types.Struct)
+	if !ok {
+		return out
+	}
+	constOf := func(e ast.Expr) constant.Value {
+		if tv, ok := info.Types[e]; ok {
+			return tv.Value
+		}
+		return nil
+	}
+	for i, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if key, ok := kv.Key.(*ast.Ident); ok {
+				out[key.Name] = constOf(kv.Value)
+			}
+			continue
+		}
+		if i < st.NumFields() {
+			out[st.Field(i).Name()] = constOf(elt)
+		}
+	}
+	return out
+}
+
+func checkMonotone(pass *analysis.Pass, states []state) {
+	for i, s := range states {
+		if s.savings != nil {
+			f, _ := constant.Float64Val(s.savings)
+			if f <= 0 || f > 1 {
+				pass.Reportf(s.lit.Pos(), "sleep state %s: savings %v outside (0,1] (power saving is a fraction of TDPmax)", s.name, s.savings)
+			}
+		}
+		if s.transition != nil {
+			if t, _ := constant.Int64Val(s.transition); t <= 0 {
+				pass.Reportf(s.lit.Pos(), "sleep state %s: non-positive transition latency %v", s.name, s.transition)
+			}
+		}
+		if i == 0 {
+			continue
+		}
+		prev := states[i-1]
+		if s.transition != nil && prev.transition != nil {
+			cur, _ := constant.Int64Val(s.transition)
+			before, _ := constant.Int64Val(prev.transition)
+			if cur <= before {
+				pass.Reportf(s.lit.Pos(), "sleep state %s: transition latency %v not strictly greater than previous state's %v; the best-fit scan (§3.3.2) assumes latency strictly increasing with depth", s.name, s.transition, prev.transition)
+			}
+		}
+		if s.savings != nil && prev.savings != nil {
+			cur, _ := constant.Float64Val(s.savings)
+			before, _ := constant.Float64Val(prev.savings)
+			if cur <= before {
+				pass.Reportf(s.lit.Pos(), "sleep state %s: power saving %v not strictly greater than previous state's %v; deeper states must consume strictly less power", s.name, s.savings, prev.savings)
+			}
+		}
+	}
+}
+
+// enclosingCutoffBIT inspects the innermost enclosing struct literal for
+// constant Cutoff and nominal-BIT fields.
+func enclosingCutoffBIT(info *types.Info, stack []ast.Node) (cutoff float64, bit int64, ok bool) {
+	// stack ends at the slice literal itself; its parent chain may run
+	// through a KeyValueExpr into the configuration struct literal.
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.KeyValueExpr:
+			continue
+		case *ast.CompositeLit:
+			fields := structFields(info, n)
+			cv, hasCut := fields["Cutoff"]
+			if !hasCut || cv == nil {
+				return 0, 0, false
+			}
+			var bv constant.Value
+			for name := range bitFieldNames {
+				if v, has := fields[name]; has && v != nil {
+					bv = v
+					break
+				}
+			}
+			if bv == nil {
+				return 0, 0, false
+			}
+			cutoff, _ = constant.Float64Val(cv)
+			bit, _ = constant.Int64Val(bv)
+			return cutoff, bit, true
+		default:
+			return 0, 0, false
+		}
+	}
+	return 0, 0, false
+}
+
+func checkCutoff(pass *analysis.Pass, states []state, cutoff float64, bit int64) {
+	if cutoff <= 0 || bit <= 0 {
+		return
+	}
+	window := cutoff * float64(bit)
+	for _, s := range states {
+		if s.transition == nil {
+			continue
+		}
+		t, _ := constant.Int64Val(s.transition)
+		if rt := 2 * t; float64(rt) > window {
+			pass.Reportf(s.lit.Pos(), "sleep state %s: round-trip latency %d exceeds the cut-off window %.0f (Cutoff %.2g × BIT %d); the §3.3.3 cut-off disables any site that uses this state", s.name, rt, window, cutoff, bit)
+		}
+	}
+}

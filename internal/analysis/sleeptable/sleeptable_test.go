@@ -1,0 +1,12 @@
+package sleeptable_test
+
+import (
+	"testing"
+
+	"thriftybarrier/internal/analysis/analysistest"
+	"thriftybarrier/internal/analysis/sleeptable"
+)
+
+func TestSleepTable(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), sleeptable.Analyzer, "sleeptable")
+}

@@ -1,0 +1,24 @@
+// Package suite enumerates the thriftyvet analyzers in their canonical
+// order. cmd/thriftyvet and the end-to-end tests share this registry so
+// the binary and the test suite can never disagree about what runs.
+package suite
+
+import (
+	"thriftybarrier/internal/analysis"
+	"thriftybarrier/internal/analysis/barriercopy"
+	"thriftybarrier/internal/analysis/brokenreset"
+	"thriftybarrier/internal/analysis/lockedwait"
+	"thriftybarrier/internal/analysis/sleeptable"
+	"thriftybarrier/internal/analysis/waitparties"
+)
+
+// All returns every analyzer in the suite, in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		barriercopy.Analyzer,
+		brokenreset.Analyzer,
+		lockedwait.Analyzer,
+		sleeptable.Analyzer,
+		waitparties.Analyzer,
+	}
+}

@@ -1,0 +1,82 @@
+// Golden cases for the barriercopy analyzer: thrifty.Barrier and
+// thrifty.Mutex values must never be copied.
+package barriercopy
+
+import (
+	"thriftybarrier/thrifty"
+)
+
+// wrapped embeds a Barrier by value: copying wrapped copies the barrier.
+type wrapped struct {
+	b thrifty.Barrier
+	n int
+}
+
+func flaggedAssignments() {
+	b := thrifty.New(4, thrifty.Options{})
+	copied := *b // want `assignment copies thrifty\.Barrier by value`
+	_ = copied
+
+	var m thrifty.Mutex
+	m2 := m // want `assignment copies thrifty\.Mutex by value`
+	_ = m2
+
+	var w wrapped
+	w2 := w // want `assignment copies thrifty\.Barrier by value`
+	_ = w2
+}
+
+func flaggedParams(b thrifty.Barrier) { // want `function takes thrifty\.Barrier by value`
+	_ = b
+}
+
+func flaggedResult() thrifty.Mutex { // want `function returns thrifty\.Mutex by value`
+	var m thrifty.Mutex
+	return m
+}
+
+func flaggedCall() {
+	var m thrifty.Mutex
+	use(m) // want `call passes thrifty\.Mutex by value`
+}
+
+func use(any interface{}) { _ = any }
+
+func flaggedRange() {
+	barriers := make([]thrifty.Barrier, 3)
+	for _, b := range barriers { // want `range copies thrifty\.Barrier by value`
+		_ = b
+	}
+}
+
+func suppressed() {
+	var m thrifty.Mutex
+	//lint:ignore barriercopy fixture demonstrating directive suppression
+	m3 := m
+	_ = m3
+}
+
+// --- clean cases: pointers and fresh construction are fine ---
+
+func cleanPointer() *thrifty.Barrier {
+	b := thrifty.New(4, thrifty.Options{})
+	takePtr(b)
+	var m thrifty.Mutex
+	takeMutexPtr(&m)
+	return b
+}
+
+func takePtr(b *thrifty.Barrier)    { b.Wait() }
+func takeMutexPtr(m *thrifty.Mutex) { m.Lock(); m.Unlock() }
+
+func cleanConstruction() {
+	// A composite literal constructs; it does not copy a live value.
+	var m thrifty.Mutex
+	_ = &m
+	opts := thrifty.Options{Cutoff: 0.1}
+	_ = opts // Options holds no lock state: copying it is fine.
+	ptrs := make([]*thrifty.Barrier, 2)
+	for _, p := range ptrs { // pointers: no copy of the barrier itself
+		_ = p
+	}
+}

@@ -1,0 +1,72 @@
+// Golden cases for the lockedwait analyzer: never park at a barrier
+// while holding a lock.
+package lockedwait
+
+import (
+	"context"
+	"sync"
+
+	"thriftybarrier/thrifty"
+)
+
+func flaggedSyncMutex(b *thrifty.Barrier, mu *sync.Mutex) {
+	mu.Lock()
+	b.Wait() // want `\(\*thrifty\.Barrier\)\.Wait called while mutex "mu" is held`
+	mu.Unlock()
+}
+
+func flaggedDeferred(b *thrifty.Barrier, ctx context.Context) error {
+	var mu sync.Mutex
+	mu.Lock()
+	defer mu.Unlock()         // held to function end...
+	return b.WaitContext(ctx) // want `\(\*thrifty\.Barrier\)\.WaitContext called while mutex "mu" is held`
+}
+
+func flaggedRLock(b *thrifty.Barrier, rw *sync.RWMutex) {
+	rw.RLock()
+	b.WaitSite(1) // want `\(\*thrifty\.Barrier\)\.WaitSite called while mutex "rw" is held`
+	rw.RUnlock()
+}
+
+func flaggedThriftyMutex(b *thrifty.Barrier, m *thrifty.Mutex) {
+	m.Lock()
+	b.Wait() // want `\(\*thrifty\.Barrier\)\.Wait called while mutex "m" is held`
+	m.Unlock()
+}
+
+type server struct {
+	mu sync.Mutex
+	b  *thrifty.Barrier
+}
+
+func (s *server) flaggedField() {
+	s.mu.Lock()
+	s.b.Wait() // want `\(\*thrifty\.Barrier\)\.Wait called while mutex "s\.mu" is held`
+	s.mu.Unlock()
+}
+
+// --- clean cases ---
+
+func cleanUnlockFirst(b *thrifty.Barrier, mu *sync.Mutex) {
+	mu.Lock()
+	// critical section
+	mu.Unlock()
+	b.Wait()
+}
+
+func cleanGoroutine(b *thrifty.Barrier, mu *sync.Mutex) {
+	mu.Lock()
+	defer mu.Unlock()
+	// The literal runs on another goroutine's stack: it does not hold mu.
+	go func() {
+		b.Wait()
+	}()
+}
+
+func cleanBalancedBranch(b *thrifty.Barrier, mu *sync.Mutex, fast bool) {
+	if fast {
+		mu.Lock()
+		mu.Unlock()
+	}
+	b.Wait()
+}

@@ -1,0 +1,76 @@
+// Golden cases for the sleeptable analyzer: Table 3-shaped sleep-state
+// catalogues must be monotone, and every state must fit the cut-off
+// window when one is configured alongside.
+package sleeptable
+
+import (
+	"thriftybarrier/internal/power"
+	"thriftybarrier/internal/sim"
+)
+
+// simConfig mirrors the shape of a simulator configuration carrying a
+// catalogue, a cut-off fraction, and a nominal barrier interval.
+type simConfig struct {
+	Cutoff float64
+	BIT    sim.Cycles
+	States []power.SleepState
+}
+
+var flaggedNonMonotoneLatency = []power.SleepState{
+	{ID: power.Sleep1, Name: "Halt", Savings: 0.70, Transition: 10 * sim.Microsecond, Snoops: true},
+	{ID: power.Sleep2, Name: "S2", Savings: 0.79, Transition: 8 * sim.Microsecond}, // want `transition latency .* not strictly greater than previous`
+}
+
+var flaggedNonMonotonePower = []power.SleepState{
+	{ID: power.Sleep1, Name: "Halt", Savings: 0.70, Transition: 10 * sim.Microsecond, Snoops: true},
+	{ID: power.Sleep2, Name: "S2", Savings: 0.60, Transition: 15 * sim.Microsecond}, // want `power saving .* not strictly greater than previous`
+}
+
+var flaggedEqualLatency = []power.SleepState{
+	{ID: power.Sleep1, Name: "Halt", Savings: 0.70, Transition: 10 * sim.Microsecond, Snoops: true},
+	{ID: power.Sleep2, Name: "S2", Savings: 0.79, Transition: 10 * sim.Microsecond}, // want `transition latency .* not strictly greater than previous`
+}
+
+var flaggedBadSavings = []power.SleepState{
+	{ID: power.Sleep1, Name: "Halt", Savings: 1.5, Transition: 10 * sim.Microsecond}, // want `savings .* outside \(0,1\]`
+}
+
+var flaggedZeroTransition = []power.SleepState{
+	{ID: power.Sleep1, Name: "Halt", Savings: 0.70, Transition: 0}, // want `non-positive transition latency`
+}
+
+// The deepest state's round trip (2×350µs) exceeds 10% of the 1ms
+// nominal interval: the §3.3.3 cut-off would disable any site using it.
+var flaggedCutoff = simConfig{
+	Cutoff: 0.10,
+	BIT:    1 * sim.Millisecond,
+	States: []power.SleepState{
+		{ID: power.Sleep1, Name: "Halt", Savings: 0.70, Transition: 10 * sim.Microsecond, Snoops: true},
+		{ID: power.Sleep3, Name: "Deep", Savings: 0.97, Transition: 350 * sim.Microsecond}, // want `round-trip latency 700000 exceeds the cut-off window 100000`
+	},
+}
+
+// --- clean cases ---
+
+var cleanTable3 = []power.SleepState{
+	{ID: power.Sleep1, Name: "Sleep1 (Halt)", Savings: 0.702, Transition: 10 * sim.Microsecond, Snoops: true},
+	{ID: power.Sleep2, Name: "Sleep2", Savings: 0.792, Transition: 15 * sim.Microsecond},
+	{ID: power.Sleep3, Name: "Sleep3", Savings: 0.978, Transition: 35 * sim.Microsecond, VoltageReduced: true},
+}
+
+var cleanWithinCutoff = simConfig{
+	Cutoff: 0.10,
+	BIT:    1 * sim.Millisecond,
+	States: []power.SleepState{
+		{ID: power.Sleep1, Name: "Halt", Savings: 0.70, Transition: 10 * sim.Microsecond, Snoops: true},
+		{ID: power.Sleep3, Name: "Deep", Savings: 0.97, Transition: 35 * sim.Microsecond},
+	},
+}
+
+// Non-constant fields are out of scope for the static check.
+func cleanDynamic(t sim.Cycles) []power.SleepState {
+	return []power.SleepState{
+		{ID: power.Sleep1, Name: "Halt", Savings: 0.70, Transition: t},
+		{ID: power.Sleep2, Name: "S2", Savings: 0.79, Transition: t / 2},
+	}
+}

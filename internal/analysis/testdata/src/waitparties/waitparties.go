@@ -1,0 +1,80 @@
+// Golden cases for the waitparties analyzer: the number of goroutines
+// waiting on a barrier must match its constructed party count.
+package waitparties
+
+import (
+	"context"
+
+	"thriftybarrier/thrifty"
+)
+
+const workers = 8
+
+func flaggedLoopMismatch() {
+	b := thrifty.New(workers, thrifty.Options{})
+	// Spawns workers-1 goroutines for a workers-party barrier: the last
+	// generation never completes.
+	for i := 0; i < workers-1; i++ {
+		go func() {
+			b.Wait() // want `loop spawns 7 goroutines calling Wait on a barrier constructed with 8 parties`
+		}()
+	}
+}
+
+func flaggedLoopTooMany() {
+	b := thrifty.New(2, thrifty.Options{})
+	for i := 0; i <= 2; i++ { // three goroutines
+		go func() {
+			_ = b.WaitContext(context.Background()) // want `loop spawns 3 goroutines calling WaitContext on a barrier constructed with 2 parties`
+		}()
+	}
+}
+
+func flaggedRangeInt() {
+	b := thrifty.New(4, thrifty.Options{})
+	for range 5 {
+		go func() {
+			b.Wait() // want `loop spawns 5 goroutines calling Wait on a barrier constructed with 4 parties`
+		}()
+	}
+}
+
+func flaggedTooManySites() {
+	b := thrifty.New(2, thrifty.Options{}) // want `barrier constructed with 2 parties is awaited from 3 distinct functions`
+	go func() { b.Wait() }()
+	go func() { b.Wait() }()
+	go func() { b.Wait() }()
+}
+
+// --- clean cases ---
+
+func cleanMatched() {
+	b := thrifty.New(workers, thrifty.Options{})
+	for i := 0; i < workers; i++ {
+		go func() {
+			for it := 0; it < 100; it++ { // inner iteration loop: not a spawn
+				b.Wait()
+				b.Wait() // several phases per iteration are fine
+			}
+		}()
+	}
+}
+
+func cleanOuterRounds() {
+	// The outer rounds loop multiplies a matched inner spawn loop; the
+	// goroutines belong to the inner loop, whose count is correct.
+	b := thrifty.New(4, thrifty.Options{})
+	for r := 0; r < 10; r++ {
+		for i := 0; i < 4; i++ {
+			go func() { b.Wait() }()
+		}
+	}
+}
+
+func cleanDerivedCount(n int) {
+	// Non-constant party count: nothing to check statically.
+	b := thrifty.New(n, thrifty.Options{})
+	for i := 0; i < n; i++ {
+		go func() { b.Wait() }()
+	}
+}

@@ -1,0 +1,285 @@
+// Package waitparties checks that the number of goroutines waiting on a
+// thrifty.Barrier is consistent with the party count it was constructed
+// with, where both are compile-time constants.
+//
+// A barrier whose constructed party count does not match the number of
+// participants deadlocks silently: with too few waiters the generation
+// never completes; with too many, "extra" goroutines from the next phase
+// complete a generation early and split the rendezvous (§3.2 of the
+// paper assumes exactly N participants per barrier instance). Two
+// patterns are flagged:
+//
+//  1. a loop with a constant trip count M spawning goroutines that call
+//     Wait on a barrier constructed with constant parties N, M != N;
+//  2. a barrier with constant parties N awaited from more than N distinct
+//     functions — more static waiting call sites than the barrier has
+//     parties means at least two phases' participants meet at one
+//     generation.
+package waitparties
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"thriftybarrier/internal/analysis"
+)
+
+// Analyzer is the waitparties analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "waitparties",
+	Doc: "flags mismatches between a barrier's constant party count and the " +
+		"constant number of goroutines (or distinct functions) waiting on it",
+	Run: run,
+}
+
+// waitMethods are the methods that join a barrier generation.
+var waitMethods = map[string]bool{
+	"Wait": true, "WaitSite": true, "WaitContext": true, "WaitSiteContext": true,
+}
+
+// barrierInfo records one `b := thrifty.New(N, ...)` construction with
+// constant N.
+type barrierInfo struct {
+	obj     types.Object
+	parties int64
+	pos     token.Pos
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+
+	constInt := func(e ast.Expr) (int64, bool) {
+		tv, ok := info.Types[e]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+			return 0, false
+		}
+		return constant.Int64Val(tv.Value)
+	}
+
+	// Pass 1: barrier constructions with a constant party count, bound to
+	// a plain identifier.
+	barriers := map[types.Object]*barrierInfo{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+				return true
+			}
+			call, ok := assign.Rhs[0].(*ast.CallExpr)
+			if !ok || len(call.Args) < 1 || !analysis.IsPkgFunc(info, call, analysis.ThriftyPkg, "New") {
+				return true
+			}
+			parties, ok := constInt(call.Args[0])
+			if !ok {
+				return true
+			}
+			id, ok := assign.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id] // plain `=` assignment
+			}
+			if obj != nil {
+				barriers[obj] = &barrierInfo{obj: obj, parties: parties, pos: call.Pos()}
+			}
+			return true
+		})
+	}
+	if len(barriers) == 0 {
+		return nil
+	}
+
+	// barrierOf resolves a Wait-family method call back to a recorded
+	// barrier object (the receiver must be a plain identifier).
+	barrierOf := func(call *ast.CallExpr) *barrierInfo {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !waitMethods[sel.Sel.Name] {
+			return nil
+		}
+		recv, method, ok := analysis.ReceiverOf(info, call)
+		if !ok || !waitMethods[method] || !analysis.IsNamed(recv, analysis.ThriftyPkg, "Barrier") {
+			return nil
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		return barriers[info.Uses[id]]
+	}
+
+	// Pass 2a: constant-trip-count loops spawning waiting goroutines.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			trips, ok := loopTripCount(info, constInt, n)
+			if !ok {
+				return true
+			}
+			body := loopBody(n)
+			ast.Inspect(body, func(m ast.Node) bool {
+				// A nested loop multiplies the spawn count: its go statements
+				// are attributed to it (it gets its own visit), not to us.
+				switch m.(type) {
+				case *ast.ForStmt, *ast.RangeStmt:
+					return false
+				}
+				gostmt, ok := m.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				// Every Wait-family call reachable inside the spawned
+				// function body (excluding further nested go statements,
+				// which spawn their own participants).
+				ast.Inspect(gostmt.Call, func(k ast.Node) bool {
+					if inner, ok := k.(*ast.GoStmt); ok && inner != gostmt {
+						return false
+					}
+					call, ok := k.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if b := barrierOf(call); b != nil && b.parties != trips {
+						pass.Reportf(call.Pos(),
+							"loop spawns %d goroutines calling %s on a barrier constructed with %d parties (mismatched rendezvous deadlocks or splits generations)",
+							trips, call.Fun.(*ast.SelectorExpr).Sel.Name, b.parties)
+					}
+					return true
+				})
+				return true
+			})
+			return true
+		})
+	}
+
+	// Pass 2b: more distinct waiting functions than parties.
+	type siteSet map[ast.Node]bool
+	sites := map[*barrierInfo]siteSet{}
+	analysis.WalkStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		b := barrierOf(call)
+		if b == nil {
+			return true
+		}
+		fn := analysis.EnclosingFunc(stack)
+		if fn == nil {
+			return true
+		}
+		if sites[b] == nil {
+			sites[b] = siteSet{}
+		}
+		sites[b][fn] = true
+		return true
+	})
+	ordered := make([]*barrierInfo, 0, len(sites))
+	for b := range sites {
+		ordered = append(ordered, b)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].pos < ordered[j].pos })
+	for _, b := range ordered {
+		if n := int64(len(sites[b])); n > b.parties {
+			pass.Reportf(b.pos,
+				"barrier constructed with %d parties is awaited from %d distinct functions; more waiting functions than parties mixes phases in one generation",
+				b.parties, n)
+		}
+	}
+	return nil
+}
+
+// loopTripCount recognizes loops with a compile-time-constant trip count:
+// `for i := C0; i < M; i++` (and <=), and `for … := range M` over an
+// integer constant. It returns the trip count.
+func loopTripCount(info *types.Info, constInt func(ast.Expr) (int64, bool), n ast.Node) (int64, bool) {
+	switch loop := n.(type) {
+	case *ast.ForStmt:
+		if loop.Init == nil || loop.Cond == nil || loop.Post == nil {
+			return 0, false
+		}
+		init, ok := loop.Init.(*ast.AssignStmt)
+		if !ok || len(init.Lhs) != 1 || len(init.Rhs) != 1 {
+			return 0, false
+		}
+		start, ok := constInt(init.Rhs[0])
+		if !ok {
+			return 0, false
+		}
+		cond, ok := loop.Cond.(*ast.BinaryExpr)
+		if !ok {
+			return 0, false
+		}
+		// The loop variable must be the one initialized and incremented.
+		iv, ok := init.Lhs[0].(*ast.Ident)
+		if !ok || !sameIdent(info, cond.X, iv) {
+			return 0, false
+		}
+		if !isIncrOf(info, loop.Post, iv) {
+			return 0, false
+		}
+		bound, ok := constInt(cond.Y)
+		if !ok {
+			return 0, false
+		}
+		switch cond.Op {
+		case token.LSS:
+			return bound - start, true
+		case token.LEQ:
+			return bound - start + 1, true
+		}
+		return 0, false
+	case *ast.RangeStmt:
+		// go1.22 integer range: `for range M`.
+		if m, ok := constInt(loop.X); ok {
+			return m, true
+		}
+	}
+	return 0, false
+}
+
+func loopBody(n ast.Node) *ast.BlockStmt {
+	switch loop := n.(type) {
+	case *ast.ForStmt:
+		return loop.Body
+	case *ast.RangeStmt:
+		return loop.Body
+	}
+	return nil
+}
+
+func sameIdent(info *types.Info, e ast.Expr, id *ast.Ident) bool {
+	other, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return objOf(info, other) != nil && objOf(info, other) == objOf(info, id)
+}
+
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Defs[id]; o != nil {
+		return o
+	}
+	return info.Uses[id]
+}
+
+func isIncrOf(info *types.Info, post ast.Stmt, iv *ast.Ident) bool {
+	switch p := post.(type) {
+	case *ast.IncDecStmt:
+		return p.Tok == token.INC && sameIdent(info, p.X, iv)
+	case *ast.AssignStmt:
+		// i += 1
+		if p.Tok != token.ADD_ASSIGN || len(p.Lhs) != 1 || len(p.Rhs) != 1 {
+			return false
+		}
+		if !sameIdent(info, p.Lhs[0], iv) {
+			return false
+		}
+		lit, ok := p.Rhs[0].(*ast.BasicLit)
+		return ok && lit.Value == "1"
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package waitparties_test
+
+import (
+	"testing"
+
+	"thriftybarrier/internal/analysis/analysistest"
+	"thriftybarrier/internal/analysis/waitparties"
+)
+
+func TestWaitParties(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), waitparties.Analyzer, "waitparties")
+}

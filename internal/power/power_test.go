@@ -47,10 +47,12 @@ func TestValidateRejectsDisorder(t *testing.T) {
 	if Validate(states) == nil {
 		t.Error("reversed catalogue accepted")
 	}
+	//lint:ignore sleeptable deliberately invalid table exercising Validate
 	bad := []SleepState{{Name: "x", Savings: 1.5, Transition: 1}}
 	if Validate(bad) == nil {
 		t.Error("savings > 1 accepted")
 	}
+	//lint:ignore sleeptable deliberately invalid table exercising Validate
 	bad = []SleepState{{Name: "x", Savings: 0.5, Transition: 0}}
 	if Validate(bad) == nil {
 		t.Error("zero transition accepted")

@@ -26,6 +26,7 @@ func TestCancelBreaksParkedWaiters(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	errs := make(chan error, parties-1)
 	for i := 0; i < parties-2; i++ {
+		//lint:ignore waitparties deliberate under-fill: the break must rescue the parked waiters
 		go func() { errs <- b.WaitContext(context.Background()) }()
 	}
 	// Give the healthy waiters time to park, then join with a cancellable
@@ -75,6 +76,7 @@ func TestCancelBreaksParkedWaiters(t *testing.T) {
 // A broken barrier fails fast for every Wait variant until Reset re-arms
 // it, after which it completes normally again.
 func TestBrokenFailsFastUntilReset(t *testing.T) {
+	//lint:ignore waitparties sequential phases exercise every Wait variant against one barrier
 	b := New(2, Options{})
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
@@ -145,6 +147,7 @@ func TestResetWakesWaiters(t *testing.T) {
 	b := New(parties, Options{})
 	errs := make(chan error, parties-1)
 	for i := 0; i < parties-1; i++ {
+		//lint:ignore waitparties deliberate under-fill: Reset must wake the stranded waiters
 		go func() { errs <- b.WaitContext(context.Background()) }()
 	}
 	time.Sleep(20 * time.Millisecond)
@@ -167,6 +170,7 @@ func TestWatchdogReportsDesertedGeneration(t *testing.T) {
 	})
 	errs := make(chan error, parties-1)
 	for i := 0; i < parties-1; i++ {
+		//lint:ignore waitparties deliberate under-fill: the watchdog must report the deserter
 		go func() { errs <- b.WaitContext(context.Background()) }()
 	}
 	select {
