@@ -19,6 +19,8 @@
 //	thriftybench -nodes 16 -seed 7    # smaller machine, different seed
 //	thriftybench -all -out results    # also write text + CSV + JSON files
 //	thriftybench -all -j 1            # sequential (identical output)
+//	thriftybench -bench-json -out results  # record the Go microbenchmark
+//	                                  # suite as BENCH_runtime.json + BENCH_sim.json
 package main
 
 import (
@@ -32,6 +34,7 @@ import (
 
 	"thriftybarrier/internal/core"
 	"thriftybarrier/internal/harness"
+	"thriftybarrier/internal/harness/microbench"
 	"thriftybarrier/internal/power"
 )
 
@@ -57,11 +60,12 @@ func main() {
 		timeout  = flag.Duration("timeout", 2*time.Minute, "per-run wall-clock limit; a wedged run is skipped with a diagnostic (0 = no limit)")
 		jsonOut  = flag.Bool("json", true, "with -out, write a machine-readable .json twin next to every text artifact")
 		progress = flag.Bool("progress", true, "report per-run completion on stderr")
+		benchNow = flag.Bool("bench-json", false, "run the Go microbenchmark suite and write BENCH_runtime.json + BENCH_sim.json (into -out, or the current directory)")
 	)
 	flag.Parse()
 
 	if !*table1 && !*table2 && !*table3 && !*fig3 && !*fig5 && !*fig6 &&
-		!*summary && *ablation == "" && *sens == "" && *ext == "" && *markdown == "" {
+		!*summary && *ablation == "" && *sens == "" && *ext == "" && *markdown == "" && !*benchNow {
 		*all = true
 	}
 	if *all {
@@ -78,6 +82,16 @@ func main() {
 	arch := core.DefaultArch().WithNodes(*nodes)
 	if *observer >= *nodes {
 		*observer = *nodes - 1
+	}
+
+	if *benchNow {
+		if err := writeBenchJSON(*outDir, *progress); err != nil {
+			fatal(err)
+		}
+		if !*all && !*table1 && !*table2 && !*table3 && !*fig3 && !*fig5 && !*fig6 &&
+			!*summary && *ablation == "" && *sens == "" && *ext == "" && *markdown == "" {
+			return
+		}
 	}
 
 	runner := &harness.Runner{Jobs: *jobs, Timeout: *timeout}
@@ -328,6 +342,48 @@ func main() {
 		}
 		writeFile("BENCH_manifest.json", b)
 	}
+}
+
+// writeBenchJSON records the perf trajectory: it runs the in-process Go
+// microbenchmark suites (internal/harness/microbench) and writes
+// BENCH_runtime.json (goroutine-barrier arrival and rendezvous) plus
+// BENCH_sim.json (event-engine schedule/fire/cancel) so future changes
+// can diff ns/op, allocs/op and the custom metrics against a baseline.
+func writeBenchJSON(dir string, progress bool) error {
+	if dir == "" {
+		dir = "."
+	}
+	type suite struct {
+		Go         string              `json:"go"`
+		GOMAXPROCS int                 `json:"gomaxprocs"`
+		Results    []microbench.Result `json:"results"`
+	}
+	var report func(microbench.Result)
+	if progress {
+		report = func(r microbench.Result) {
+			fmt.Fprintf(os.Stderr, "thriftybench: bench %s: %.1f ns/op, %d allocs/op\n",
+				r.Name, r.NsPerOp, r.AllocsPerOp)
+		}
+	}
+	write := func(name string, specs []microbench.Spec) error {
+		s := suite{Go: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0), Results: microbench.Run(specs, report)}
+		b, err := harness.MarshalArtifact(s)
+		if err != nil {
+			return err
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), b, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", filepath.Join(dir, name))
+		return nil
+	}
+	if err := write("BENCH_runtime.json", microbench.RuntimeSpecs()); err != nil {
+		return err
+	}
+	return write("BENCH_sim.json", microbench.SimSpecs())
 }
 
 func fatal(err error) {

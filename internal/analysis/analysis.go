@@ -67,6 +67,11 @@ const ThriftyPkg = "thriftybarrier/thrifty"
 // PowerPkg is the import path of the sleep-state catalogue package.
 const PowerPkg = "thriftybarrier/internal/power"
 
+// SimPkg is the import path of the discrete-event engine package; its
+// Engine owns the flat event arena and index heap that the barriercopy
+// analyzer guards against by-value copies.
+const SimPkg = "thriftybarrier/internal/sim"
+
 // IsNamed reports whether t (after stripping one level of pointer) is the
 // named type pkgPath.name. Matching is by path and name rather than
 // object identity, so it works across distinct type-check universes (the

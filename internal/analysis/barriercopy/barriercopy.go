@@ -1,16 +1,20 @@
-// Package barriercopy flags thrifty.Barrier and thrifty.Mutex values that
-// are copied: passed by value, assigned from another value, returned by
-// value, or produced as range-loop copies.
+// Package barriercopy flags thrifty.Barrier, thrifty.Mutex and sim.Engine
+// values that are copied: passed by value, assigned from another value,
+// returned by value, or produced as range-loop copies.
 //
-// Both types embed a noCopy marker, so go vet's copylocks check catches
-// many copies at run-of-vet time — but copylocks only understands
+// The thrifty types embed a noCopy marker, so go vet's copylocks check
+// catches many copies at run-of-vet time — but copylocks only understands
 // sync.Locker-shaped fields, reports at slightly different places, and is
 // easy to leave out of a build pipeline. This analyzer enforces the
 // documented "must not be copied after first use" contract directly: a
 // copied Barrier splits the per-call-site predictor state and the
 // generation counter (two halves of a barrier that each think they are
 // whole), and a copied Mutex forks its FIFO queue — both fail in ways the
-// runtime cannot detect.
+// runtime cannot detect. A copied sim.Engine is the event-arena analogue:
+// the copy shares the arena, free-list and heap backing arrays until one
+// side grows them, after which schedules and cancels split across two
+// diverging queues; the pointer-sized sim.Handle, by contrast, is a value
+// by design and copies freely.
 package barriercopy
 
 import (
@@ -23,9 +27,17 @@ import (
 // Analyzer is the barriercopy analyzer.
 var Analyzer = &analysis.Analyzer{
 	Name: "barriercopy",
-	Doc: "flags thrifty.Barrier and thrifty.Mutex values copied by assignment, " +
-		"call argument, return, or range loop",
+	Doc: "flags thrifty.Barrier, thrifty.Mutex and sim.Engine values copied by " +
+		"assignment, call argument, return, or range loop",
 	Run: run,
+}
+
+// guarded lists the types whose by-value copies are reported, with the
+// short display name used in diagnostics.
+var guarded = []struct{ pkg, name, display string }{
+	{analysis.ThriftyPkg, "Barrier", "thrifty.Barrier"},
+	{analysis.ThriftyPkg, "Mutex", "thrifty.Mutex"},
+	{analysis.SimPkg, "Engine", "sim.Engine"},
 }
 
 // guardType reports whether t is (or, transitively through struct and
@@ -41,9 +53,9 @@ func containsGuard(t types.Type, seen map[types.Type]bool) (string, bool) {
 	seen[t] = true
 	switch u := t.(type) {
 	case *types.Named:
-		for _, name := range []string{"Barrier", "Mutex"} {
-			if analysis.IsNamed(u, analysis.ThriftyPkg, name) {
-				return "thrifty." + name, true
+		for _, g := range guarded {
+			if analysis.IsNamed(u, g.pkg, g.name) {
+				return g.display, true
 			}
 		}
 		return containsGuard(u.Underlying(), seen)

@@ -1,0 +1,24 @@
+// Golden cases for the lockedwait analyzer on tree-topology barriers: a
+// combining-tree check-in parks exactly like the flat one, so waiting
+// with a lock held is the same deadlock.
+package lockedwait
+
+import (
+	"sync"
+
+	"thriftybarrier/thrifty"
+)
+
+func flaggedTreeWait(mu *sync.Mutex) {
+	b := thrifty.New(64, thrifty.Options{TreeRadix: 8})
+	mu.Lock()
+	b.WaitSite(0x20) // want `\(\*thrifty\.Barrier\)\.WaitSite called while mutex "mu" is held`
+	mu.Unlock()
+}
+
+func cleanTreeWait(mu *sync.Mutex) {
+	b := thrifty.New(64, thrifty.Options{TreeRadix: 8})
+	mu.Lock()
+	mu.Unlock()
+	b.WaitSite(0x20) // lock released before parking: fine
+}

@@ -1,0 +1,27 @@
+// Golden cases for the waitparties analyzer on tree-topology barriers:
+// Options.TreeRadix changes the arrival structure, not the rendezvous
+// arithmetic, so party-count mismatches are flagged exactly as for the
+// flat barrier.
+package waitparties
+
+import (
+	"thriftybarrier/thrifty"
+)
+
+func flaggedTreeLoop() {
+	b := thrifty.New(8, thrifty.Options{TreeRadix: 2})
+	for i := 0; i < 6; i++ {
+		go func() {
+			b.WaitSite(0x10) // want `loop spawns 6 goroutines calling WaitSite on a barrier constructed with 8 parties`
+		}()
+	}
+}
+
+func cleanTreeLoop() {
+	b := thrifty.New(16, thrifty.Options{TreeRadix: 4})
+	for i := 0; i < 16; i++ {
+		go func() {
+			b.Wait()
+		}()
+	}
+}

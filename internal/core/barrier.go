@@ -231,7 +231,7 @@ func (m *Machine) internalWake(t int, ep *episode, w *waiter, now sim.Cycles) {
 		return
 	}
 	w.woken = true
-	w.timer = nil
+	w.timer = sim.Handle{}
 	if w.cancelMonitor != nil {
 		w.cancelMonitor()
 		w.cancelMonitor = nil
@@ -270,10 +270,8 @@ func (m *Machine) externalWake(t int, ep *episode, w *waiter, at sim.Cycles) {
 		return
 	}
 	w.woken = true
-	if w.timer != nil {
-		m.engine.Cancel(w.timer)
-		w.timer = nil
-	}
+	m.engine.Cancel(w.timer)
+	w.timer = sim.Handle{}
 	if at < w.sleepStart {
 		// The signal arrived during the entry transition: the CPU finishes
 		// entering the state and exits immediately (zero residency).

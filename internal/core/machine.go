@@ -78,7 +78,7 @@ type waiter struct {
 	gated         bool
 	sleepStart    sim.Cycles
 	predictedWake sim.Cycles
-	timer         *sim.Event
+	timer         sim.Handle
 	cancelMonitor func()
 	woken         bool
 	wokeReady     sim.Cycles // when the CPU was executing again
@@ -508,10 +508,8 @@ func (m *Machine) depart(t int, ep *episode, w *waiter, dep sim.Cycles) {
 			return
 		}
 		w.departed = true
-		if w.timer != nil {
-			m.engine.Cancel(w.timer)
-			w.timer = nil
-		}
+		m.engine.Cancel(w.timer)
+		w.timer = sim.Handle{}
 		if w.cancelMonitor != nil {
 			w.cancelMonitor()
 			w.cancelMonitor = nil

@@ -300,46 +300,52 @@ type BarrierLatencyRow struct {
 	Tree8 sim.Cycles
 }
 
-// BarrierLatency measures the pure barrier round-trip — all threads arrive
-// simultaneously; how long until the last departure — for the flat
+// BarrierRoundLatency measures one warm barrier round-trip — all threads
+// arrive simultaneously; how long until the last departure — on a
+// simulated nodes-CPU machine with the given check-in arity (0 = the flat
+// lock-protected counter of Figure 2). Coherence contention on the
+// check-in line(s) is fully modeled, so this is the contended arrival
+// cost a real multiprocessor would see.
+func BarrierRoundLatency(nodes, arity int, seed uint64) sim.Cycles {
+	arch := core.DefaultArch().WithNodes(nodes)
+	opts := core.Baseline()
+	opts.TreeArity = arity
+	prog := core.UniformProgram(0x1, 3, func(instance, thread int) cpu.Segment {
+		return cpu.Segment{Instructions: 2000} // ~1us: simultaneous arrivals
+	})
+	m := core.NewMachine(arch, opts)
+	m.SetRecording(true)
+	res := m.Run(prog)
+	// Use the last episode (warm caches): release-to-last-departure
+	// plus arrival serialization = span of the episode beyond compute.
+	ep := res.Episodes[len(res.Episodes)-1]
+	first := ep.Arrive[0]
+	for _, a := range ep.Arrive {
+		if a < first {
+			first = a
+		}
+	}
+	last := ep.Depart[0]
+	for _, d := range ep.Depart {
+		if d > last {
+			last = d
+		}
+	}
+	return last - first
+}
+
+// BarrierLatency measures the pure barrier round-trip for the flat
 // (Figure 2) check-in versus combining trees, across machine sizes. This
 // quantifies the O(N) counter serialization the topology ablation exploits
 // (cf. Kumar et al., discussed in §6).
 func BarrierLatency(seed uint64) []BarrierLatencyRow {
-	measure := func(nodes, arity int) sim.Cycles {
-		arch := core.DefaultArch().WithNodes(nodes)
-		opts := core.Baseline()
-		opts.TreeArity = arity
-		prog := core.UniformProgram(0x1, 3, func(instance, thread int) cpu.Segment {
-			return cpu.Segment{Instructions: 2000} // ~1us: simultaneous arrivals
-		})
-		m := core.NewMachine(arch, opts)
-		m.SetRecording(true)
-		res := m.Run(prog)
-		// Use the last episode (warm caches): release-to-last-departure
-		// plus arrival serialization = span of the episode beyond compute.
-		ep := res.Episodes[len(res.Episodes)-1]
-		first := ep.Arrive[0]
-		for _, a := range ep.Arrive {
-			if a < first {
-				first = a
-			}
-		}
-		last := ep.Depart[0]
-		for _, d := range ep.Depart {
-			if d > last {
-				last = d
-			}
-		}
-		return last - first
-	}
 	var rows []BarrierLatencyRow
 	for _, n := range []int{8, 16, 32, 64} {
 		rows = append(rows, BarrierLatencyRow{
 			Nodes: n,
-			Flat:  measure(n, 0),
-			Tree4: measure(n, 4),
-			Tree8: measure(n, 8),
+			Flat:  BarrierRoundLatency(n, 0, seed),
+			Tree4: BarrierRoundLatency(n, 4, seed),
+			Tree8: BarrierRoundLatency(n, 8, seed),
 		})
 	}
 	return rows

@@ -1,0 +1,232 @@
+// Package microbench defines the repo's performance-trajectory
+// microbenchmarks once, so `go test -bench` (interactive runs) and
+// `cmd/thriftybench -bench-json` (the recorded BENCH_*.json baselines)
+// measure exactly the same code.
+//
+// The suite has two halves: the public goroutine barrier's arrival path
+// (lock-free flat word and combining tree, against a mutex-serialized
+// baseline equivalent to the pre-rewrite implementation), and the
+// simulator's event engine (schedule/fire steady state, which must stay
+// allocation-free).
+package microbench
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"thriftybarrier/internal/harness"
+	"thriftybarrier/internal/sim"
+	"thriftybarrier/thrifty"
+)
+
+// Spec names one benchmark for the JSON trajectory.
+type Spec struct {
+	Name  string
+	Bench func(*testing.B)
+}
+
+// Result is one benchmark's measurement, shaped for BENCH_*.json.
+type Result struct {
+	Name        string             `json:"name"`
+	N           int                `json:"n"`
+	NsPerOp     float64            `json:"ns_op"`
+	AllocsPerOp int64              `json:"allocs_op"`
+	BytesPerOp  int64              `json:"bytes_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Run executes each spec under the testing harness's iteration controller
+// and returns the measurements. A non-nil progress callback observes each
+// result as it lands (the suites take tens of seconds end to end).
+func Run(specs []Spec, progress func(Result)) []Result {
+	out := make([]Result, 0, len(specs))
+	for _, s := range specs {
+		r := testing.Benchmark(s.Bench)
+		res := Result{
+			Name:        s.Name,
+			N:           r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if len(r.Extra) > 0 {
+			res.Metrics = r.Extra
+		}
+		if progress != nil {
+			progress(res)
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+// RuntimeSpecs is the goroutine-barrier half of the suite: the simulated
+// contended-arrival acceptance pair (cycles/round under a modeled 64-CPU
+// coherence protocol), then full-round rendezvous costs for the lock-free
+// flat word and the combining tree against a mutex-arrival baseline with
+// the pre-rewrite shape.
+func RuntimeSpecs() []Spec {
+	return []Spec{
+		{"BarrierArrival/mutex-flat-64", SimulatedArrival(64, 0)},
+		{"BarrierArrival/tree-radix4-64", SimulatedArrival(64, 4)},
+		{"BarrierArrival/tree-radix8-64", SimulatedArrival(64, 8)},
+		{"BarrierRendezvous/mutex-baseline-8", MutexBaseline(8)},
+		{"BarrierRendezvous/lockfree-flat-8", Flat(8)},
+		{"BarrierRendezvous/mutex-baseline-64", MutexBaseline(64)},
+		{"BarrierRendezvous/lockfree-flat-64", Flat(64)},
+		{"BarrierRendezvous/tree-radix8-64", Tree(64, 8)},
+		{"BarrierRendezvous/tree-radix8-256", Tree(256, 8)},
+	}
+}
+
+// SimSpecs is the event-engine half of the suite.
+func SimSpecs() []Spec {
+	return []Spec{
+		{"EngineScheduleFire/empty", EngineScheduleFire(0)},
+		{"EngineScheduleFire/pending-1k", EngineScheduleFire(1024)},
+		{"EngineScheduleCancelFire", EngineScheduleCancelFire()},
+	}
+}
+
+// SimulatedArrival measures one warm barrier round-trip on the simulated
+// nodes-CPU machine (arity 0 = the paper's flat lock-protected counter),
+// reporting the modeled contended-arrival cost as cycles/round and its
+// inverse throughput as rounds/Mcycle.
+func SimulatedArrival(nodes, arity int) func(*testing.B) {
+	return func(b *testing.B) {
+		var cyc sim.Cycles
+		for i := 0; i < b.N; i++ {
+			cyc = harness.BarrierRoundLatency(nodes, arity, 1)
+		}
+		b.ReportMetric(float64(cyc), "cycles/round")
+		b.ReportMetric(1e6/float64(cyc), "rounds/Mcycle")
+	}
+}
+
+// barrierRounds drives parties goroutines through b.N rendezvous each;
+// ns/op is therefore the per-party cost of one barrier crossing.
+func barrierRounds(b *testing.B, parties int, wait func()) {
+	b.ReportAllocs()
+	var wg sync.WaitGroup
+	rounds := b.N
+	b.ResetTimer()
+	for p := 0; p < parties; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				wait()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Flat benchmarks the lock-free central-counter arrival.
+func Flat(parties int) func(*testing.B) {
+	return func(b *testing.B) {
+		bar := thrifty.New(parties, thrifty.Options{})
+		barrierRounds(b, parties, func() { bar.WaitSite(1) })
+	}
+}
+
+// Tree benchmarks the combining-tree arrival.
+func Tree(parties, radix int) func(*testing.B) {
+	return func(b *testing.B) {
+		bar := thrifty.New(parties, thrifty.Options{TreeRadix: radix})
+		barrierRounds(b, parties, func() { bar.WaitSite(1) })
+	}
+}
+
+// MutexBaseline benchmarks a barrier whose arrival is serialized through a
+// mutex critical section — the shape of the pre-rewrite thrifty.Barrier:
+// every arrival locks, counts, and the last one swaps the round and
+// broadcasts; early arrivers spin briefly on the round flag, then park on
+// its channel (the warm-up spin-then-park policy).
+func MutexBaseline(parties int) func(*testing.B) {
+	return func(b *testing.B) {
+		bar := newMutexBarrier(parties)
+		barrierRounds(b, parties, bar.wait)
+	}
+}
+
+type mutexRound struct {
+	ch   chan struct{}
+	done atomic.Bool
+}
+
+type mutexBarrier struct {
+	mu      sync.Mutex
+	parties int
+	count   int
+	cur     *mutexRound
+}
+
+func newMutexBarrier(parties int) *mutexBarrier {
+	return &mutexBarrier{parties: parties, cur: &mutexRound{ch: make(chan struct{})}}
+}
+
+func (b *mutexBarrier) wait() {
+	b.mu.Lock()
+	b.count++
+	if b.count == b.parties {
+		b.count = 0
+		old := b.cur
+		b.cur = &mutexRound{ch: make(chan struct{})}
+		old.done.Store(true)
+		b.mu.Unlock()
+		close(old.ch)
+		return
+	}
+	rd := b.cur
+	b.mu.Unlock()
+	// Bounded spin on the release flag, then park — the pre-rewrite
+	// warm-up policy (only the arrival itself held the mutex).
+	for i := 0; i < 4096; i++ {
+		if rd.done.Load() {
+			return
+		}
+		if i%64 == 63 {
+			runtime.Gosched()
+		}
+	}
+	<-rd.ch
+}
+
+// EngineScheduleFire benchmarks one schedule + one fire against a queue
+// holding `pending` other events — the simulator's steady-state op. It
+// must report 0 allocs/op.
+func EngineScheduleFire(pending int) func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		e := sim.NewEngine()
+		fn := func() {}
+		for i := 0; i < pending; i++ {
+			e.After(sim.Cycles(1_000_000+i), fn)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.After(10, fn)
+			e.Step()
+		}
+	}
+}
+
+// EngineScheduleCancelFire exercises the Cancel path: schedule two, cancel
+// one by handle, fire the other.
+func EngineScheduleCancelFire() func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		e := sim.NewEngine()
+		fn := func() {}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h := e.After(20, fn)
+			e.After(10, fn)
+			e.Cancel(h)
+			e.Step()
+		}
+	}
+}

@@ -192,7 +192,7 @@ type waiter struct {
 	sleeping bool
 	state    power.SleepState
 	sleepAt  sim.Cycles
-	timer    *sim.Event
+	timer    sim.Handle
 	woken    bool
 	predWait sim.Cycles
 }
@@ -377,7 +377,7 @@ func (m *Machine) timerWake(w *waiter, now sim.Cycles) {
 		return
 	}
 	w.woken = true
-	w.timer = nil
+	w.timer = sim.Handle{}
 	t := w.thread
 	if now > w.sleepAt {
 		m.tl[t].AddInterval(sim.StateSleep, now-w.sleepAt, m.model.SleepPower(w.state))
@@ -459,10 +459,8 @@ func (m *Machine) release(t int, now sim.Cycles) {
 		// External wake-up: the queue-node invalidation; exit transition
 		// lands on the lock's critical path.
 		w.woken = true
-		if w.timer != nil {
-			m.engine.Cancel(w.timer)
-			w.timer = nil
-		}
+		m.engine.Cancel(w.timer)
+		w.timer = sim.Handle{}
 		sig := signal
 		if sig < w.sleepAt {
 			sig = w.sleepAt
@@ -505,10 +503,8 @@ func (m *Machine) preWake(w *waiter, now sim.Cycles) {
 		return
 	}
 	w.woken = true
-	if w.timer != nil {
-		m.engine.Cancel(w.timer)
-		w.timer = nil
-	}
+	m.engine.Cancel(w.timer)
+	w.timer = sim.Handle{}
 	at := now
 	if at < w.sleepAt {
 		at = w.sleepAt

@@ -284,7 +284,7 @@ type waiter struct {
 	sleeping  bool
 	state     power.SleepState
 	sleepFrom sim.Cycles
-	timer     *sim.Event
+	timer     sim.Handle
 	woken     bool
 	wokeReady sim.Cycles
 	departed  bool
@@ -466,7 +466,7 @@ func (m *Machine) timerWake(ep *episode, w *waiter, now sim.Cycles) {
 		return
 	}
 	w.woken = true
-	w.timer = nil
+	w.timer = sim.Handle{}
 	st := w.state
 	m.chargeSleep(w, now)
 	up := now + st.Transition
@@ -552,10 +552,8 @@ func (m *Machine) externalWake(ep *episode, w *waiter, at sim.Cycles) {
 		return
 	}
 	w.woken = true
-	if w.timer != nil {
-		m.engine.Cancel(w.timer)
-		w.timer = nil
-	}
+	m.engine.Cancel(w.timer)
+	w.timer = sim.Handle{}
 	if at < w.sleepFrom {
 		at = w.sleepFrom
 	}
@@ -596,10 +594,8 @@ func (m *Machine) depart(ep *episode, w *waiter, dep sim.Cycles) {
 		return
 	}
 	w.departed = true
-	if w.timer != nil {
-		m.engine.Cancel(w.timer)
-		w.timer = nil
-	}
+	m.engine.Cancel(w.timer)
+	w.timer = sim.Handle{}
 	// BRTS reconstruction: the broadcast carried BIT_b.
 	m.brts[w.rank] += ep.bit
 

@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// refEvent / refQueue reimplement the engine's previous container/heap
+// priority queue (binary heap over *Event pointers). The differential test
+// below pins the new flat 4-ary heap to this reference on random
+// schedule/cancel sequences: both must yield the same (when, seq) firing
+// order, which is what keeps simulator runs byte-identical across the
+// rewrite.
+type refEvent struct {
+	when  Cycles
+	seq   uint64
+	index int
+}
+
+type refQueue []*refEvent
+
+func (q refQueue) Len() int { return len(q) }
+func (q refQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+func (q refQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *refQueue) Push(x any) {
+	ev := x.(*refEvent)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *refQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+type refEngine struct {
+	now   Cycles
+	seq   uint64
+	queue refQueue
+}
+
+func (e *refEngine) at(when Cycles) *refEvent {
+	ev := &refEvent{when: when, seq: e.seq}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+func (e *refEngine) cancel(ev *refEvent) bool {
+	if ev.index < 0 {
+		return false
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+	return true
+}
+
+func (e *refEngine) step() (uint64, bool) {
+	if len(e.queue) == 0 {
+		return 0, false
+	}
+	ev := heap.Pop(&e.queue).(*refEvent)
+	ev.index = -1
+	e.now = ev.when
+	return ev.seq, true
+}
+
+// Differential property: drive the new engine and the container/heap
+// reference through identical random schedule / cancel / step sequences and
+// require the exact same firing order (identified by schedule sequence
+// number) at every step.
+func TestEngineMatchesContainerHeapReference(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		ref := &refEngine{}
+
+		type pair struct {
+			h  Handle
+			r  *refEvent
+			id uint64
+		}
+		var live []pair
+		var gotOrder, wantOrder []uint64
+
+		const ops = 4000
+		for op := 0; op < ops; op++ {
+			switch r := rng.Intn(10); {
+			case r < 5: // schedule
+				when := e.Now() + Cycles(rng.Intn(50))
+				id := ref.seq
+				var h Handle
+				if rng.Intn(2) == 0 {
+					h = e.At(when, func() { gotOrder = append(gotOrder, id) })
+				} else {
+					h = e.After(when-e.Now(), func() { gotOrder = append(gotOrder, id) })
+				}
+				live = append(live, pair{h, ref.at(when), id})
+			case r < 7: // cancel a random live (or possibly dead) handle
+				if len(live) == 0 {
+					continue
+				}
+				p := live[rng.Intn(len(live))]
+				got := e.Cancel(p.h)
+				want := ref.cancel(p.r)
+				if got != want {
+					t.Fatalf("seed %d op %d: Cancel(id=%d) = %v, reference = %v",
+						seed, op, p.id, got, want)
+				}
+			default: // fire the earliest event
+				before := len(gotOrder)
+				got := e.Step()
+				id, want := ref.step()
+				if got != want {
+					t.Fatalf("seed %d op %d: Step = %v, reference = %v", seed, op, got, want)
+				}
+				if want {
+					wantOrder = append(wantOrder, id)
+					if len(gotOrder) != before+1 || gotOrder[len(gotOrder)-1] != id {
+						t.Fatalf("seed %d op %d: fired id %v, reference fired %d",
+							seed, op, gotOrder[before:], id)
+					}
+					if e.Now() != ref.now {
+						t.Fatalf("seed %d op %d: now = %d, reference now = %d",
+							seed, op, e.Now(), ref.now)
+					}
+				}
+			}
+		}
+		// Drain both queues and compare the tail order too.
+		for {
+			id, want := ref.step()
+			got := e.Step()
+			if got != want {
+				t.Fatalf("seed %d drain: Step = %v, reference = %v", seed, got, want)
+			}
+			if !want {
+				break
+			}
+			wantOrder = append(wantOrder, id)
+		}
+		if len(gotOrder) != len(wantOrder) {
+			t.Fatalf("seed %d: fired %d events, reference fired %d",
+				seed, len(gotOrder), len(wantOrder))
+		}
+		for i := range wantOrder {
+			if gotOrder[i] != wantOrder[i] {
+				t.Fatalf("seed %d: firing order diverges at %d: got %d, want %d",
+					seed, i, gotOrder[i], wantOrder[i])
+			}
+		}
+	}
+}

@@ -1,60 +1,56 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
-// Event is a scheduled callback. Events fire in (time, sequence) order;
-// sequence is assigned at scheduling time, so two events scheduled for the
-// same cycle fire in the order they were scheduled. This makes runs
-// bit-reproducible, which the tests and the calibration harness rely on.
-type Event struct {
-	when  Cycles
-	seq   uint64
-	fn    func()
-	index int // heap index; -1 once popped or canceled
+// Handle refers to a scheduled event. It is a small value (copyable, unlike
+// the old *Event) encoding the event's arena slot and a generation tag: the
+// tag makes a stale handle — one whose event already fired or was cancelled,
+// and whose slot has since been reused — harmlessly invalid instead of
+// aliasing the new occupant (no ABA). The zero Handle refers to nothing;
+// cancelling it is a no-op.
+type Handle struct {
+	ref uint64 // (slot+1)<<32 | generation
 }
 
-// When reports the cycle at which the event is (or was) scheduled to fire.
-func (e *Event) When() Cycles { return e.when }
-
-// eventQueue is a min-heap ordered by (when, seq).
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].when != q[j].when {
-		return q[i].when < q[j].when
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
+// valid handles encode slot+1 so the zero Handle never matches slot 0.
+func makeHandle(slot int32, gen uint32) Handle {
+	return Handle{uint64(slot+1)<<32 | uint64(gen)}
 }
 
-// Engine is a deterministic discrete-event simulator. The zero value is not
-// ready to use; construct one with NewEngine.
+// event is one arena slot. Slots are recycled through the free-list; gen
+// counts recycles so stale Handles can be rejected in O(1).
+type event struct {
+	when Cycles
+	seq  uint64
+	fn   func()
+	gen  uint32
+	pos  int32 // index in the heap; -1 once fired or cancelled
+}
+
+// Engine is a deterministic discrete-event simulator. Events fire in
+// (time, sequence) order; sequence is assigned at scheduling time, so two
+// events scheduled for the same cycle fire in the order they were
+// scheduled. This makes runs bit-reproducible, which the tests and the
+// calibration harness rely on.
+//
+// The queue is an index-based 4-ary min-heap over a flat event arena with a
+// free-list: scheduling and firing are allocation-free in steady state
+// (once the arena and heap slices have grown to the high-water mark), where
+// the previous container/heap implementation allocated one *Event per
+// Schedule and churned an []any through heap.Push/Pop. The 4-ary layout
+// halves the tree depth of a binary heap and keeps sift-down children on
+// one cache line.
+//
+// The zero value is not ready to use; construct one with NewEngine. An
+// Engine must not be copied: the copy would share the arena and heap
+// backing arrays with the original while maintaining divergent length and
+// free-list bookkeeping.
 type Engine struct {
 	now     Cycles
 	seq     uint64
-	queue   eventQueue
+	events  []event // arena; Handles and the heap index into it
+	free    []int32 // recycled arena slots
+	heap    []int32 // 4-ary min-heap of arena slots, ordered by (when, seq)
 	stopped bool
 	fired   uint64
 }
@@ -72,50 +68,103 @@ func (e *Engine) Now() Cycles { return e.now }
 func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending reports the number of events still queued.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return len(e.heap) }
 
 // At schedules fn to run at absolute cycle when. Scheduling in the past
 // panics: the simulator has no mechanism for retroactive causality, so such
 // a call is always a modeling bug.
-func (e *Engine) At(when Cycles, fn func()) *Event {
+func (e *Engine) At(when Cycles, fn func()) Handle {
 	if when < e.now {
 		panic(fmt.Sprintf("sim: event scheduled at %d, before now %d", when, e.now))
 	}
-	ev := &Event{when: when, seq: e.seq, fn: fn}
+	var slot int32
+	if n := len(e.free); n > 0 {
+		slot = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.events = append(e.events, event{})
+		slot = int32(len(e.events) - 1)
+	}
+	ev := &e.events[slot]
+	ev.when, ev.seq, ev.fn = when, e.seq, fn
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
+	ev.pos = int32(len(e.heap))
+	e.heap = append(e.heap, slot)
+	e.siftUp(len(e.heap) - 1)
+	return makeHandle(slot, ev.gen)
 }
 
 // After schedules fn to run delay cycles from now.
-func (e *Engine) After(delay Cycles, fn func()) *Event {
+func (e *Engine) After(delay Cycles, fn func()) Handle {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %d", delay))
 	}
 	return e.At(e.now+delay, fn)
 }
 
-// Cancel removes a pending event. Canceling an event that already fired or
-// was already canceled is a no-op and reports false.
-func (e *Engine) Cancel(ev *Event) bool {
-	if ev == nil || ev.index < 0 {
+// When reports the cycle a pending event is scheduled for. It returns
+// ok=false for the zero Handle and for events that already fired or were
+// cancelled.
+func (e *Engine) When(h Handle) (when Cycles, ok bool) {
+	ev := e.lookup(h)
+	if ev == nil {
+		return 0, false
+	}
+	return ev.when, true
+}
+
+// Cancel removes a pending event. Cancelling the zero Handle, or an event
+// that already fired or was already cancelled, is a no-op and reports
+// false — even if the event's arena slot has been reused since (the
+// generation tag distinguishes occupants).
+func (e *Engine) Cancel(h Handle) bool {
+	ev := e.lookup(h)
+	if ev == nil {
 		return false
 	}
-	heap.Remove(&e.queue, ev.index)
-	ev.index = -1
+	e.heapRemove(int(ev.pos))
+	e.release(ev, int32(h.ref>>32)-1)
 	return true
+}
+
+// lookup resolves a Handle to its live arena slot, or nil if the handle is
+// zero, stale, or out of range.
+func (e *Engine) lookup(h Handle) *event {
+	slot := int64(h.ref>>32) - 1
+	if slot < 0 || slot >= int64(len(e.events)) {
+		return nil
+	}
+	ev := &e.events[slot]
+	if ev.gen != uint32(h.ref) || ev.pos < 0 {
+		return nil
+	}
+	return ev
+}
+
+// release retires an arena slot: the generation bump invalidates every
+// outstanding Handle to it, the callback is dropped (so the arena does not
+// pin closures), and the slot rejoins the free-list.
+func (e *Engine) release(ev *event, slot int32) {
+	ev.gen++
+	ev.fn = nil
+	ev.pos = -1
+	e.free = append(e.free, slot)
 }
 
 // Step fires the single earliest pending event, advancing the clock to its
 // timestamp. It reports false when the queue is empty.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	if len(e.heap) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*Event)
+	slot := e.heap[0]
+	e.heapRemove(0)
+	ev := &e.events[slot]
 	e.now = ev.when
+	fn := ev.fn
+	e.release(ev, slot)
 	e.fired++
-	ev.fn()
+	fn()
 	return true
 }
 
@@ -132,7 +181,7 @@ func (e *Engine) Run() Cycles {
 // deadline (if it has not already passed it).
 func (e *Engine) RunUntil(deadline Cycles) Cycles {
 	e.stopped = false
-	for !e.stopped && len(e.queue) > 0 && e.queue[0].when <= deadline {
+	for !e.stopped && len(e.heap) > 0 && e.events[e.heap[0]].when <= deadline {
 		e.Step()
 	}
 	if e.now < deadline {
@@ -144,3 +193,80 @@ func (e *Engine) RunUntil(deadline Cycles) Cycles {
 // Stop makes the innermost Run or RunUntil return after the current event's
 // callback completes.
 func (e *Engine) Stop() { e.stopped = true }
+
+// --- 4-ary heap over e.heap, ordered by (when, seq) ---
+
+const heapArity = 4
+
+// less orders two arena slots by (when, seq). seq is unique, so the order
+// is total and the firing sequence is independent of heap shape — the
+// property that keeps every run byte-identical to the old binary
+// container/heap implementation.
+func (e *Engine) less(a, b int32) bool {
+	ea, eb := &e.events[a], &e.events[b]
+	if ea.when != eb.when {
+		return ea.when < eb.when
+	}
+	return ea.seq < eb.seq
+}
+
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	slot := h[i]
+	for i > 0 {
+		parent := (i - 1) / heapArity
+		if !e.less(slot, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		e.events[h[i]].pos = int32(i)
+		i = parent
+	}
+	h[i] = slot
+	e.events[slot].pos = int32(i)
+}
+
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := len(h)
+	slot := h[i]
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + heapArity
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if e.less(h[c], h[best]) {
+				best = c
+			}
+		}
+		if !e.less(h[best], slot) {
+			break
+		}
+		h[i] = h[best]
+		e.events[h[i]].pos = int32(i)
+		i = best
+	}
+	h[i] = slot
+	e.events[slot].pos = int32(i)
+}
+
+// heapRemove deletes the element at heap position i, preserving the heap
+// invariant in O(arity · log n).
+func (e *Engine) heapRemove(i int) {
+	n := len(e.heap) - 1
+	last := e.heap[n]
+	e.heap = e.heap[:n]
+	if i == n {
+		return
+	}
+	e.heap[i] = last
+	e.events[last].pos = int32(i)
+	e.siftDown(i)
+	e.siftUp(i)
+}

@@ -70,7 +70,7 @@ func TestEngineCancel(t *testing.T) {
 func TestEngineCancelMidQueue(t *testing.T) {
 	e := NewEngine()
 	var got []Cycles
-	mk := func(c Cycles) *Event {
+	mk := func(c Cycles) Handle {
 		return e.At(c, func() { got = append(got, c) })
 	}
 	mk(10)

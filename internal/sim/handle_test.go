@@ -1,0 +1,103 @@
+package sim
+
+import "testing"
+
+// The zero Handle refers to nothing: Cancel and When reject it without
+// touching the arena.
+func TestZeroHandleIsInert(t *testing.T) {
+	e := NewEngine()
+	var h Handle
+	if e.Cancel(h) {
+		t.Fatal("Cancel(zero Handle) returned true")
+	}
+	if _, ok := e.When(h); ok {
+		t.Fatal("When(zero Handle) returned ok")
+	}
+	// Even with live events in slot 0, the zero Handle must not alias them.
+	fired := false
+	e.At(10, func() { fired = true })
+	if e.Cancel(h) {
+		t.Fatal("zero Handle cancelled a live event")
+	}
+	e.Run()
+	if !fired {
+		t.Fatal("event never fired")
+	}
+}
+
+// A handle to a fired or cancelled event stays dead even after its arena
+// slot is reused by a new event (the ABA case the generation tag exists for).
+func TestStaleHandleDoesNotAliasReusedSlot(t *testing.T) {
+	e := NewEngine()
+	stale := e.At(10, func() {})
+	if !e.Cancel(stale) {
+		t.Fatal("first Cancel failed")
+	}
+	// The freed slot is reused immediately by the next At.
+	fired := false
+	fresh := e.At(20, func() { fired = true })
+	if e.Cancel(stale) {
+		t.Fatal("stale handle cancelled the slot's new occupant")
+	}
+	if _, ok := e.When(stale); ok {
+		t.Fatal("When accepted a stale handle")
+	}
+	if when, ok := e.When(fresh); !ok || when != 20 {
+		t.Fatalf("When(fresh) = %d, %v; want 20, true", when, ok)
+	}
+	e.Run()
+	if !fired {
+		t.Fatal("reused-slot event was lost")
+	}
+
+	// Same story when the slot dies by firing rather than cancellation.
+	h := e.At(30, func() {})
+	e.Run()
+	if e.Cancel(h) {
+		t.Fatal("handle to a fired event cancelled something")
+	}
+}
+
+// Slots recycle: a schedule/fire workload far larger than the live event
+// count must not grow the arena past its high-water mark.
+func TestArenaReusesSlots(t *testing.T) {
+	e := NewEngine()
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < 10_000 {
+			e.After(1, tick)
+		}
+	}
+	e.At(0, tick)
+	e.Run()
+	if len(e.events) > 2 {
+		t.Fatalf("arena grew to %d slots for a 1-live-event workload", len(e.events))
+	}
+	if e.Fired() != 10_000 {
+		t.Fatalf("fired = %d, want 10000", e.Fired())
+	}
+}
+
+// Steady-state scheduling and firing must not allocate: the arena, heap,
+// and free-list all recycle. This is the satellite acceptance check for the
+// simulator side (0 allocs/op).
+func TestEngineSteadyStateZeroAllocs(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	// Warm up to the high-water mark.
+	for i := 0; i < 64; i++ {
+		e.After(Cycles(i), fn)
+	}
+	e.Run()
+	avg := testing.AllocsPerRun(1000, func() {
+		h := e.After(5, fn)
+		e.After(3, fn)
+		e.Cancel(h)
+		e.Step()
+	})
+	if avg != 0 {
+		t.Fatalf("schedule/cancel/fire allocated %v allocs/op in steady state", avg)
+	}
+}

@@ -17,7 +17,7 @@ func TestEngineScheduleCancelProperty(t *testing.T) {
 			seq  int
 		}
 		var log []fired
-		events := make([]*Event, len(times))
+		events := make([]Handle, len(times))
 		for i, tm := range times {
 			i, tm := i, Cycles(tm)
 			events[i] = e.At(tm, func() { log = append(log, fired{tm, i}) })

@@ -23,6 +23,18 @@
 //     repeatedly miss by more than the cut-off fraction of the interval is
 //     disabled and falls back to the default spin-then-park policy.
 //
+// Arrival itself is lock-free: the generation and arrival count live in a
+// single atomic word (a sense-reversing counter — the release flips the
+// generation, which is the "sense"), the current round is published through
+// an atomic pointer, and per-site predictor state is updated with atomics,
+// so the rendezvous hot path takes no mutex. The barrier's mutex serves
+// only the slow paths: breaking a generation, Reset, and the stall
+// watchdog. For large party counts, Options.TreeRadix arranges arrival as
+// an MCS-style static combining tree of cache-line-padded counters, so
+// arrival traffic is O(log N) per line instead of N CASes on one word;
+// prediction, tier selection, cut-off and release semantics are identical
+// in both topologies.
+//
 // The barrier is always correct regardless of prediction: every waiter
 // ultimately blocks on the round channel, so a wildly wrong prediction can
 // only cost efficiency, never correctness — mirroring the paper's
@@ -126,6 +138,17 @@ type Options struct {
 	// up and parks (the external bound on a wrong "short" prediction).
 	// Default 30µs worth of spinning.
 	SpinBudget time.Duration
+	// TreeRadix, when >= 2, checks arrivals in through an MCS-style static
+	// combining tree instead of one central counter: waiters increment a
+	// cache-line-padded leaf counter (at most TreeRadix parties share a
+	// leaf), a leaf's last arriver propagates one token to its parent, and
+	// the waiter that fills the root releases the barrier. Contention per
+	// cache line is bounded by the radix, so arrival scales to large party
+	// counts where the central counter's CAS retries collapse. Prediction,
+	// tier selection, cut-off and broken-barrier semantics are unchanged.
+	// Values below 2, or trees that would collapse to a single leaf, use
+	// the central counter. Default 0 (central counter).
+	TreeRadix int
 	// OnStall, when non-nil, arms a stall watchdog: if a generation stays
 	// open longer than StallMultiple times the site's predicted interval
 	// (floored at StallFloor), OnStall is invoked once for that generation
@@ -199,29 +222,33 @@ func (o *Options) fill() {
 }
 
 // site is the prediction state of one barrier call site (the PC index).
+// Every field is an atomic: sites are read and written on the lock-free
+// arrival path, and Stats snapshots them concurrently.
 type site struct {
-	lastBIT  time.Duration
-	valid    bool
-	strikes  int
-	disabled bool
-	// lastStall is the most recently observed wait duration at this site.
+	// bit is the last measured barrier interval in nanoseconds; values
+	// <= 0 mean no valid prediction yet (the old valid flag, folded into
+	// the sign).
+	bit atomic.Int64
+	// lastStall is the most recently observed wait duration at this site
+	// in nanoseconds (0 = none yet, sub-nanosecond stalls round up to 1).
 	// Tier selection clamps the interval-derived prediction with it: when
 	// compute time is tiny, stall == BIT by construction, and without the
 	// clamp the wait tier's own latency inflates BIT, which selects slower
 	// tiers, which inflates BIT further (a positive feedback loop).
-	lastStall      time.Duration
-	lastStallValid bool
+	lastStall atomic.Int64
+	strikes   atomic.Int64
+	disabled  atomic.Bool
 
 	// Stats.
-	waits      uint64
-	tiers      [numTiers]uint64
-	earlyWakes uint64 // timer fired before release (residual spin)
-	lateWakes  uint64 // release beat the timer
-	cutoffHits uint64
+	waits      atomic.Uint64
+	tiers      [numTiers]atomic.Uint64
+	earlyWakes atomic.Uint64 // timer fired before release (residual spin)
+	lateWakes  atomic.Uint64 // release beat the timer
+	cutoffHits atomic.Uint64
 	// parked accumulates wall time this site's waiters spent blocked in a
 	// parking tier — CPU time freed for other work that a spin barrier
 	// would have burned.
-	parked time.Duration
+	parked atomic.Int64
 }
 
 // round is one barrier generation; its channel is closed at release or
@@ -231,9 +258,13 @@ type site struct {
 // tell a release from a break: the break path stores broken before done,
 // so a waiter that observes done and then reads broken sees the truth.
 type round struct {
+	gen    uint32 // must match the state word's generation field
 	ch     chan struct{}
 	done   atomic.Bool
 	broken atomic.Bool
+	// armed is the watchdog-arming claim: the first early arriver to win
+	// the CAS arms the watchdog, so arming stays off the arrival word.
+	armed atomic.Bool
 
 	// Watchdog state, guarded by the barrier mutex. firstSite/openedAt
 	// identify the generation for the OnStall report.
@@ -241,6 +272,25 @@ type round struct {
 	firstSite uintptr
 	openedAt  time.Time
 }
+
+// The barrier's hot word packs the broken flag, the generation and the
+// arrival count:
+//
+//	bit  63..32  generation (the sense: flipped by each release or Reset)
+//	bit  31      broken flag
+//	bits 30..0   arrival count (always 0 in tree topology)
+//
+// Packing all three makes every transition a single CAS whose failure
+// modes are exact: an arrival cannot be counted into a generation that has
+// released, broken, or been Reset, because any of those changes the word.
+const brokenBit = uint64(1) << 31
+
+func packState(gen uint32, count int) uint64 {
+	return uint64(gen)<<32 | uint64(uint32(count))
+}
+
+func stateGen(st uint64) uint32 { return uint32(st >> 32) }
+func stateCount(st uint64) int  { return int(uint32(st) &^ uint32(brokenBit)) }
 
 // Barrier is a reusable barrier for a fixed number of goroutines with an
 // adaptive, prediction-driven wait policy. It must not be copied after
@@ -250,15 +300,24 @@ type Barrier struct {
 
 	parties int
 	opts    Options
+	tree    *arrivalTree // non-nil when Options.TreeRadix selects the tree
 
-	mu          sync.Mutex
-	count       int
-	generation  uint64
-	cur         *round
-	lastRelease time.Time
-	sites       map[uintptr]*site
-	breaks      uint64
-	stalls      uint64
+	// state is the arrival word (see packState); cur publishes the round
+	// whose gen matches it. An arriver loads cur first, then state: a
+	// successful arrival CAS with rd.gen == stateGen pins rd to the
+	// generation it joined.
+	state       atomic.Uint64
+	cur         atomic.Pointer[round]
+	lastRelease atomic.Pointer[time.Time] // nil = discard the next interval
+	generation  atomic.Uint64             // releases completed
+	breaks      atomic.Uint64
+	stalls      atomic.Uint64
+
+	sites sync.Map // uintptr -> *site
+
+	// mu serializes the slow paths only — breaking a generation, Reset,
+	// and watchdog arm/stop. The arrival fast path never takes it.
+	mu sync.Mutex
 
 	// spinnable records whether busy-waiting can ever make progress:
 	// with GOMAXPROCS=1 a spinner just blocks the releaser until the
@@ -273,27 +332,28 @@ func New(parties int, opts Options) *Barrier {
 		panic(fmt.Sprintf("thrifty: parties %d < 1", parties))
 	}
 	opts.fill()
-	// lastRelease stays zero until the first release: the interval between
+	// lastRelease stays nil until the first release: the interval between
 	// construction and the first episode absorbs arbitrary setup time and
 	// must not seed the predictor, so the first measured BIT is discarded.
-	return &Barrier{
+	b := &Barrier{
 		parties:   parties,
 		opts:      opts,
-		cur:       &round{ch: make(chan struct{})},
-		sites:     make(map[uintptr]*site),
 		spinnable: runtime.GOMAXPROCS(0) > 1,
 	}
+	b.cur.Store(&round{ch: make(chan struct{})})
+	if opts.TreeRadix >= 2 {
+		if t := newArrivalTree(parties, opts.TreeRadix); t != nil {
+			b.tree = t
+		}
+	}
+	return b
 }
 
 // Parties reports the number of participating goroutines.
 func (b *Barrier) Parties() int { return b.parties }
 
 // Generation reports how many times the barrier has been released.
-func (b *Barrier) Generation() uint64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.generation
-}
+func (b *Barrier) Generation() uint64 { return b.generation.Load() }
 
 // Wait blocks until all parties have called Wait for the current
 // generation. The prediction index is the caller's program counter, the
@@ -345,6 +405,165 @@ func (b *Barrier) WaitSiteContext(ctx context.Context, key uintptr) error {
 	return b.waitSite(ctx, key)
 }
 
+// site returns the prediction state for key, creating it on first use.
+// The double lookup keeps the steady state (site exists) allocation-free:
+// sync.Map.Load is a lock-free read, and LoadOrStore's &site{} allocation
+// happens at most once per key per losing racer.
+func (b *Barrier) site(key uintptr) *site {
+	if v, ok := b.sites.Load(key); ok {
+		return v.(*site)
+	}
+	v, _ := b.sites.LoadOrStore(key, &site{})
+	return v.(*site)
+}
+
+// arrive joins the current generation without taking any lock. It returns
+// the round joined and whether this caller was the last arriver (the
+// releaser). It fails fast with ErrBroken when the generation is broken.
+//
+// The ordering argument: rd is loaded from cur BEFORE the arrival CAS, and
+// the CAS only succeeds while stateGen still equals rd.gen — so a
+// successful CAS proves rd is the round of the generation the arrival was
+// counted into. Any concurrent release, break, or Reset changes the state
+// word (generation bump or broken bit) and forces the CAS to fail and the
+// loop to re-observe.
+func (b *Barrier) arrive() (rd *round, last bool, err error) {
+	spins := 0
+	for {
+		rd = b.cur.Load()
+		st := b.state.Load()
+		if st&brokenBit != 0 {
+			return nil, false, ErrBroken
+		}
+		g := stateGen(st)
+		if rd.gen != g {
+			// A release or Reset has claimed the generation but not yet
+			// published its round: wait out the publication window.
+			if spins++; spins%64 == 0 {
+				runtime.Gosched()
+			}
+			continue
+		}
+		if b.tree != nil {
+			root, ok := b.tree.checkIn(g)
+			if !ok {
+				// The tree observed a newer generation than g: our view is
+				// stale; re-observe.
+				if spins++; spins%64 == 0 {
+					runtime.Gosched()
+				}
+				continue
+			}
+			if !root {
+				return rd, false, nil
+			}
+			// Filling the root makes this waiter the releaser: claim the
+			// generation. The only competing transition is a break or
+			// Reset (the root fills once per generation).
+			for {
+				st = b.state.Load()
+				if st&brokenBit != 0 || stateGen(st) != g {
+					return nil, false, ErrBroken
+				}
+				if b.state.CompareAndSwap(st, packState(g+1, 0)) {
+					return rd, true, nil
+				}
+			}
+		}
+		if cnt := stateCount(st); cnt+1 == b.parties {
+			// Last arriver: flip the sense. Success atomically ends the
+			// generation; failure means a racing arrival, break, or Reset.
+			if b.state.CompareAndSwap(st, packState(g+1, 0)) {
+				return rd, true, nil
+			}
+		} else if b.state.CompareAndSwap(st, st+1) {
+			return rd, false, nil
+		}
+	}
+}
+
+// finishRelease completes a release claimed in arrive: measure the
+// interval, feed the predictor, publish the next round, and broadcast the
+// external wake-up. The claim CAS already ended the generation, so
+// everything here races only with observers.
+func (b *Barrier) finishRelease(rd *round, s *site, now time.Time) {
+	// Measure the release-to-release interval. A nil lastRelease marks an
+	// interval that must be discarded: the construction-to-first-release
+	// one, and any interval spanning a break or Reset.
+	if prev := b.lastRelease.Load(); prev != nil && !s.disabled.Load() {
+		s.bit.Store(int64(now.Sub(*prev)))
+	}
+	release := now
+	b.lastRelease.Store(&release)
+	b.generation.Add(1)
+	// Publish the next round before waking the old one's waiters, so a
+	// woken waiter that immediately re-arrives finds cur already in sync
+	// with the state word.
+	next := &round{gen: rd.gen + 1, ch: make(chan struct{})}
+	b.cur.Store(next)
+	rd.done.Store(true)
+	close(rd.ch) // external wake-up broadcast
+	b.stopWatchdog(rd)
+}
+
+// arrivalPlan is everything a waiter computes before it starts waiting:
+// the round it joined, its site, and — for early arrivers — the stall
+// prediction and the wait tier it implies.
+type arrivalPlan struct {
+	rd               *round
+	s                *site
+	last             bool
+	tier             Tier
+	predictedStall   time.Duration
+	predictedRelease time.Time
+	havePred         bool
+	bit              time.Duration
+}
+
+// beginWait is the arrival fast path: join the generation lock-free, sign
+// in at the call site, and either complete the release (last arriver) or
+// predict the stall and pick the sleep tier. It is the segment the
+// tentpole optimisation replaced — BenchmarkBarrierArrival measures
+// exactly this call — and it takes no lock on any path.
+func (b *Barrier) beginWait(key uintptr) (arrivalPlan, error) {
+	now := b.opts.Now()
+	rd, last, err := b.arrive()
+	if err != nil {
+		return arrivalPlan{}, err
+	}
+	s := b.site(key)
+	s.waits.Add(1)
+	plan := arrivalPlan{rd: rd, s: s, last: last}
+	if last {
+		b.finishRelease(rd, s, now)
+		return plan, nil
+	}
+	if b.opts.OnStall != nil && rd.armed.CompareAndSwap(false, true) {
+		b.armWatchdog(rd, s, key, now)
+	}
+
+	// Early arriver: predict the stall, clamp it, and pick a tier. All
+	// inputs are atomics, so the prediction needs no lock; a release
+	// racing these reads can at worst misplace one tier choice, never
+	// correctness.
+	if v := s.bit.Load(); v > 0 && !s.disabled.Load() {
+		if prev := b.lastRelease.Load(); prev != nil {
+			plan.bit = time.Duration(v)
+			plan.predictedRelease = prev.Add(plan.bit)
+			plan.predictedStall = plan.predictedRelease.Sub(now)
+			plan.havePred = plan.predictedStall > 0
+		}
+	}
+	if ls := s.lastStall.Load(); ls > 0 && plan.havePred {
+		if clamp := 2 * time.Duration(ls); clamp < plan.predictedStall {
+			plan.predictedStall = clamp
+		}
+	}
+	plan.tier = b.selectTier(plan.predictedStall, plan.havePred)
+	s.tiers[plan.tier].Add(1)
+	return plan, nil
+}
+
 // waitSite is the shared wait path. A nil ctx never cancels (its done
 // channel is nil, which no select case ever fires on), so the plain Wait
 // forms pay no extra cost beyond a nil check per spin batch.
@@ -358,67 +577,17 @@ func (b *Barrier) waitSite(ctx context.Context, key uintptr) error {
 		}
 		done = ctx.Done()
 	}
-	now := b.opts.Now()
 
-	b.mu.Lock()
-	rd := b.cur
-	if rd.broken.Load() {
-		b.mu.Unlock()
-		return ErrBroken
+	plan, err := b.beginWait(key)
+	if err != nil {
+		return err
 	}
-	s := b.sites[key]
-	if s == nil {
-		s = &site{}
-		b.sites[key] = s
-	}
-	s.waits++
-	b.count++
-	if b.count == 1 && b.opts.OnStall != nil {
-		b.armWatchdog(rd, s, key, now)
-	}
-	if b.count == b.parties {
-		// Last arriver: measure the interval, update the predictor, and
-		// release (flip the flag). The first interval is discarded — with
-		// lastRelease still zero it would measure construction-to-release,
-		// i.e. whatever setup time elapsed between New and the first episode.
-		if !b.lastRelease.IsZero() && !s.disabled {
-			s.lastBIT = now.Sub(b.lastRelease)
-			s.valid = true
-		}
-		b.lastRelease = now
-		b.count = 0
-		b.generation++
-		old := b.cur
-		b.cur = &round{ch: make(chan struct{})}
-		if old.watchdog != nil {
-			old.watchdog.Stop()
-			old.watchdog = nil
-		}
-		b.mu.Unlock()
-		old.done.Store(true)
-		close(old.ch) // external wake-up broadcast
+	if plan.last {
 		return nil
 	}
-	// Early arriver: predict the stall, clamp it, and pick a tier — all in
-	// the arrival critical section, so the prediction and the lastStall
-	// clamp see one consistent site snapshot and the hot path pays no extra
-	// lock round-trips.
-	predictedStall, havePred := time.Duration(0), false
-	var predictedRelease time.Time
-	if s.valid && !s.disabled {
-		predictedRelease = b.lastRelease.Add(s.lastBIT)
-		predictedStall = predictedRelease.Sub(now)
-		havePred = predictedStall > 0
-	}
-	if s.lastStallValid && havePred {
-		if clamp := 2 * s.lastStall; clamp < predictedStall {
-			predictedStall = clamp
-		}
-	}
-	bit := s.lastBIT
-	tier := b.selectTier(predictedStall, havePred)
-	s.tiers[tier]++
-	b.mu.Unlock()
+	rd, s := plan.rd, plan.s
+	tier := plan.tier
+	predictedRelease, bit := plan.predictedRelease, plan.bit
 
 	waitStart := b.opts.Now()
 	var out waitOutcome
@@ -455,24 +624,25 @@ func (b *Barrier) waitSite(ctx context.Context, key uintptr) error {
 		return ErrBroken
 	}
 
-	// Single post-wait acquisition: the stall sample, parked-time
-	// accounting, wake counters and the cut-off verdict in one shot.
-	b.mu.Lock()
-	s.lastStall = stall
-	s.lastStallValid = true
+	// Post-wait bookkeeping: the stall sample, parked-time accounting,
+	// wake counters and the cut-off verdict, all on site atomics.
+	if v := int64(stall); v > 0 {
+		s.lastStall.Store(v)
+	} else {
+		s.lastStall.Store(1) // a measured-zero stall still counts as a sample
+	}
 	if out.parking && stall > 0 {
-		s.parked += stall
+		s.parked.Add(int64(stall))
 	}
 	if out.earlyWake {
-		s.earlyWakes++
+		s.earlyWakes.Add(1)
 	}
 	if out.lateWake {
-		s.lateWakes++
+		s.lateWakes.Add(1)
 	}
 	if out.judge {
 		b.applyCutoff(s, predictedRelease, end, bit)
 	}
-	b.mu.Unlock()
 	return nil
 }
 
@@ -487,33 +657,38 @@ func (b *Barrier) breakRound(rd *round) (released bool) {
 		b.mu.Unlock()
 		return false
 	}
-	if b.cur != rd {
-		// Only a release swaps b.cur away from an unbroken round.
+	if rd.done.Load() {
 		b.mu.Unlock()
 		return true
 	}
-	b.breakLocked(rd)
+	for {
+		st := b.state.Load()
+		if stateGen(st) != rd.gen {
+			// Only a release moves the generation on from an unbroken
+			// round (Reset marks it broken first, and we hold b.mu).
+			b.mu.Unlock()
+			return true
+		}
+		// Setting the broken bit in the state word is what makes the
+		// break atomic against the lock-free paths: a release claim or an
+		// arrival CAS racing us either beat this CAS (we retry and
+		// re-check the generation) or fail on the changed word and
+		// observe the broken bit.
+		if b.state.CompareAndSwap(st, st|brokenBit) {
+			break
+		}
+	}
+	rd.broken.Store(true)
+	rd.done.Store(true) // after broken: spin-woken waiters re-check broken
+	b.breaks.Add(1)
+	// Clear the stale release timestamp so the first interval measured
+	// after Reset is discarded (it would span the broken period, poisoning
+	// the predictor exactly like the construction-to-first-release one).
+	b.lastRelease.Store(nil)
+	b.stopWatchdogLocked(rd)
 	b.mu.Unlock()
 	close(rd.ch)
 	return false
-}
-
-// breakLocked marks the current generation broken: waiters counted so far
-// are about to leave with ErrBroken, and the stale release timestamp is
-// cleared so the first interval measured after Reset is discarded (it
-// would span the broken period, poisoning the predictor exactly like the
-// construction-to-first-release interval). Called with b.mu held; the
-// caller must close(rd.ch) after unlocking.
-func (b *Barrier) breakLocked(rd *round) {
-	rd.broken.Store(true)
-	rd.done.Store(true) // after broken: spin-woken waiters re-check broken
-	b.count = 0
-	b.breaks++
-	b.lastRelease = time.Time{}
-	if rd.watchdog != nil {
-		rd.watchdog.Stop()
-		rd.watchdog = nil
-	}
 }
 
 // Reset re-arms the barrier: if the current generation has blocked waiters
@@ -523,76 +698,132 @@ func (b *Barrier) breakLocked(rd *round) {
 // stall watchdog fired).
 func (b *Barrier) Reset() {
 	b.mu.Lock()
-	rd := b.cur
-	needClose := false
-	if !rd.broken.Load() && b.count > 0 {
-		b.breakLocked(rd)
-		needClose = true
-	}
-	b.cur = &round{ch: make(chan struct{})}
-	b.count = 0
-	// The interval spanning a Reset measures recovery time, not the
-	// application's phase: discard it like the construction interval.
-	b.lastRelease = time.Time{}
-	if rd.watchdog != nil {
-		rd.watchdog.Stop()
-		rd.watchdog = nil
-	}
-	b.mu.Unlock()
-	if needClose {
-		close(rd.ch)
+	rd := b.cur.Load()
+	for {
+		st := b.state.Load()
+		if stateGen(st) != rd.gen {
+			// A release claimed the generation and is publishing the next
+			// round: the barrier is already freshly armed, so there is
+			// nothing to tear down. Still discard the interval spanning
+			// the Reset, like the construction interval.
+			b.lastRelease.Store(nil)
+			b.mu.Unlock()
+			return
+		}
+		wasBroken := st&brokenBit != 0
+		arrived := stateCount(st)
+		if b.tree != nil {
+			arrived = b.tree.arrived(rd.gen)
+		}
+		if !b.state.CompareAndSwap(st, packState(rd.gen+1, 0)) {
+			continue
+		}
+		next := &round{gen: rd.gen + 1, ch: make(chan struct{})}
+		b.cur.Store(next)
+		// In tree topology an arrival may have checked in between the
+		// count snapshot and the CAS, so the round is always closed out;
+		// with the central counter the CAS makes the count exact.
+		needClose := !wasBroken && (arrived > 0 || b.tree != nil)
+		if needClose {
+			rd.broken.Store(true)
+			rd.done.Store(true)
+			if arrived > 0 {
+				b.breaks.Add(1)
+			}
+		}
+		b.lastRelease.Store(nil)
+		b.stopWatchdogLocked(rd)
+		b.mu.Unlock()
+		if needClose {
+			close(rd.ch)
+		}
+		return
 	}
 }
 
 // Broken reports whether the current generation is broken (and Reset has
 // not yet re-armed the barrier).
 func (b *Barrier) Broken() bool {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.cur.broken.Load()
+	return b.cur.Load().broken.Load()
 }
 
 // armWatchdog schedules the stall check for a newly opened generation:
 // the deadline is StallMultiple x the site's predicted interval, floored
-// at StallFloor. Called with b.mu held, on the generation's first arrival.
+// at StallFloor. Called by the early arriver that won the round's arming
+// CAS.
 func (b *Barrier) armWatchdog(rd *round, s *site, key uintptr, now time.Time) {
 	d := b.opts.StallFloor
 	var bit time.Duration
-	if s.valid && !s.disabled {
-		bit = s.lastBIT
+	if v := s.bit.Load(); v > 0 && !s.disabled.Load() {
+		bit = time.Duration(v)
 		if m := time.Duration(b.opts.StallMultiple * float64(bit)); m > d {
 			d = m
 		}
 	}
+	gen := b.generation.Load()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if rd.done.Load() || rd.broken.Load() {
+		// The generation ended between arrival and arming: the releaser
+		// or breaker already ran its watchdog stop, so arming now would
+		// leak a timer for a closed round.
+		return
+	}
 	rd.firstSite, rd.openedAt = key, now
-	gen := b.generation
 	rd.watchdog = time.AfterFunc(d, func() { b.stallCheck(rd, gen, bit) })
+}
+
+// stopWatchdog cancels rd's watchdog at release. The armed fast check
+// keeps the common unarmed case (OnStall unset, or this round's arming CAS
+// not yet won) off the mutex.
+func (b *Barrier) stopWatchdog(rd *round) {
+	if b.opts.OnStall == nil || !rd.armed.Load() {
+		return
+	}
+	b.mu.Lock()
+	b.stopWatchdogLocked(rd)
+	b.mu.Unlock()
+}
+
+func (b *Barrier) stopWatchdogLocked(rd *round) {
+	if rd.watchdog != nil {
+		rd.watchdog.Stop()
+		rd.watchdog = nil
+	}
 }
 
 // stallCheck runs when a generation's watchdog deadline expires: if the
 // generation is still open (neither released nor broken), it reports the
 // stall. The callback is invoked without holding the barrier lock.
 func (b *Barrier) stallCheck(rd *round, gen uint64, bit time.Duration) {
+	st := b.state.Load()
+	if st&brokenBit != 0 || stateGen(st) != rd.gen {
+		return
+	}
+	arrived := stateCount(st)
+	if b.tree != nil {
+		arrived = b.tree.arrived(rd.gen)
+	}
 	b.mu.Lock()
-	if b.cur != rd || rd.broken.Load() {
+	if rd.done.Load() || rd.broken.Load() {
 		b.mu.Unlock()
 		return
 	}
 	info := StallInfo{
 		Generation:   gen,
 		Site:         rd.firstSite,
-		Arrived:      b.count,
+		Arrived:      arrived,
 		Parties:      b.parties,
 		Waited:       b.opts.Now().Sub(rd.openedAt),
 		PredictedBIT: bit,
 	}
-	b.stalls++
+	b.stalls.Add(1)
 	b.mu.Unlock()
 	b.opts.OnStall(info)
 }
 
 // waitOutcome is what the wait path reports back so that all post-wait
-// bookkeeping folds into one critical section.
+// bookkeeping folds into one place.
 type waitOutcome struct {
 	// parking marks a parking tier: the stall counts as freed CPU time.
 	parking bool
@@ -689,11 +920,31 @@ func (b *Barrier) yieldThenPark(rd *round, done <-chan struct{}) (cancelled bool
 	}
 }
 
+// timerPool recycles the timed-park timers: a waiter parks once per
+// generation, and allocating a fresh time.Timer (plus its runtime timer)
+// each round is measurable garbage on the steady state. Timers are pooled
+// package-wide; go.mod requires Go 1.23+, whose synchronous timer channels
+// make Reset-after-Stop well-defined without the historical drain dance.
+var timerPool sync.Pool
+
+// stopAndDrain stops a pooled timer before returning it. The non-blocking
+// drain is defensive: under Go 1.23 timer semantics Stop already
+// guarantees no subsequent receive, and an unconsumed tick can only exist
+// on the paths where the select chose another case.
+func stopAndDrain(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+}
+
 // timedPark is the hybrid wake-up: block on both the broadcast channel
 // (external) and a timer armed at the predicted release minus the margin
 // (internal); a timer wake residual-spins until the release. The outcome is
 // reported back rather than recorded here so the caller can fold all
-// post-wait bookkeeping into one critical section.
+// post-wait bookkeeping in one place.
 func (b *Barrier) timedPark(rd *round, predictedRelease time.Time, done <-chan struct{}) (out waitOutcome, cancelled bool) {
 	wake := predictedRelease.Add(-b.opts.ParkMargin)
 	d := wake.Sub(b.opts.Now())
@@ -705,12 +956,18 @@ func (b *Barrier) timedPark(rd *round, predictedRelease time.Time, done <-chan s
 		}
 		return out, cancelled
 	}
-	timer := time.NewTimer(d)
-	defer timer.Stop()
+	var timer *time.Timer
+	if t, _ := timerPool.Get().(*time.Timer); t != nil {
+		timer = t
+		timer.Reset(d)
+	} else {
+		timer = time.NewTimer(d)
+	}
 	select {
 	case <-rd.ch:
 		// External wake-up won: the release beat the timer.
 		out.lateWake = true
+		stopAndDrain(timer)
 	case <-timer.C:
 		// Internal wake-up: residual spin for the release (§2's Residual
 		// Spin), bounded by the spin budget, then park.
@@ -718,7 +975,9 @@ func (b *Barrier) timedPark(rd *round, predictedRelease time.Time, done <-chan s
 		cancelled = b.spinThenPark(rd, done)
 	case <-done:
 		cancelled = true
+		stopAndDrain(timer)
 	}
+	timerPool.Put(timer)
 	return out, cancelled
 }
 
@@ -729,7 +988,7 @@ func (b *Barrier) timedPark(rd *round, predictedRelease time.Time, done <-chan s
 // on the critical path, which is the failure mode the cut-off exists to
 // bound. Underprediction (actual release later than predicted) costs at
 // most a bounded residual spin under the hybrid wake-up and must never
-// disable a site. Called with b.mu held.
+// disable a site.
 func (b *Barrier) applyCutoff(s *site, predictedRelease, actual time.Time, bit time.Duration) {
 	if bit <= 0 || predictedRelease.IsZero() {
 		return
@@ -741,10 +1000,9 @@ func (b *Barrier) applyCutoff(s *site, predictedRelease, actual time.Time, bit t
 	if float64(over) <= b.opts.Cutoff*float64(bit) {
 		return
 	}
-	s.cutoffHits++
-	s.strikes++
-	if s.strikes >= b.opts.MaxStrikes && !s.disabled {
-		s.disabled = true
+	s.cutoffHits.Add(1)
+	if s.strikes.Add(1) >= int64(b.opts.MaxStrikes) {
+		s.disabled.Store(true)
 	}
 }
 
@@ -774,23 +1032,37 @@ type Stats struct {
 	Sites  []SiteStats
 }
 
-// Stats returns a consistent snapshot of predictor and tier statistics.
+// Stats returns a snapshot of predictor and tier statistics. Each counter
+// is read atomically; the snapshot as a whole is not a cross-counter
+// linearization (a concurrent wait may land between two reads), which is
+// fine for the telemetry it feeds.
 func (b *Barrier) Stats() Stats {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	out := Stats{Generation: b.generation, Breaks: b.breaks, Stalls: b.stalls}
-	for key, s := range b.sites {
-		out.Sites = append(out.Sites, SiteStats{
-			Key:        key,
-			Waits:      s.waits,
-			Tiers:      s.tiers,
-			EarlyWakes: s.earlyWakes,
-			LateWakes:  s.lateWakes,
-			CutoffHits: s.cutoffHits,
-			Disabled:   s.disabled,
-			LastBIT:    s.lastBIT,
-			Parked:     s.parked,
-		})
+	out := Stats{
+		Generation: b.generation.Load(),
+		Breaks:     b.breaks.Load(),
+		Stalls:     b.stalls.Load(),
 	}
+	b.sites.Range(func(k, v any) bool {
+		s := v.(*site)
+		bit := s.bit.Load()
+		if bit < 0 {
+			bit = 0
+		}
+		ss := SiteStats{
+			Key:        k.(uintptr),
+			Waits:      s.waits.Load(),
+			EarlyWakes: s.earlyWakes.Load(),
+			LateWakes:  s.lateWakes.Load(),
+			CutoffHits: s.cutoffHits.Load(),
+			Disabled:   s.disabled.Load(),
+			LastBIT:    time.Duration(bit),
+			Parked:     time.Duration(s.parked.Load()),
+		}
+		for i := range s.tiers {
+			ss.Tiers[i] = s.tiers[i].Load()
+		}
+		out.Sites = append(out.Sites, ss)
+		return true
+	})
 	return out
 }

@@ -1,0 +1,52 @@
+package thrifty
+
+import (
+	"testing"
+	"time"
+)
+
+// The timed-park satellite acceptance check: with the timer pool, the
+// steady state of the hybrid wake-up allocates nothing. The round is
+// pre-released so timedPark arms its timer and immediately takes the
+// external wake-up — the full pool Get/Reset/Stop/Put cycle with no
+// blocking.
+func TestTimedParkZeroAllocSteadyState(t *testing.T) {
+	b := New(2, Options{})
+	rd := &round{ch: make(chan struct{})}
+	rd.done.Store(true)
+	close(rd.ch)
+	predicted := time.Now().Add(time.Hour) // timer would fire far in the future
+	avg := testing.AllocsPerRun(1000, func() {
+		out, cancelled := b.timedPark(rd, predicted, nil)
+		if !out.lateWake || cancelled {
+			t.Fatal("timed park did not resolve through the external wake-up")
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("timed park allocated %v allocs/op in steady state (timer pool miss)", avg)
+	}
+}
+
+// BenchmarkTimedPark measures the non-blocking timed-park round trip (arm
+// the pooled timer, win the external wake-up, return the timer).
+func BenchmarkTimedPark(b *testing.B) {
+	bar := New(2, Options{})
+	rd := &round{ch: make(chan struct{})}
+	rd.done.Store(true)
+	close(rd.ch)
+	predicted := time.Now().Add(time.Hour)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bar.timedPark(rd, predicted, nil)
+	}
+}
+
+// BenchmarkArrive measures the pure arrival word cost with a single
+// party (every call is the releaser: one claim CAS plus round swap).
+func BenchmarkArrive(b *testing.B) {
+	bar := New(1, Options{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bar.WaitSite(0x1)
+	}
+}

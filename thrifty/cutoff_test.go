@@ -20,45 +20,36 @@ func TestCutoffStrikesOnlyOnOverprediction(t *testing.T) {
 	// Gross underprediction: actual release 50% of BIT after the predicted
 	// one, many times over. No strikes, ever.
 	for i := 0; i < 10*b.opts.MaxStrikes; i++ {
-		b.mu.Lock()
 		b.applyCutoff(s, pred, pred.Add(bit/2), bit)
-		b.mu.Unlock()
 	}
-	if s.strikes != 0 || s.cutoffHits != 0 || s.disabled {
-		t.Fatalf("underprediction struck the site: %+v", s)
+	if s.strikes.Load() != 0 || s.cutoffHits.Load() != 0 || s.disabled.Load() {
+		t.Fatalf("underprediction struck the site: strikes=%d hits=%d disabled=%v",
+			s.strikes.Load(), s.cutoffHits.Load(), s.disabled.Load())
 	}
 
 	// Overprediction at exactly the threshold (10% of BIT): still no strike.
-	b.mu.Lock()
 	b.applyCutoff(s, pred, pred.Add(-bit/10), bit)
-	b.mu.Unlock()
-	if s.strikes != 0 {
-		t.Fatalf("at-threshold overprediction struck the site: %+v", s)
+	if s.strikes.Load() != 0 {
+		t.Fatalf("at-threshold overprediction struck the site: strikes=%d", s.strikes.Load())
 	}
 
 	// Overprediction beyond the threshold: strikes, and MaxStrikes (default
 	// 2) of them disable the site.
-	b.mu.Lock()
 	b.applyCutoff(s, pred, pred.Add(-bit/5), bit)
-	b.mu.Unlock()
-	if s.strikes != 1 || s.disabled {
-		t.Fatalf("first violation: strikes=%d disabled=%v, want 1/false", s.strikes, s.disabled)
+	if s.strikes.Load() != 1 || s.disabled.Load() {
+		t.Fatalf("first violation: strikes=%d disabled=%v, want 1/false", s.strikes.Load(), s.disabled.Load())
 	}
-	b.mu.Lock()
 	b.applyCutoff(s, pred, pred.Add(-bit/5), bit)
-	b.mu.Unlock()
-	if s.strikes != 2 || !s.disabled {
-		t.Fatalf("second violation: strikes=%d disabled=%v, want 2/true", s.strikes, s.disabled)
+	if s.strikes.Load() != 2 || !s.disabled.Load() {
+		t.Fatalf("second violation: strikes=%d disabled=%v, want 2/true", s.strikes.Load(), s.disabled.Load())
 	}
 
 	// A zero interval or zero prediction never judges.
 	fresh := &site{}
-	b.mu.Lock()
 	b.applyCutoff(fresh, pred, pred.Add(-bit), 0)
 	b.applyCutoff(fresh, time.Time{}, pred, bit)
-	b.mu.Unlock()
-	if fresh.strikes != 0 {
-		t.Fatalf("degenerate inputs struck the site: %+v", fresh)
+	if fresh.strikes.Load() != 0 {
+		t.Fatalf("degenerate inputs struck the site: strikes=%d", fresh.strikes.Load())
 	}
 }
 

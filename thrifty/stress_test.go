@@ -1,0 +1,176 @@
+package thrifty
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Lock-free arrival stress (run under -race): party counts from 2 to 256,
+// flat and tree topologies, a spin/park tier mix forced by aggressive
+// thresholds, with WaitContext cancellations and Reset interleaved across
+// generations. The invariants are the broken-barrier contract: within one
+// generation outcomes are all-nil or none-nil, and the run terminating at
+// all proves no waiter was stranded by a lost wake-up.
+func TestStressArrivalTopologies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	configs := []struct {
+		parties int
+		radix   int
+	}{
+		{2, 0}, {3, 0}, {8, 0}, {64, 0}, {256, 0},
+		{8, 2}, {64, 4}, {256, 8}, {37, 3},
+	}
+	for _, cfg := range configs {
+		cfg := cfg
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			stressBarrier(t, cfg.parties, cfg.radix)
+		})
+	}
+}
+
+func stressBarrier(t *testing.T, parties, radix int) {
+	rounds := 40
+	if parties >= 64 {
+		rounds = 12
+	}
+	b := New(parties, Options{
+		TreeRadix: radix,
+		// Aggressive thresholds push waiters across all four tiers.
+		SpinThreshold:      2 * time.Microsecond,
+		YieldThreshold:     10 * time.Microsecond,
+		TimedParkThreshold: 300 * time.Microsecond,
+		ParkMargin:         20 * time.Microsecond,
+		SpinBudget:         5 * time.Microsecond,
+	})
+	rng := rand.New(rand.NewSource(int64(parties*1000 + radix)))
+	for round := 0; round < rounds; round++ {
+		victim := rng.Intn(parties * 3) // usually nobody cancelled
+		deadline := time.Duration(rng.Intn(500)) * time.Microsecond
+		straggler := rng.Intn(parties)
+		lag := time.Duration(rng.Intn(400)) * time.Microsecond
+
+		outcomes := make([]error, parties)
+		var wg sync.WaitGroup
+		for i := 0; i < parties; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				ctx := context.Background()
+				if i == victim {
+					var cancel context.CancelFunc
+					ctx, cancel = context.WithTimeout(ctx, deadline)
+					defer cancel()
+				}
+				if i == straggler {
+					time.Sleep(lag)
+				}
+				outcomes[i] = b.WaitSiteContext(ctx, uintptr(0x1000+round%4))
+				if i == victim && outcomes[i] != nil && !b.Broken() {
+					// Pre-arrival expiry: nothing broke; give up on the
+					// generation so the others are not stranded.
+					b.Reset()
+				}
+			}(i)
+		}
+		wg.Wait()
+
+		var nils, breaks, ctxErrs int
+		for i, err := range outcomes {
+			switch {
+			case err == nil:
+				nils++
+			case errors.Is(err, ErrBroken):
+				breaks++
+			case errors.Is(err, context.DeadlineExceeded):
+				ctxErrs++
+				if i != victim {
+					t.Fatalf("round %d: non-victim %d got a ctx error", round, i)
+				}
+			default:
+				t.Fatalf("round %d: waiter %d returned %v", round, i, err)
+			}
+		}
+		if nils != parties && nils != 0 {
+			t.Fatalf("round %d: %d/%d nil returns — release was not all-or-none",
+				round, nils, parties)
+		}
+		if nils == 0 && ctxErrs == 0 {
+			t.Fatalf("round %d: generation broke with no cancelled participant", round)
+		}
+		if b.Broken() {
+			b.Reset()
+		}
+	}
+	st := b.Stats()
+	if st.Generation == 0 {
+		t.Error("stress run never completed a generation")
+	}
+	var waits uint64
+	for _, s := range st.Sites {
+		waits += s.Waits
+	}
+	// Every outcome was either a completed wait, a break, or a ctx error
+	// after joining — all of which count exactly one wait — except
+	// pre-arrival expiries, which count none. So waits never exceeds the
+	// total participant-rounds and reaches it when nothing was cancelled.
+	if waits > uint64(parties*rounds) {
+		t.Errorf("waits = %d > %d participant-rounds", waits, parties*rounds)
+	}
+}
+
+// Reset hammering: concurrent waiters against a supervisor calling Reset
+// at random, in both topologies. Nothing may hang or double-release.
+func TestStressResetVsWaiters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	for _, radix := range []int{0, 4} {
+		radix := radix
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			const parties = 16
+			b := New(parties, Options{TreeRadix: radix})
+			stop := make(chan struct{})
+			var supervisor sync.WaitGroup
+			supervisor.Add(1)
+			go func() {
+				defer supervisor.Done()
+				rng := rand.New(rand.NewSource(7))
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+						time.Sleep(time.Duration(rng.Intn(300)) * time.Microsecond)
+						b.Reset()
+					}
+				}
+			}()
+			var wg sync.WaitGroup
+			for i := 0; i < parties; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for r := 0; r < 30; r++ {
+						// Nil and ErrBroken are both legitimate here; any
+						// other error (or a hang) is the failure.
+						if err := b.WaitSiteContext(context.Background(), 0x3); err != nil && !errors.Is(err, ErrBroken) {
+							t.Errorf("wait returned %v", err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			close(stop)
+			supervisor.Wait()
+		})
+	}
+}

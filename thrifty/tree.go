@@ -1,0 +1,183 @@
+package thrifty
+
+import (
+	"math/rand/v2"
+	"sync/atomic"
+)
+
+// arrivalTree is the opt-in combining-tree arrival topology
+// (Options.TreeRadix): an MCS-style static tree of counters in which at
+// most radix check-ins land on any one cache line. Waiters deposit one
+// token in a leaf; the check-in that fills a node's quota propagates a
+// single token to the parent, and the check-in that fills the root is the
+// generation's releaser. Unlike the classic MCS tree, parties are not
+// statically assigned to leaves — any goroutine may call Wait — so leaves
+// carry quotas summing to the party count and a waiter probes from a
+// random leaf until one admits it (total quota == parties guarantees a
+// free slot for every legitimate arrival, by pigeonhole).
+//
+// Generations are handled lazily: each node tags its count with the
+// generation it belongs to, and the first check-in of a newer generation
+// resets the node in the same CAS. Nothing is cleared at release time, so
+// the release path stays O(1).
+type arrivalTree struct {
+	nodes    []treeNode
+	leafBase int // index of the first leaf; leaves occupy the tail of nodes
+}
+
+// treeNode is one counter in the tree, padded to a cache line so sibling
+// counters never false-share — the whole point of the topology is that
+// concurrent arrivals touch different lines.
+type treeNode struct {
+	// state packs the node's generation (high 32 bits) and check-in count
+	// (low 32 bits): a single CAS both joins the node and detects a stale
+	// generation.
+	state  atomic.Uint64
+	quota  uint32 // check-ins that fill this node for one generation
+	parent int32  // index of the parent node; -1 at the root
+	_      [48]byte
+}
+
+const (
+	joinOK    = iota // token deposited
+	joinFull         // leaf already at quota for this generation: probe on
+	joinStale        // node is at a NEWER generation: caller must re-observe
+)
+
+// newArrivalTree builds the static tree for parties check-ins with the
+// given radix. It returns nil when the shape collapses to a single leaf,
+// where the central counter is strictly better.
+func newArrivalTree(parties, radix int) *arrivalTree {
+	leaves := (parties + radix - 1) / radix
+	if leaves < 2 {
+		return nil
+	}
+	// Level sizes bottom-up: leaves first, then each parent level, up to
+	// the single root.
+	sizes := []int{leaves}
+	for n := leaves; n > 1; {
+		n = (n + radix - 1) / radix
+		sizes = append(sizes, n)
+	}
+	total := 0
+	for _, n := range sizes {
+		total += n
+	}
+	t := &arrivalTree{nodes: make([]treeNode, total)}
+	// Lay levels out root-first so offsets[level] locates each level in
+	// the flat slice (level is the bottom-up index: 0 = leaves).
+	offsets := make([]int, len(sizes))
+	off := 0
+	for level := len(sizes) - 1; level >= 0; level-- {
+		offsets[level] = off
+		off += sizes[level]
+	}
+	t.leafBase = offsets[0]
+	base, rem := parties/leaves, parties%leaves
+	for level, size := range sizes {
+		for j := 0; j < size; j++ {
+			n := &t.nodes[offsets[level]+j]
+			if level == len(sizes)-1 {
+				n.parent = -1
+			} else {
+				n.parent = int32(offsets[level+1] + j/radix)
+			}
+			if level == 0 {
+				// Leaf quotas sum to the party count, balanced to within
+				// one: the first rem leaves take the remainder.
+				q := base
+				if j < rem {
+					q++
+				}
+				n.quota = uint32(q)
+			} else {
+				// An internal node receives exactly one token per child.
+				children := min(radix*j+radix, sizes[level-1]) - radix*j
+				n.quota = uint32(children)
+			}
+		}
+	}
+	return t
+}
+
+// join deposits one token in node idx for generation g.
+func (t *arrivalTree) join(idx int, g uint32) (status int, filled bool) {
+	n := &t.nodes[idx]
+	for {
+		st := n.state.Load()
+		if ng := uint32(st >> 32); ng != g {
+			if int32(g-ng) > 0 {
+				// The node still holds a completed older generation:
+				// reset and deposit in one CAS (the lazy reset).
+				if n.state.CompareAndSwap(st, uint64(g)<<32|1) {
+					return joinOK, n.quota == 1
+				}
+				continue
+			}
+			return joinStale, false
+		}
+		cnt := uint32(st)
+		if cnt >= n.quota {
+			return joinFull, false
+		}
+		if n.state.CompareAndSwap(st, st+1) {
+			return joinOK, cnt+1 == n.quota
+		}
+	}
+}
+
+// checkIn deposits one arrival for generation g and propagates any node
+// fills toward the root. It reports root=true when this check-in filled
+// the root — the caller is the generation's releaser — and ok=false when
+// the tree has already moved past g (the caller's generation view is
+// stale; it must re-observe the barrier state and retry).
+func (t *arrivalTree) checkIn(g uint32) (root, ok bool) {
+	nLeaves := len(t.nodes) - t.leafBase
+	start := int(rand.Uint64N(uint64(nLeaves)))
+	idx := -1
+	var filled bool
+	for i := 0; i < nLeaves; i++ {
+		li := t.leafBase + (start+i)%nLeaves
+		switch status, f := t.join(li, g); status {
+		case joinStale:
+			return false, false
+		case joinOK:
+			idx, filled = li, f
+		}
+		if idx >= 0 {
+			break
+		}
+	}
+	if idx < 0 {
+		// Every leaf is at quota: more than parties concurrent arrivals,
+		// which the Barrier contract (like sync.WaitGroup misuse) forbids.
+		panic("thrifty: more concurrent arrivals than parties")
+	}
+	for filled {
+		p := t.nodes[idx].parent
+		if p < 0 {
+			return true, true
+		}
+		status, f := t.join(int(p), g)
+		if status == joinStale {
+			// The generation died under us (Reset): the fill token is
+			// moot, the round's waiters are woken through its channel.
+			return false, false
+		}
+		idx, filled = int(p), f
+	}
+	return false, true
+}
+
+// arrived counts generation g's check-ins currently recorded in the
+// leaves (for the stall watchdog's head count). The sum is racy against
+// in-flight check-ins, like the central counter's count it replaces.
+func (t *arrivalTree) arrived(g uint32) int {
+	n := 0
+	for i := t.leafBase; i < len(t.nodes); i++ {
+		if st := t.nodes[i].state.Load(); uint32(st>>32) == g {
+			n += int(uint32(st))
+		}
+	}
+	return n
+}

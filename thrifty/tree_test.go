@@ -1,0 +1,242 @@
+package thrifty
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The tree must reduce to the same rendezvous semantics as the central
+// counter for any shape: every generation releases exactly when all
+// parties arrive, across radices that exercise single-level, multi-level,
+// and unbalanced (quota-remainder) trees.
+func TestTreeBarrierReleasesAllShapes(t *testing.T) {
+	shapes := []struct{ parties, radix int }{
+		{4, 2},   // 2 leaves, 1 root level
+		{5, 2},   // unbalanced leaf quotas (3+2... ceil(5/2)=3 leaves: 2+2+1)
+		{16, 4},  // 4 leaves
+		{27, 3},  // 9 leaves, 3 internal, root: 3 levels
+		{64, 8},  // 8 leaves
+		{7, 3},   // 3 leaves with remainder quotas
+		{33, 16}, // 3 leaves, wide radix
+	}
+	for _, sh := range shapes {
+		sh := sh
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			b := New(sh.parties, Options{TreeRadix: sh.radix})
+			if b.tree == nil {
+				t.Fatalf("parties=%d radix=%d: tree not selected", sh.parties, sh.radix)
+			}
+			const rounds = 50
+			var wg sync.WaitGroup
+			for p := 0; p < sh.parties; p++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for r := 0; r < rounds; r++ {
+						b.WaitSite(0xbeef)
+					}
+				}()
+			}
+			wg.Wait()
+			st := b.Stats()
+			if st.Generation != rounds {
+				t.Fatalf("parties=%d radix=%d: generation=%d, want %d",
+					sh.parties, sh.radix, st.Generation, rounds)
+			}
+			if w := st.Sites[0].Waits; w != uint64(sh.parties*rounds) {
+				t.Fatalf("parties=%d radix=%d: waits=%d, want %d",
+					sh.parties, sh.radix, w, sh.parties*rounds)
+			}
+		})
+	}
+}
+
+// Degenerate shapes fall back to the central counter: a tree with a single
+// leaf would serialize through one line anyway.
+func TestTreeDegeneratesToFlat(t *testing.T) {
+	for _, o := range []Options{
+		{TreeRadix: 0},
+		{TreeRadix: 1},
+		{TreeRadix: -3},
+		{TreeRadix: 8}, // parties 4 < radix: one leaf
+		{TreeRadix: 4},
+	} {
+		b := New(4, o)
+		if b.tree != nil {
+			t.Fatalf("TreeRadix=%d with 4 parties built a tree", o.TreeRadix)
+		}
+	}
+	if b := New(4, Options{TreeRadix: 2}); b.tree == nil {
+		t.Fatal("TreeRadix=2 with 4 parties did not build a tree")
+	}
+}
+
+// Leaf quotas must sum to the party count (the pigeonhole invariant that
+// guarantees every arrival finds a leaf slot), and internal quotas to the
+// child counts.
+func TestTreeQuotaInvariant(t *testing.T) {
+	for parties := 2; parties <= 130; parties++ {
+		for _, radix := range []int{2, 3, 4, 7, 16} {
+			tr := newArrivalTree(parties, radix)
+			if tr == nil {
+				continue
+			}
+			leafSum := 0
+			for i := tr.leafBase; i < len(tr.nodes); i++ {
+				q := int(tr.nodes[i].quota)
+				if q < 1 {
+					t.Fatalf("p=%d r=%d: leaf %d has zero quota", parties, radix, i)
+				}
+				if q > radix {
+					t.Fatalf("p=%d r=%d: leaf %d quota %d > radix", parties, radix, i, q)
+				}
+				leafSum += q
+			}
+			if leafSum != parties {
+				t.Fatalf("p=%d r=%d: leaf quotas sum to %d", parties, radix, leafSum)
+			}
+			// Count each node's children via parent links; roots aside,
+			// every internal quota must equal its child count.
+			children := make(map[int32]uint32)
+			roots := 0
+			for i := range tr.nodes {
+				if p := tr.nodes[i].parent; p >= 0 {
+					children[p]++
+				} else {
+					roots++
+				}
+			}
+			if roots != 1 {
+				t.Fatalf("p=%d r=%d: %d roots", parties, radix, roots)
+			}
+			for p, c := range children {
+				if q := tr.nodes[p].quota; q != c {
+					t.Fatalf("p=%d r=%d: node %d quota %d != %d children",
+						parties, radix, p, q, c)
+				}
+			}
+		}
+	}
+}
+
+// Broken-barrier semantics are preserved verbatim under the tree: a
+// cancelled participant breaks the generation, parked tree waiters wake
+// with ErrBroken, and Reset re-arms.
+func TestTreeBrokenAndReset(t *testing.T) {
+	const parties = 12
+	b := New(parties, Options{TreeRadix: 3})
+	ctx, cancel := context.WithCancel(context.Background())
+	errs := make(chan error, parties-1)
+	for i := 0; i < parties-2; i++ {
+		//lint:ignore waitparties deliberate under-fill: the break must rescue the parked waiters
+		go func() { errs <- b.WaitContext(context.Background()) }()
+	}
+	time.Sleep(20 * time.Millisecond)
+	go func() { errs <- b.WaitContext(ctx) }()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	var gotCtx, gotBroken int
+	for i := 0; i < parties-1; i++ {
+		select {
+		case err := <-errs:
+			switch {
+			case errors.Is(err, context.Canceled):
+				gotCtx++
+			case errors.Is(err, ErrBroken):
+				gotBroken++
+			default:
+				t.Fatalf("waiter returned %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("only %d/%d waiters returned", i, parties-1)
+		}
+	}
+	if gotCtx != 1 || gotBroken != parties-2 {
+		t.Fatalf("outcomes: %d ctx, %d broken; want 1 and %d", gotCtx, gotBroken, parties-2)
+	}
+	if !b.Broken() {
+		t.Fatal("barrier not broken after cancellation")
+	}
+	if err := b.WaitSiteContext(context.Background(), 0x9); !errors.Is(err, ErrBroken) {
+		t.Fatalf("arrival on broken tree barrier returned %v, want ErrBroken", err)
+	}
+
+	b.Reset()
+	if b.Broken() {
+		t.Fatal("barrier still broken after Reset")
+	}
+	// The lazily-reset tree must complete generations normally again.
+	var wg sync.WaitGroup
+	for r := 0; r < 10; r++ {
+		for i := 0; i < parties; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := b.WaitSiteContext(context.Background(), 0x9); err != nil {
+					t.Errorf("post-Reset wait returned %v", err)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}
+
+// Reset on a tree barrier with partially checked-in waiters must wake them
+// (the always-close rule: a snapshot of leaf counts can miss an in-flight
+// check-in, so tree Reset never strands one).
+func TestTreeResetWakesPartialCheckIns(t *testing.T) {
+	const parties = 9
+	b := New(parties, Options{TreeRadix: 3})
+	errs := make(chan error, parties-1)
+	for i := 0; i < parties-1; i++ {
+		//lint:ignore waitparties deliberate under-fill: Reset must wake the stranded waiters
+		go func() { errs <- b.WaitSiteContext(context.Background(), 0x5) }()
+	}
+	time.Sleep(20 * time.Millisecond)
+	b.Reset()
+	for i := 0; i < parties-1; i++ {
+		if err := <-errs; !errors.Is(err, ErrBroken) {
+			t.Fatalf("reset waiter returned %v, want ErrBroken", err)
+		}
+	}
+	if b.Stats().Breaks != 1 {
+		t.Fatalf("breaks = %d, want 1", b.Stats().Breaks)
+	}
+}
+
+// The stall watchdog sees tree arrivals: its head count comes from the
+// leaf counters.
+func TestTreeWatchdogHeadCount(t *testing.T) {
+	const parties = 8
+	stalled := make(chan StallInfo, 1)
+	b := New(parties, Options{
+		TreeRadix:  2,
+		OnStall:    func(si StallInfo) { stalled <- si },
+		StallFloor: 30 * time.Millisecond,
+	})
+	errs := make(chan error, parties)
+	for i := 0; i < parties-1; i++ {
+		//lint:ignore waitparties deliberate under-fill: the watchdog must report the deserter
+		go func() { errs <- b.WaitSiteContext(context.Background(), 0x2) }()
+	}
+	select {
+	case si := <-stalled:
+		if si.Arrived != parties-1 || si.Parties != parties {
+			t.Errorf("stall report %d/%d arrived, want %d/%d",
+				si.Arrived, si.Parties, parties-1, parties)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("watchdog never fired on a deserted tree generation")
+	}
+	// The deserter completes the generation.
+	go func() { errs <- b.WaitSiteContext(context.Background(), 0x2) }()
+	for i := 0; i < parties; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("waiter returned %v after the deserter arrived", err)
+		}
+	}
+}
