@@ -1,0 +1,168 @@
+package main
+
+// -bench-diff: compare a freshly recorded BENCH_runtime.json (and its
+// BENCH_sim.json sibling) against the numbers committed in README.md —
+// the "Internal wake-up engine" ManyBarriers table and the event-engine
+// ns/op anchors. The comparison is informational by design — benchmark
+// numbers from shared CI runners are noise, so a drift here should show
+// up in the job log without gating anything (the README rows are medians
+// of repeated runs; see the Performance section).
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"thriftybarrier/internal/harness/microbench"
+)
+
+// readmeBenchRow is one recorded row of the README ManyBarriers table:
+//
+//	| 10000 resident barriers | 70 | 140 | 2.0× |
+type readmeBenchRow struct {
+	barriers     int
+	wheel, timer float64 // recorded ns per arm/cancel pair
+}
+
+// parseReadmeBench extracts the ManyBarriers rows from README markdown.
+func parseReadmeBench(readme string) []readmeBenchRow {
+	var rows []readmeBenchRow
+	for _, line := range strings.Split(readme, "\n") {
+		cells := strings.Split(line, "|")
+		// "| N resident barriers | wheel | timer | speedup |" splits into
+		// 6 cells with empty ends.
+		if len(cells) < 5 || !strings.HasSuffix(strings.TrimSpace(cells[1]), " resident barriers") {
+			continue
+		}
+		n, err1 := strconv.Atoi(strings.TrimSuffix(strings.TrimSpace(cells[1]), " resident barriers"))
+		w, err2 := strconv.ParseFloat(strings.TrimSpace(cells[2]), 64)
+		t, err3 := strconv.ParseFloat(strings.TrimSpace(cells[3]), 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			continue
+		}
+		rows = append(rows, readmeBenchRow{barriers: n, wheel: w, timer: t})
+	}
+	return rows
+}
+
+// readmeEngineAnchors extracts the event-engine ns/op numbers committed
+// in README.md's "Simulator event engine" section, keyed by the
+// BENCH_sim.json result name each one is recorded under. Anchors that
+// the README no longer states are simply absent.
+var readmeEngineAnchors = []struct {
+	result string
+	re     *regexp.Regexp
+}{
+	// "| after (arena + index heap) | 10.9 | 0 | 0 |"
+	{"EngineScheduleFire/empty", regexp.MustCompile(`\|\s*after \(arena \+ index heap\)\s*\|\s*([0-9.]+)\s*\|`)},
+	// "148.5 ns/op with 1024 pending\nevents" (prose may wrap mid-phrase)
+	{"EngineScheduleFire/pending-1k", regexp.MustCompile(`([0-9.]+) ns/op with 1024 pending\s+events`)},
+	// "24.0 ns/op for a schedule+cancel+fire round"
+	{"EngineScheduleCancelFire", regexp.MustCompile(`([0-9.]+) ns/op for a schedule\+cancel\+fire\s+round`)},
+}
+
+// loadSuite reads one BENCH_*.json and returns a lookup by result name.
+func loadSuite(path string) (func(string) (microbench.Result, bool), error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var suite struct {
+		Results []microbench.Result `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &suite); err != nil {
+		return nil, fmt.Errorf("bench-diff: %s: %v", path, err)
+	}
+	return func(name string) (microbench.Result, bool) {
+		for _, r := range suite.Results {
+			if r.Name == name {
+				return r, true
+			}
+		}
+		return microbench.Result{}, false
+	}, nil
+}
+
+// diffBenchReadme reports how a recorded BENCH_runtime.json (plus the
+// BENCH_sim.json written next to it) compares to the README's committed
+// wake-up engine and event-engine numbers. It returns an error only for
+// broken inputs (missing files, no table, no matching results): the
+// numeric comparison itself never fails the run.
+func diffBenchReadme(jsonPath, readmePath string, w io.Writer) error {
+	readme, err := os.ReadFile(readmePath)
+	if err != nil {
+		return err
+	}
+	rows := parseReadmeBench(string(readme))
+	if len(rows) == 0 {
+		return fmt.Errorf("bench-diff: no ManyBarriers table found in %s", readmePath)
+	}
+	lookup, err := loadSuite(jsonPath)
+	if err != nil {
+		return err
+	}
+	pair := func(name string) (float64, bool) {
+		r, ok := lookup(name)
+		if !ok {
+			return 0, false
+		}
+		v, ok := r.Metrics["ns/armcancel"]
+		return v, ok
+	}
+	fmt.Fprintf(w, "bench-diff: %s vs %s (informational; README rows are medians of repeated runs)\n", jsonPath, readmePath)
+	matched := 0
+	for _, row := range rows {
+		wheel, okw := pair(fmt.Sprintf("ManyBarriers/wheel-%dx16", row.barriers))
+		timer, okt := pair(fmt.Sprintf("ManyBarriers/timer-%dx16", row.barriers))
+		if !okw || !okt {
+			fmt.Fprintf(w, "  %d resident: no recorded result in %s\n", row.barriers, jsonPath)
+			continue
+		}
+		matched++
+		fmt.Fprintf(w, "  %d resident: wheel %.1f ns/pair (recorded %.0f, %+.0f%%), timer %.1f (recorded %.0f, %+.0f%%), speedup %.2fx (recorded %.1fx)\n",
+			row.barriers,
+			wheel, row.wheel, 100*(wheel-row.wheel)/row.wheel,
+			timer, row.timer, 100*(timer-row.timer)/row.timer,
+			timer/wheel, row.timer/row.wheel)
+	}
+	if matched == 0 {
+		return fmt.Errorf("bench-diff: %s has no ManyBarriers results matching the README table", jsonPath)
+	}
+
+	// Event-engine side: BENCH_sim.json is written next to
+	// BENCH_runtime.json by -bench-json, and the README states three
+	// ns/op anchors for it.
+	simPath := filepath.Join(filepath.Dir(jsonPath), "BENCH_sim.json")
+	simLookup, err := loadSuite(simPath)
+	if err != nil {
+		return err
+	}
+	matched = 0
+	for _, a := range readmeEngineAnchors {
+		m := a.re.FindStringSubmatch(string(readme))
+		if m == nil {
+			continue
+		}
+		want, err := strconv.ParseFloat(m[1], 64)
+		if err != nil {
+			continue
+		}
+		r, ok := simLookup(a.result)
+		if !ok {
+			fmt.Fprintf(w, "  %s: no recorded result in %s\n", a.result, simPath)
+			continue
+		}
+		matched++
+		fmt.Fprintf(w, "  %s: %.1f ns/op (recorded %.1f, %+.0f%%)\n",
+			a.result, r.NsPerOp, want, 100*(r.NsPerOp-want)/want)
+	}
+	if matched == 0 {
+		return fmt.Errorf("bench-diff: %s has no engine results matching the README anchors", simPath)
+	}
+	return nil
+}

@@ -21,6 +21,8 @@
 //	thriftybench -all -j 1            # sequential (identical output)
 //	thriftybench -bench-json -out results  # record the Go microbenchmark
 //	                                  # suite as BENCH_runtime.json + BENCH_sim.json
+//	thriftybench -bench-diff out/BENCH_runtime.json  # compare a recorded run
+//	                                  # against the numbers in README.md (informational)
 package main
 
 import (
@@ -60,12 +62,13 @@ func main() {
 		timeout  = flag.Duration("timeout", 2*time.Minute, "per-run wall-clock limit; a wedged run is skipped with a diagnostic (0 = no limit)")
 		jsonOut  = flag.Bool("json", true, "with -out, write a machine-readable .json twin next to every text artifact")
 		progress = flag.Bool("progress", true, "report per-run completion on stderr")
-		benchNow = flag.Bool("bench-json", false, "run the Go microbenchmark suite and write BENCH_runtime.json + BENCH_sim.json (into -out, or the current directory)")
+		benchNow  = flag.Bool("bench-json", false, "run the Go microbenchmark suite and write BENCH_runtime.json + BENCH_sim.json (into -out, or the current directory)")
+		benchDiff = flag.String("bench-diff", "", "compare a recorded BENCH_runtime.json (and the BENCH_sim.json next to it) against the wake-up engine and event-engine numbers in README.md; informational — deltas go to stderr and never fail the run")
 	)
 	flag.Parse()
 
 	if !*table1 && !*table2 && !*table3 && !*fig3 && !*fig5 && !*fig6 &&
-		!*summary && *ablation == "" && *sens == "" && *ext == "" && *markdown == "" && !*benchNow {
+		!*summary && *ablation == "" && *sens == "" && *ext == "" && *markdown == "" && !*benchNow && *benchDiff == "" {
 		*all = true
 	}
 	if *all {
@@ -88,10 +91,18 @@ func main() {
 		if err := writeBenchJSON(*outDir, *progress); err != nil {
 			fatal(err)
 		}
-		if !*all && !*table1 && !*table2 && !*table3 && !*fig3 && !*fig5 && !*fig6 &&
-			!*summary && *ablation == "" && *sens == "" && *ext == "" && *markdown == "" {
-			return
+	}
+	if *benchDiff != "" {
+		// File errors are fatal (a broken CI wiring should be visible);
+		// the comparison itself only informs.
+		if err := diffBenchReadme(*benchDiff, "README.md", os.Stderr); err != nil {
+			fatal(err)
 		}
+	}
+	if (*benchNow || *benchDiff != "") &&
+		!*all && !*table1 && !*table2 && !*table3 && !*fig3 && !*fig5 && !*fig6 &&
+		!*summary && *ablation == "" && *sens == "" && *ext == "" && *markdown == "" {
+		return
 	}
 
 	runner := &harness.Runner{Jobs: *jobs, Timeout: *timeout}

@@ -72,6 +72,11 @@ const PowerPkg = "thriftybarrier/internal/power"
 // analyzer guards against by-value copies.
 const SimPkg = "thriftybarrier/internal/sim"
 
+// WheelPkg is the import path of the timing-wheel wake-up engine. The
+// waketimer analyzer treats importing it as opting into the wheel's
+// arming discipline: no raw per-waiter runtime timers on wake-up paths.
+const WheelPkg = "thriftybarrier/internal/wheel"
+
 // IsNamed reports whether t (after stripping one level of pointer) is the
 // named type pkgPath.name. Matching is by path and name rather than
 // object identity, so it works across distinct type-check universes (the

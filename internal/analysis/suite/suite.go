@@ -10,6 +10,7 @@ import (
 	"thriftybarrier/internal/analysis/lockedwait"
 	"thriftybarrier/internal/analysis/sleeptable"
 	"thriftybarrier/internal/analysis/waitparties"
+	"thriftybarrier/internal/analysis/waketimer"
 )
 
 // All returns every analyzer in the suite, in stable order.
@@ -20,5 +21,6 @@ func All() []*analysis.Analyzer {
 		lockedwait.Analyzer,
 		sleeptable.Analyzer,
 		waitparties.Analyzer,
+		waketimer.Analyzer,
 	}
 }

@@ -1,0 +1,23 @@
+// Golden cases for the waketimer analyzer's scope rule: this package
+// neither lives under thriftybarrier/thrifty nor imports the wheel, so
+// it never opted into the arming discipline and raw runtime timers are
+// its own business.
+package noscope
+
+import "time"
+
+func cleanOutOfScopeNewTimer(ch chan struct{}) {
+	t := time.NewTimer(time.Millisecond)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ch:
+	}
+}
+
+func cleanOutOfScopeAfter(ch chan struct{}) {
+	select {
+	case <-time.After(time.Millisecond):
+	case <-ch:
+	}
+}

@@ -1,0 +1,59 @@
+// Golden cases for the waketimer analyzer: this package imports the
+// timing wheel, so it has opted into the wheel's arming discipline and
+// raw per-waiter runtime timers are flagged.
+package waketimer
+
+import (
+	"time"
+	tm "time"
+
+	"thriftybarrier/internal/wheel"
+)
+
+func flaggedNewTimer(w *wheel.Wheel, ch chan struct{}) {
+	t := time.NewTimer(time.Millisecond) // want `time\.NewTimer in wheel-backed code`
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ch:
+	}
+}
+
+func flaggedAfter(w *wheel.Wheel, ch chan struct{}) {
+	select {
+	case <-time.After(time.Millisecond): // want `time\.After in wheel-backed code`
+	case <-ch:
+	}
+}
+
+func flaggedAliasedImport(w *wheel.Wheel) {
+	// The check is on the resolved object, not the selector text.
+	t := tm.NewTimer(time.Millisecond) // want `time\.NewTimer in wheel-backed code`
+	t.Stop()
+}
+
+// --- clean cases ---
+
+func cleanWheelArm(w *wheel.Wheel, ch chan struct{}) {
+	h := w.Arm(time.Millisecond, ch)
+	if !w.Cancel(h) {
+		<-ch
+	}
+}
+
+func cleanAfterFunc(w *wheel.Wheel, broken func()) {
+	// The stall watchdog's escape hatch: a detached runtime timer that
+	// still fires when the wheel itself is wedged is sanctioned.
+	time.AfterFunc(time.Second, broken)
+}
+
+func cleanSuppressed(w *wheel.Wheel) {
+	//lint:ignore waketimer measured baseline for the wheel comparison
+	t := time.NewTimer(time.Millisecond)
+	t.Stop()
+}
+
+func cleanNonTimerTime() time.Time {
+	// Other time package functions are not the analyzer's business.
+	return time.Now().Add(5 * time.Millisecond)
+}

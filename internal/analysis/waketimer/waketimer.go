@@ -1,0 +1,94 @@
+// Package waketimer flags raw per-waiter runtime timers — time.NewTimer
+// and time.After — in code that participates in the wheel's wake-up
+// discipline.
+//
+// The §3.2 internal wake-up used to be one time.Timer per parked waiter.
+// In the many-barrier regime that shape puts thousands of entries in the
+// runtime's per-P timer heaps, where every Reset and Stop is an O(log n)
+// sift and every expiry wakes through the scheduler's timer machinery.
+// The timing wheel (internal/wheel) replaced it with O(1) generation-
+// tagged Arm/Cancel on pow2 slot buckets, and the whole barrier stack —
+// timedPark's spin-then-wheel policy, the §3.3.2 first-trigger-cancels-
+// other race, the zero-alloc steady state — is built on every internal
+// wake-up flowing through that one engine. A stray time.NewTimer on a
+// wake path silently reintroduces the heap, the allocation, and a second
+// cancellation protocol the race tests don't cover.
+//
+// Scope: a package is checked if its import path is thriftybarrier/thrifty
+// (or below), or if it imports the wheel — importing the engine is opting
+// into its arming discipline. Within scope the analyzer reports every
+// call to time.NewTimer and time.After. time.AfterFunc stays sanctioned:
+// the stall watchdog (thrifty/broken.go) deliberately uses a detached
+// runtime timer so it still fires when the wheel itself is wedged. Test
+// files are exempt — they construct adversarial timer shapes on purpose —
+// and the measured-baseline benchmarks carry //lint:ignore waketimer
+// directives.
+package waketimer
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+
+	"thriftybarrier/internal/analysis"
+)
+
+// Analyzer is the waketimer analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "waketimer",
+	Doc: "flags time.NewTimer/time.After in wheel-backed code: internal " +
+		"wake-ups must be armed through the timing wheel (wheel.Arm/Cancel)",
+	Run: run,
+}
+
+// flagged are the raw-timer constructors the wheel supersedes.
+// time.AfterFunc is deliberately absent (stall-watchdog escape hatch).
+var flagged = []string{"NewTimer", "After"}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass) {
+		return nil
+	}
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		// Tests build adversarial timer shapes on purpose (e.g. the
+		// timedPark reuse-race regression); only production code is held
+		// to the wheel discipline.
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, name := range flagged {
+				if analysis.IsPkgFunc(info, call, "time", name) {
+					pass.Reportf(call.Pos(),
+						"time.%s in wheel-backed code: arm internal wake-ups through the timing wheel (wheel.Arm/Cancel); a per-waiter runtime timer reintroduces the heap sifts and reuse races the wheel replaced",
+						name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// inScope reports whether the package has opted into the wheel's arming
+// discipline: it is the barrier package itself (or below it), or it
+// imports the wheel.
+func inScope(pass *analysis.Pass) bool {
+	path := pass.Pkg.Path()
+	if path == analysis.ThriftyPkg || strings.HasPrefix(path, analysis.ThriftyPkg+"/") {
+		return true
+	}
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil && p == analysis.WheelPkg {
+				return true
+			}
+		}
+	}
+	return false
+}

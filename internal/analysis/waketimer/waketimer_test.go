@@ -1,0 +1,13 @@
+package waketimer_test
+
+import (
+	"testing"
+
+	"thriftybarrier/internal/analysis/analysistest"
+	"thriftybarrier/internal/analysis/waketimer"
+)
+
+func TestWakeTimer(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), waketimer.Analyzer,
+		"waketimer", "waketimer/noscope")
+}

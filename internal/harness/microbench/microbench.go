@@ -78,6 +78,14 @@ func RuntimeSpecs() []Spec {
 		{"BarrierRendezvous/lockfree-flat-64", Flat(64)},
 		{"BarrierRendezvous/tree-radix8-64", Tree(64, 8)},
 		{"BarrierRendezvous/tree-radix8-256", Tree(256, 8)},
+		{"Predict/warm", PredictWarm()},
+		{"Predict/update", PredictUpdate()},
+		{"ManyBarriers/wheel-100x16", WheelManyBarriers(100, 16)},
+		{"ManyBarriers/timer-100x16", TimerManyBarriers(100, 16)},
+		{"ManyBarriers/wheel-1000x16", WheelManyBarriers(1000, 16)},
+		{"ManyBarriers/timer-1000x16", TimerManyBarriers(1000, 16)},
+		{"ManyBarriers/wheel-10000x16", WheelManyBarriers(10000, 16)},
+		{"ManyBarriers/timer-10000x16", TimerManyBarriers(10000, 16)},
 	}
 }
 

@@ -101,7 +101,14 @@ const (
 	confServe = 2
 )
 
-// entry is the prediction state of one static barrier.
+// entry is the prediction state of one static barrier, padded up to the
+// 128-byte allocation size class (a whole number of cache lines). The
+// paper's table is indexed by PC precisely because distinct static
+// barriers update independently; without the padding, two entries landing
+// in the heap's 96-byte size class can straddle one cache line, so a hot
+// barrier's Update invalidates an unrelated barrier's Predict — false
+// sharing between table rows. The sizeof test in predict_test.go pins the
+// multiple-of-64 invariant.
 type entry struct {
 	valid    bool
 	last     sim.Cycles
@@ -111,6 +118,7 @@ type entry struct {
 	ewma     float64
 	conf     uint8
 	disabled uint64 // per-thread disable bits (≤64 threads)
+	_        [48]byte
 }
 
 // Table is a PC-indexed predictor table.

@@ -3,6 +3,7 @@ package predict
 import (
 	"testing"
 	"testing/quick"
+	"unsafe"
 
 	"thriftybarrier/internal/sim"
 )
@@ -228,5 +229,17 @@ func TestMovingAverageBoundsProperty(t *testing.T) {
 func TestPolicyString(t *testing.T) {
 	if LastValue.String() != "last-value" || MovingAverage.String() != "moving-average" || EWMA.String() != "ewma" {
 		t.Error("Policy.String mismatch")
+	}
+}
+
+// The entry struct must stay a whole number of cache lines (the heap then
+// places it in an aligned size class), so two table rows never share a
+// line: a hot barrier's Update must not invalidate an unrelated barrier's
+// Predict. Growing the struct is fine — shrinking it below the next
+// 64-byte boundary or breaking the multiple silently reintroduces false
+// sharing between rows.
+func TestEntryCacheLinePadding(t *testing.T) {
+	if sz := unsafe.Sizeof(entry{}); sz%64 != 0 {
+		t.Fatalf("entry is %d bytes, want a multiple of the 64-byte cache line", sz)
 	}
 }

@@ -1,0 +1,133 @@
+package wheel
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestDifferentialAgainstSortedModel drives a single-shard wheel with a
+// seeded random schedule of arms and cancels and checks every outcome
+// against a naive model: a slice of (due, seq) pairs sorted on demand.
+// The wheel must agree with the model on (a) which entries fire, (b) the
+// exact tick each fires at, (c) tick-by-tick fire order, and (d) the
+// result of every Cancel. Small slot counts force constant cascading and
+// overflow rescue, so the hierarchy bookkeeping — not just the level-0
+// happy path — is what gets compared.
+func TestDifferentialAgainstSortedModel(t *testing.T) {
+	type entry struct {
+		id     int
+		due    uint64
+		h      Handle
+		fired  bool
+		cancel bool
+	}
+
+	for _, seed := range []int64{1, 7, 42, 1337} {
+		rng := rand.New(rand.NewSource(seed))
+		w := testWheel(t, Config{Slots0: 8, Slots1: 4, Shards: 1})
+
+		var (
+			entries []*entry
+			byCh    = map[chan<- struct{}]*entry{}
+			now     uint64
+			nextID  int
+		)
+		pending := func() []*entry {
+			var p []*entry
+			for _, e := range entries {
+				if !e.fired && !e.cancel {
+					p = append(p, e)
+				}
+			}
+			return p
+		}
+
+		for step := 0; step < 400; step++ {
+			switch op := rng.Intn(10); {
+			case op < 5: // arm, horizon-stressing spread of durations
+				due := now + 1 + uint64(rng.Intn(200))
+				ch := make(chan struct{}, 1)
+				e := &entry{id: nextID, due: due}
+				nextID++
+				// The manual wheel's clock is frozen at tick 0, so the
+				// duration encodes the absolute due tick directly.
+				e.h = w.Arm(w.at(due), ch)
+				if e.h == (Handle{}) {
+					t.Fatalf("seed %d step %d: future arm (due %d, now %d) fired immediately", seed, step, due, now)
+				}
+				entries = append(entries, e)
+				byCh[ch] = e
+			case op < 7: // cancel a random live entry (or a stale handle)
+				if p := pending(); len(p) > 0 {
+					e := p[rng.Intn(len(p))]
+					if !w.Cancel(e.h) {
+						t.Fatalf("seed %d step %d: cancel of pending id %d failed", seed, step, e.id)
+					}
+					if w.Cancel(e.h) {
+						t.Fatalf("seed %d step %d: double cancel of id %d succeeded", seed, step, e.id)
+					}
+					e.cancel = true
+				}
+			default: // advance 1..16 ticks and compare fire sets
+				target := now + 1 + uint64(rng.Intn(16))
+				for now < target {
+					now++
+					fires, _ := w.advanceTo(now)
+
+					// Model: everything pending with due == now, by id.
+					var want []*entry
+					for _, e := range pending() {
+						if e.due == now {
+							want = append(want, e)
+						}
+					}
+					sort.Slice(want, func(i, j int) bool { return want[i].id < want[j].id })
+
+					got := make([]*entry, 0, len(fires))
+					for _, f := range fires {
+						e := byCh[f.ch]
+						if e == nil {
+							t.Fatalf("seed %d tick %d: fire on unknown channel", seed, now)
+						}
+						if f.due != e.due || e.due != now {
+							t.Fatalf("seed %d tick %d: id %d fired at wrong tick (due %d, recorded %d)", seed, now, e.id, e.due, f.due)
+						}
+						if e.fired || e.cancel {
+							t.Fatalf("seed %d tick %d: id %d fired twice or after cancel", seed, now, e.id)
+						}
+						e.fired = true
+						got = append(got, e)
+					}
+					sort.Slice(got, func(i, j int) bool { return got[i].id < got[j].id })
+
+					if len(got) != len(want) {
+						t.Fatalf("seed %d tick %d: fired %d entries, model says %d", seed, now, len(got), len(want))
+					}
+					for i := range got {
+						if got[i] != want[i] {
+							t.Fatalf("seed %d tick %d: fire set diverges from model at %d (got id %d, want id %d)", seed, now, i, got[i].id, want[i].id)
+						}
+					}
+				}
+			}
+		}
+
+		// Drain: after advancing past every deadline, the wheel must be
+		// empty and every non-cancelled entry must have fired.
+		drained, _ := w.advanceTo(now + 300)
+		for _, f := range drained {
+			if e := byCh[f.ch]; e != nil {
+				e.fired = true
+			}
+		}
+		for _, e := range entries {
+			if !e.cancel && e.due <= now+300 && !e.fired {
+				t.Fatalf("seed %d: id %d (due %d) never fired", seed, e.id, e.due)
+			}
+		}
+		if got := w.Stats().Armed; got != 0 {
+			t.Fatalf("seed %d: %d entries still armed after drain", seed, got)
+		}
+	}
+}

@@ -1,0 +1,770 @@
+// Package wheel is the process-wide wake-up engine behind the thrifty
+// barrier's internal (timer) wake-up: a sharded, two-level hierarchical
+// timing wheel that replaces one runtime timer per parked waiter with one
+// timer for the whole process.
+//
+// The paper's hybrid wake-up (§3.3.2) pairs a programmable timer in the
+// cache controller with the external invalidation from the last arriver;
+// the first to trigger cancels the other. The software analogue used to be
+// a pooled time.Timer per timed-parked waiter, which is the wrong shape
+// for a process hosting thousands of concurrent barrier groups: every
+// park and every cancellation goes through the Go runtime's per-P timer
+// heaps (O(log n) sift with a P-local lock), and the heap is oblivious to
+// the fact that almost every barrier timer is cancelled (the external
+// wake-up usually wins). The wheel exploits exactly that bias:
+//
+//   - Arm is an O(1) bucket append under a shard lock, returning a
+//     generation-tagged Handle.
+//   - Cancel is an O(1) unlink — the common case, paid by the release
+//     broadcast path, never touches a heap or the runtime.
+//   - One ticker goroutine (one runtime timer per process, not per
+//     waiter) advances all shards, sleeping until the earliest occupied
+//     slot rather than polling every tick.
+//
+// The tick is deliberately coarse — DefaultTick matches the barrier's
+// default ParkMargin, the anticipation gap before the predicted release —
+// because the consumer residual-spins after the internal wake-up anyway
+// (§2's residual spin): quantization error within one tick is absorbed by
+// the spin, and a late internal wake-up is harmless because the external
+// wake-up still bounds the wait. Firing rounds the deadline UP to the
+// next tick boundary, so the wheel never wakes a waiter before its
+// requested duration has elapsed.
+//
+// Layout: each shard is an independent mini-wheel (its own lock, node
+// arena, slot lists and cursors), so concurrent arms and cancels from
+// many barriers spread across shards instead of serializing. A shard has
+// Slots0 level-0 buckets of one tick each (one "revolution" =
+// Slots0×Tick), Slots1 level-1 buckets of one revolution each, and an
+// overflow bucket beyond the two-level horizon. Entries cascade toward
+// level 0 as their revolution arrives; all bucket surgery happens under
+// the shard lock, and nodes live in a per-shard arena recycled through a
+// free list, so the arm/cancel steady state allocates nothing.
+package wheel
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultTick is the default slot granularity. It matches the barrier's
+// default ParkMargin (the §3.3.2 anticipation before the predicted
+// release): an internal wake-up quantized up by at most one tick still
+// lands inside the residual-spin window, so prediction accounting —
+// early/late wake counters and the §3.3.3 cut-off — is unaffected by the
+// coarse clock. The value is a power of two nanoseconds (~65.5µs) so the
+// nanoseconds→ticks conversion on the Arm fast path is a shift, not a
+// 64-bit division.
+const DefaultTick = 65536 * time.Nanosecond
+
+// Config parameterizes a Wheel. The zero value of each field selects the
+// default; slot and shard counts are rounded up to powers of two.
+type Config struct {
+	// Tick is the slot granularity. Default DefaultTick.
+	Tick time.Duration
+	// Slots0 is the number of level-0 (one-tick) slots. Default 256,
+	// giving a 16.4ms revolution at the default tick — sized so the whole
+	// default timed-park band (up to TimedParkThreshold = 5ms) lives in
+	// level 0 and never cascades.
+	Slots0 int
+	// Slots1 is the number of level-1 (one-revolution) slots. Default 64,
+	// a ~1s two-level horizon at the default tick; rarer deadlines wait in
+	// the overflow bucket and are re-sorted once per level-1 revolution.
+	Slots1 int
+	// Shards is the number of independent mini-wheels. Default: the
+	// smallest power of two >= GOMAXPROCS, capped at 16.
+	Shards int
+}
+
+func (c *Config) fill() {
+	if c.Tick <= 0 {
+		c.Tick = DefaultTick
+	}
+	if c.Slots0 <= 0 {
+		c.Slots0 = 256
+	}
+	if c.Slots1 <= 0 {
+		c.Slots1 = 64
+	}
+	if c.Shards <= 0 {
+		c.Shards = min(runtime.GOMAXPROCS(0), 16)
+	}
+	c.Slots0 = ceilPow2(c.Slots0)
+	c.Slots1 = ceilPow2(c.Slots1)
+	c.Shards = ceilPow2(c.Shards)
+}
+
+func ceilPow2(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// Handle identifies one armed entry. It is a value (copy freely) tagging
+// the entry's shard, arena index and generation; a Handle outlives its
+// entry safely — Cancel on a fired, cancelled or recycled entry is a
+// no-op returning false. The zero Handle is valid input and never
+// cancels anything.
+type Handle struct{ v uint64 }
+
+const (
+	idxBits = 24
+	genBits = 32
+	maxIdx  = 1<<idxBits - 1
+)
+
+func makeHandle(shard, idx int, gen uint32) Handle {
+	return Handle{uint64(shard)<<(idxBits+genBits) | uint64(idx)<<genBits | uint64(gen)}
+}
+
+func (h Handle) unpack() (shard, idx int, gen uint32) {
+	return int(h.v >> (idxBits + genBits)), int(h.v >> genBits & maxIdx), uint32(h.v)
+}
+
+// node is one armed (or free) entry in a shard's arena. Links are arena
+// indices, so the arena can grow by append without invalidating them.
+type node struct {
+	next, prev int32 // intrusive doubly-linked bucket list; -1 = none
+	bucket     int32 // index into shard.head/tail; -1 = free
+	gen        uint32
+	due        uint64 // absolute due tick
+	ch         chan<- struct{}
+}
+
+// spinMutex guards one shard. The critical sections it covers are all
+// O(1) and branch-light (a bucket append, an unlink, a bitmap jump), so
+// an inlineable CAS lock beats sync.Mutex's fast path by ~2× on the
+// arm/cancel hot pair; under contention it yields to the scheduler so a
+// preempted holder (single-P case: the ticker mid-pass) can finish.
+type spinMutex struct{ v atomic.Uint32 }
+
+func (m *spinMutex) Lock() {
+	if m.v.CompareAndSwap(0, 1) {
+		return // uncontended fast path, inlined into Arm/Cancel
+	}
+	m.lockSlow()
+}
+
+func (m *spinMutex) lockSlow() {
+	for i := 0; !m.v.CompareAndSwap(0, 1); i++ {
+		if i&15 == 15 {
+			runtime.Gosched()
+		}
+	}
+}
+
+func (m *spinMutex) Unlock() { m.v.Store(0) }
+
+// shard is one independent mini-wheel.
+type shard struct {
+	mu spinMutex
+	// done is the last tick this shard has processed; every armed entry
+	// has due > done.
+	done  uint64
+	nodes []node
+	free  int32 // head of the free list through node.next; -1 = empty
+	// head/tail index the per-bucket lists: buckets [0,s0) are level-0
+	// slots, [s0,s0+s1) level-1 slots, s0+s1 the overflow bucket.
+	head, tail []int32
+	// occ is the level-0 occupancy bitmap, one bit per slot, letting the
+	// ticker jump over empty stretches instead of visiting every tick.
+	occ       []uint64
+	l1count   int // entries in level-1 buckets
+	ovcount   int // entries in the overflow bucket
+	armed     int
+	cancelled uint64   // counted under mu: no atomic on the cancel fast path
+	_         [64]byte // keep neighbouring shards off this shard's lock line
+}
+
+// firing is one due entry collected by an advance pass, in fire order.
+type firing struct {
+	ch  chan<- struct{}
+	due uint64
+}
+
+// Stats is a snapshot of wheel activity.
+type Stats struct {
+	// Armed is the number of currently armed entries.
+	Armed int
+	// Fired counts internal wake-ups delivered (including immediate
+	// fires of zero/past durations).
+	Fired uint64
+	// Cancelled counts entries disarmed before firing — the external
+	// wake-up winning the §3.3.2 race.
+	Cancelled uint64
+}
+
+// Wheel is a sharded hierarchical timing wheel. Create one with New (or
+// share the process-wide Default); a Wheel must not be copied.
+type Wheel struct {
+	noCopy noCopy //nolint:unused // vet copylocks marker
+
+	tick           time.Duration
+	tickShift      uint // log2(tick) when tick is a power-of-two ns; 0 = divide
+	s0, s1, nshard int
+	s0bits         uint
+	epoch          time.Time
+	shards         []shard
+	rr             atomic.Uint32 // round-robin shard spread for Arm
+
+	// nextWake is the ticker's published plan: the tick it intends to
+	// sleep until, idleWake when it has nothing to wait for, or 0 while
+	// it is recomputing (every Arm kicks during that window, closing the
+	// race between a concurrent arm and the plan going stale).
+	nextWake atomic.Uint64
+	// minArm carries the earliest kicked deadline to the ticker (CAS-min
+	// by Arm, Swap(idleWake) by the ticker), so a kick only retargets the
+	// ticker's timer — it never forces a locked scan of the shards. The
+	// common §3.3.2 outcome is that the kicked entry is cancelled before
+	// its tick arrives, so deferring all locked work to fire time keeps
+	// the ticker off the arm/cancel fast path entirely.
+	minArm   atomic.Uint64
+	kick     chan struct{}
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	fired    atomic.Uint64
+	scratch  []firing // advance-pass collection buffer (ticker-owned)
+	manual   bool     // no ticker goroutine; tests drive advanceTo
+}
+
+const idleWake = ^uint64(0)
+
+type noCopy struct{}
+
+func (*noCopy) Lock()   {}
+func (*noCopy) Unlock() {}
+
+// New builds a wheel and starts its ticker goroutine. Stop releases the
+// goroutine; the process-wide Default wheel is never stopped.
+func New(cfg Config) *Wheel {
+	w := newWheel(cfg)
+	go w.run()
+	return w
+}
+
+// newManual builds a wheel without a ticker: tests advance it
+// deterministically through advanceTo.
+func newManual(cfg Config) *Wheel {
+	w := newWheel(cfg)
+	w.manual = true
+	return w
+}
+
+func newWheel(cfg Config) *Wheel {
+	cfg.fill()
+	w := &Wheel{
+		tick:   cfg.Tick,
+		s0:     cfg.Slots0,
+		s1:     cfg.Slots1,
+		nshard: cfg.Shards,
+		s0bits: uint(bits.TrailingZeros(uint(cfg.Slots0))),
+		epoch:  time.Now(),
+		shards: make([]shard, cfg.Shards),
+		kick:   make(chan struct{}, 1),
+		stopCh: make(chan struct{}),
+	}
+	w.minArm.Store(idleWake)
+	if t := uint64(cfg.Tick); t&(t-1) == 0 {
+		w.tickShift = uint(bits.TrailingZeros64(t))
+	}
+	buckets := cfg.Slots0 + cfg.Slots1 + 1
+	for i := range w.shards {
+		sh := &w.shards[i]
+		sh.free = -1
+		sh.head = make([]int32, buckets)
+		sh.tail = make([]int32, buckets)
+		for b := range sh.head {
+			sh.head[b], sh.tail[b] = -1, -1
+		}
+		sh.occ = make([]uint64, cfg.Slots0/64+1)
+	}
+	return w
+}
+
+var (
+	defaultOnce  sync.Once
+	defaultWheel *Wheel
+)
+
+// Default returns the process-wide wheel, creating it (and its ticker)
+// on first use. All thrifty.Barrier instances in the process share it, so
+// the many-barrier regime pays for one ticker, not one timer per waiter.
+func Default() *Wheel {
+	defaultOnce.Do(func() { defaultWheel = New(Config{}) })
+	return defaultWheel
+}
+
+// Stop terminates the ticker goroutine. Armed entries never fire after
+// Stop; it exists for tests and short-lived auxiliary wheels.
+func (w *Wheel) Stop() {
+	w.stopOnce.Do(func() { close(w.stopCh) })
+}
+
+// Stats snapshots the wheel's counters.
+func (w *Wheel) Stats() Stats {
+	s := Stats{Fired: w.fired.Load()}
+	for i := range w.shards {
+		sh := &w.shards[i]
+		sh.mu.Lock()
+		s.Armed += sh.armed
+		s.Cancelled += sh.cancelled
+		sh.mu.Unlock()
+	}
+	return s
+}
+
+// toTicks floors a non-negative duration to wheel ticks — a shift for
+// power-of-two-ns ticks (the default), a division otherwise.
+func (w *Wheel) toTicks(d time.Duration) uint64 {
+	if w.tickShift != 0 {
+		return uint64(d) >> w.tickShift
+	}
+	return uint64(d / w.tick)
+}
+
+// tickNow converts the wall clock to wheel ticks (monotonic: time.Since
+// uses the monotonic reading of epoch).
+func (w *Wheel) tickNow() uint64 {
+	return w.toTicks(time.Since(w.epoch))
+}
+
+// Arm schedules a wake-up: after at least d, one token is sent to ch
+// (non-blocking — ch should be a dedicated channel with capacity 1). It
+// is O(1): pick a shard round-robin, take a node from its arena, append
+// to the due bucket. A zero or negative d fires immediately and returns
+// the zero Handle.
+//
+// The caller owns the race protocol of §3.3.2: if the external wake-up
+// wins, call Cancel; a false return means the fire already claimed the
+// entry and its token is (or is about to be) in ch — receive it before
+// reusing the channel.
+func (w *Wheel) Arm(d time.Duration, ch chan<- struct{}) Handle {
+	if d <= 0 {
+		w.fireNow(ch)
+		return Handle{}
+	}
+	// Round up from the exact elapsed time: the fire tick is the first
+	// boundary at or after the requested deadline, so a wake-up is never
+	// early (late by at most one tick plus ticker latency).
+	due := w.toTicks(time.Since(w.epoch) + d + w.tick - 1)
+	si := 0
+	if w.nshard > 1 {
+		si = int(w.rr.Add(1)) & (w.nshard - 1)
+	}
+	sh := &w.shards[si]
+	sh.mu.Lock()
+	if due <= sh.done {
+		// The ticker already swept past the due tick (a stale clock read
+		// under extreme scheduling delay): deliver immediately rather
+		// than waiting a full revolution.
+		sh.mu.Unlock()
+		w.fireNow(ch)
+		return Handle{}
+	}
+	idx := sh.alloc()
+	n := &sh.nodes[idx]
+	n.due = due
+	n.ch = ch
+	if due>>w.s0bits == sh.done>>w.s0bits {
+		// Level-0 fast path, manually inlined: the whole default
+		// timed-park band lands here (one bitmap OR, one tail append).
+		b := int32(due & uint64(w.s0-1))
+		sh.occ[b>>6] |= 1 << (uint(b) & 63)
+		n.bucket = b
+		n.prev = sh.tail[b]
+		n.next = -1
+		if n.prev >= 0 {
+			sh.nodes[n.prev].next = idx
+		} else {
+			sh.head[b] = idx
+		}
+		sh.tail[b] = idx
+	} else {
+		sh.place(w, idx, due, sh.done)
+	}
+	sh.armed++
+	gen := n.gen
+	sh.mu.Unlock()
+
+	// Kick the ticker if this deadline precedes its published plan (or
+	// the plan is being recomputed): publish the deadline through minArm
+	// (CAS-min), then nudge through the cap-1 dedup channel. The ticker
+	// handles the kick lock-free — it only retargets its timer.
+	if nw := w.nextWake.Load(); nw == 0 || due < nw {
+		for {
+			cur := w.minArm.Load()
+			if due >= cur || w.minArm.CompareAndSwap(cur, due) {
+				break
+			}
+		}
+		// A pending kick already covers this arm (the ticker reads minArm
+		// after draining the channel), so skip the send — and its channel
+		// lock — when one is queued.
+		if len(w.kick) == 0 {
+			select {
+			case w.kick <- struct{}{}:
+			default:
+			}
+		}
+	}
+	return makeHandle(si, int(idx), gen)
+}
+
+func (w *Wheel) fireNow(ch chan<- struct{}) {
+	w.fired.Add(1)
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+// Cancel disarms h. It returns true if the entry was still pending — no
+// token was or will be delivered — and false if the entry already fired
+// (or h is stale or zero). O(1): one shard lock, one list unlink.
+func (w *Wheel) Cancel(h Handle) bool {
+	if h.v == 0 {
+		return false
+	}
+	si, idx, gen := h.unpack()
+	if si >= w.nshard {
+		return false
+	}
+	sh := &w.shards[si]
+	sh.mu.Lock()
+	if idx >= len(sh.nodes) {
+		sh.mu.Unlock()
+		return false
+	}
+	n := &sh.nodes[idx]
+	if n.gen != gen {
+		// Stale: the entry fired, was cancelled, or the node was recycled
+		// — every free bumps gen, so a matching gen implies still linked.
+		sh.mu.Unlock()
+		return false
+	}
+	// Manually inlined unlink (the compiler won't inline it): splice out
+	// of the bucket list, then maintain the level's occupancy accounting.
+	b := n.bucket
+	if n.prev >= 0 {
+		sh.nodes[n.prev].next = n.next
+	} else {
+		sh.head[b] = n.next
+	}
+	if n.next >= 0 {
+		sh.nodes[n.next].prev = n.prev
+	} else {
+		sh.tail[b] = n.prev
+	}
+	switch {
+	case int(b) < w.s0:
+		if sh.head[b] < 0 {
+			sh.occ[b>>6] &^= 1 << (uint(b) & 63)
+		}
+	case int(b) < w.s0+w.s1:
+		sh.l1count--
+	default:
+		sh.ovcount--
+	}
+	sh.freeNode(int32(idx))
+	sh.armed--
+	sh.cancelled++
+	sh.mu.Unlock()
+	return true
+}
+
+// --- shard internals (all under sh.mu) ---
+
+func (sh *shard) alloc() int32 {
+	if idx := sh.free; idx >= 0 {
+		sh.free = sh.nodes[idx].next
+		return idx
+	}
+	return sh.allocSlow()
+}
+
+func (sh *shard) allocSlow() int32 {
+	if len(sh.nodes) > maxIdx {
+		panic(fmt.Sprintf("wheel: shard arena exhausted (%d armed entries)", len(sh.nodes)))
+	}
+	sh.nodes = append(sh.nodes, node{gen: 1, bucket: -1})
+	return int32(len(sh.nodes) - 1)
+}
+
+func (sh *shard) freeNode(idx int32) {
+	n := &sh.nodes[idx]
+	n.bucket = -1
+	n.ch = nil
+	// Bump the generation so stale Handles can never cancel the node's
+	// next incarnation (skipping 0, which marks a never-armed node).
+	n.gen++
+	if n.gen == 0 {
+		n.gen = 1
+	}
+	n.next = sh.free
+	sh.free = idx
+}
+
+// place files idx into the bucket its due tick selects, relative to the
+// reference tick ref (sh.done for arms, the boundary tick for cascades):
+// level 0 within the current revolution, level 1 within the two-level
+// horizon, otherwise overflow.
+func (sh *shard) place(w *Wheel, idx int32, due, ref uint64) {
+	var b int32
+	switch rev := due>>w.s0bits - ref>>w.s0bits; {
+	case rev == 0:
+		b = int32(due & uint64(w.s0-1))
+		sh.occ[b>>6] |= 1 << (uint(b) & 63)
+	case rev < uint64(w.s1):
+		b = int32(w.s0) + int32(due>>w.s0bits&uint64(w.s1-1))
+		sh.l1count++
+	default:
+		b = int32(w.s0 + w.s1)
+		sh.ovcount++
+	}
+	n := &sh.nodes[idx]
+	n.bucket = b
+	n.prev = sh.tail[b]
+	n.next = -1
+	if sh.tail[b] >= 0 {
+		sh.nodes[sh.tail[b]].next = idx
+	} else {
+		sh.head[b] = idx
+	}
+	sh.tail[b] = idx
+}
+
+func (sh *shard) unlink(w *Wheel, idx int32) {
+	n := &sh.nodes[idx]
+	b := n.bucket
+	if n.prev >= 0 {
+		sh.nodes[n.prev].next = n.next
+	} else {
+		sh.head[b] = n.next
+	}
+	if n.next >= 0 {
+		sh.nodes[n.next].prev = n.prev
+	} else {
+		sh.tail[b] = n.prev
+	}
+	switch {
+	case int(b) < w.s0:
+		if sh.head[b] < 0 {
+			sh.occ[b>>6] &^= 1 << (uint(b) & 63)
+		}
+	case int(b) < w.s0+w.s1:
+		sh.l1count--
+	default:
+		sh.ovcount--
+	}
+}
+
+// nextOcc returns the first occupied level-0 slot >= from, or ok=false.
+func (sh *shard) nextOcc(w *Wheel, from int) (int, bool) {
+	if from >= w.s0 {
+		return 0, false
+	}
+	word := from >> 6
+	if v := sh.occ[word] >> (uint(from) & 63); v != 0 {
+		return from + bits.TrailingZeros64(v), true
+	}
+	for word++; word <= (w.s0-1)>>6; word++ {
+		if v := sh.occ[word]; v != 0 {
+			return word<<6 + bits.TrailingZeros64(v), true
+		}
+	}
+	return 0, false
+}
+
+// fireBucket drains level-0 bucket b into out (FIFO — insertion order,
+// which the differential test pins against the sorted-slice model).
+func (sh *shard) fireBucket(w *Wheel, b int32, out *[]firing) {
+	for idx := sh.head[b]; idx >= 0; {
+		n := &sh.nodes[idx]
+		next := n.next
+		*out = append(*out, firing{n.ch, n.due})
+		sh.freeNode(idx)
+		sh.armed--
+		idx = next
+	}
+	sh.head[b], sh.tail[b] = -1, -1
+	sh.occ[b>>6] &^= 1 << (uint(b) & 63)
+}
+
+// replaceBucket re-files every entry of bucket b (a level-1 slot whose
+// revolution has arrived, or the overflow bucket at a horizon boundary)
+// relative to the boundary tick ref. FIFO order within the bucket is
+// preserved, so entries that re-land in one level-0 slot keep their
+// insertion order.
+func (sh *shard) replaceBucket(w *Wheel, b int32, ref uint64) {
+	idx := sh.head[b]
+	sh.head[b], sh.tail[b] = -1, -1
+	for idx >= 0 {
+		n := &sh.nodes[idx]
+		next := n.next
+		switch {
+		case int(n.bucket) < w.s0+w.s1:
+			sh.l1count--
+		default:
+			sh.ovcount--
+		}
+		sh.place(w, idx, n.due, ref)
+		idx = next
+	}
+}
+
+// advance processes this shard's ticks through now, collecting due
+// entries into out, and reports the shard's next service tick — computed
+// under the same lock acquisition, so one ticker pass takes each shard
+// lock exactly once. The loop jumps across empty stretches using the
+// occupancy bitmap, so catch-up after a long sleep costs O(occupied
+// slots + revolution boundaries), not O(ticks).
+func (sh *shard) advance(w *Wheel, now uint64, out *[]firing) (uint64, bool) {
+	sh.mu.Lock()
+	mask := uint64(w.s0 - 1)
+	for sh.done < now {
+		t := sh.done + 1
+		if t&mask == 0 {
+			// Revolution boundary: pull the next level-1 slot down, and
+			// re-sort the overflow bucket once per level-1 revolution.
+			// Order matters: overflow first (it may feed the level-1
+			// slot being cascaded), then the cascade, then slot 0.
+			if sh.ovcount > 0 && t&uint64(w.s0*w.s1-1) == 0 {
+				sh.replaceBucket(w, int32(w.s0+w.s1), t)
+			}
+			if sh.l1count > 0 {
+				sh.replaceBucket(w, int32(w.s0)+int32(t>>w.s0bits&uint64(w.s1-1)), t)
+			}
+			if sh.occ[0]&1 != 0 {
+				sh.fireBucket(w, 0, out)
+			}
+			sh.done = t
+			continue
+		}
+		// Jump to the next occupied slot in this revolution, the
+		// revolution boundary, or now — whichever comes first.
+		slot, ok := sh.nextOcc(w, int(t&mask))
+		if !ok {
+			sh.done = min(now, t|mask) // t|mask: last tick of the revolution
+			continue
+		}
+		ft := t&^mask + uint64(slot)
+		if ft > now {
+			sh.done = now
+			break
+		}
+		sh.fireBucket(w, int32(slot), out)
+		sh.done = ft
+	}
+	nd := sh.nextDueLocked(w)
+	sh.mu.Unlock()
+	return nd, nd != idleWake
+}
+
+// nextDueLocked reports the earliest tick at which this shard needs
+// service (caller holds sh.mu): the next occupied level-0 slot, the next
+// revolution boundary if level 1 is populated, or the next horizon
+// boundary if the overflow bucket is.
+func (sh *shard) nextDueLocked(w *Wheel) uint64 {
+	mask := uint64(w.s0 - 1)
+	best := idleWake
+	if slot, ok := sh.nextOcc(w, int(sh.done&mask)+1); ok {
+		best = sh.done&^mask + uint64(slot)
+	}
+	if sh.l1count > 0 {
+		if b := sh.done&^mask + uint64(w.s0); b < best {
+			best = b
+		}
+	}
+	if sh.ovcount > 0 {
+		hmask := uint64(w.s0*w.s1 - 1)
+		if b := sh.done&^hmask + uint64(w.s0*w.s1); b < best {
+			best = b
+		}
+	}
+	return best
+}
+
+// advanceTo advances every shard through now, delivers the collected
+// wake-ups (non-blocking sends, in collection order) and reports the
+// earliest tick needing service across all shards. It returns the fire
+// list for the deterministic tests; the slice is reused by the next
+// call.
+func (w *Wheel) advanceTo(now uint64) ([]firing, uint64) {
+	w.scratch = w.scratch[:0]
+	next := idleWake
+	for i := range w.shards {
+		if d, ok := w.shards[i].advance(w, now, &w.scratch); ok && d < next {
+			next = d
+		}
+	}
+	if len(w.scratch) > 0 {
+		w.fired.Add(uint64(len(w.scratch)))
+		for _, f := range w.scratch {
+			select {
+			case f.ch <- struct{}{}:
+			default:
+			}
+		}
+	}
+	return w.scratch, next
+}
+
+// run is the ticker: one goroutine, one runtime timer, for the whole
+// wheel. It sleeps until the earliest due tick across all shards; Arm
+// kicks it when a new deadline precedes the published plan. A kick only
+// retargets the timer (lock-free: the deadline travels through minArm),
+// so the ticker takes shard locks exclusively at fire time — arms and
+// cancels never contend with it in the §3.3.2 steady state where the
+// external wake-up cancels the entry before its tick arrives.
+func (w *Wheel) run() {
+	timer := time.NewTimer(time.Hour)
+	timer.Stop()
+	defer timer.Stop()
+	for {
+		// Publish "recomputing": any Arm that lands between here and the
+		// Store below kicks unconditionally, so the plan can never go
+		// stale against a concurrent arm.
+		w.nextWake.Store(0)
+		_, next := w.advanceTo(w.tickNow())
+		// Fold in any arm that kicked during the scan: min keeps the plan
+		// a lower bound on the earliest service time, and an early wake-up
+		// is only a cheap extra pass.
+		if m := w.minArm.Swap(idleWake); m < next {
+			next = m
+		}
+		w.nextWake.Store(next)
+	sleeping:
+		for {
+			var sleepC <-chan time.Time
+			if next != idleWake {
+				d := time.Until(w.epoch.Add(time.Duration(next) * w.tick))
+				if d < 0 {
+					d = 0
+				}
+				timer.Reset(d)
+				sleepC = timer.C
+			}
+			select {
+			case <-sleepC:
+				break sleeping
+			case <-w.kick:
+				// Retarget only if the kicked deadline beats the plan; a
+				// stale kick (entry already folded in above) re-sleeps on
+				// the unchanged plan.
+				if m := w.minArm.Swap(idleWake); m < next {
+					next = m
+					w.nextWake.Store(next)
+				} else if next == idleWake {
+					continue
+				}
+				timer.Stop()
+			case <-w.stopCh:
+				return
+			}
+		}
+	}
+}

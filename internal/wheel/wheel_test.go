@@ -1,0 +1,310 @@
+package wheel
+
+import (
+	"testing"
+	"time"
+)
+
+// testWheel builds a manual (no ticker) wheel with a huge tick so the
+// wall clock never advances it: tickNow() stays 0 for the whole test and
+// arming duration n*tick - tick/2 lands deterministically on due tick n.
+// Tests drive time explicitly through advanceTo.
+func testWheel(t *testing.T, cfg Config) *Wheel {
+	t.Helper()
+	if cfg.Tick == 0 {
+		cfg.Tick = time.Hour
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	return newManual(cfg)
+}
+
+// at converts a due tick to the arming duration that deterministically
+// selects it: half a tick early, so clock skew within the test cannot
+// push it across a boundary.
+func (w *Wheel) at(tick uint64) time.Duration {
+	return time.Duration(tick)*w.tick - w.tick/2
+}
+
+func drained(ch chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
+
+func TestZeroAndNegativeDurationFireImmediately(t *testing.T) {
+	w := testWheel(t, Config{})
+	for _, d := range []time.Duration{0, -time.Second} {
+		ch := make(chan struct{}, 1)
+		h := w.Arm(d, ch)
+		if h != (Handle{}) {
+			t.Fatalf("Arm(%v) returned non-zero handle %+v", d, h)
+		}
+		if !drained(ch) {
+			t.Fatalf("Arm(%v) did not fire immediately", d)
+		}
+		if w.Cancel(h) {
+			t.Fatalf("Cancel(zero handle) returned true")
+		}
+	}
+	if s := w.Stats(); s.Fired != 2 || s.Armed != 0 {
+		t.Fatalf("stats after immediate fires: %+v", s)
+	}
+}
+
+func TestArmInPastFiresImmediately(t *testing.T) {
+	w := testWheel(t, Config{})
+	// Drive the shard cursor ahead of anything the (frozen) clock can
+	// produce, then arm for a tick the wheel already processed.
+	w.advanceTo(100)
+	ch := make(chan struct{}, 1)
+	h := w.Arm(w.at(3), ch) // due tick 3 <= done 100
+	if h != (Handle{}) {
+		t.Fatalf("past arm returned non-zero handle %+v", h)
+	}
+	if !drained(ch) {
+		t.Fatal("past arm did not fire immediately")
+	}
+}
+
+func TestFireAtExactTickAndCancelAfterFire(t *testing.T) {
+	w := testWheel(t, Config{})
+	ch := make(chan struct{}, 1)
+	h := w.Arm(w.at(5), ch)
+	w.advanceTo(4)
+	if drained(ch) {
+		t.Fatal("fired before due tick")
+	}
+	if got := w.Stats().Armed; got != 1 {
+		t.Fatalf("Armed = %d, want 1", got)
+	}
+	w.advanceTo(5)
+	if !drained(ch) {
+		t.Fatal("did not fire at due tick")
+	}
+	if w.Cancel(h) {
+		t.Fatal("Cancel after fire returned true")
+	}
+	if s := w.Stats(); s.Armed != 0 || s.Fired != 1 || s.Cancelled != 0 {
+		t.Fatalf("stats after fire: %+v", s)
+	}
+}
+
+func TestCancelPendingSuppressesFire(t *testing.T) {
+	w := testWheel(t, Config{})
+	ch := make(chan struct{}, 1)
+	h := w.Arm(w.at(5), ch)
+	if !w.Cancel(h) {
+		t.Fatal("Cancel of pending entry returned false")
+	}
+	if w.Cancel(h) {
+		t.Fatal("double Cancel returned true")
+	}
+	w.advanceTo(10)
+	if drained(ch) {
+		t.Fatal("cancelled entry fired")
+	}
+	if s := w.Stats(); s.Armed != 0 || s.Cancelled != 1 || s.Fired != 0 {
+		t.Fatalf("stats after cancel: %+v", s)
+	}
+}
+
+func TestStaleHandleCannotCancelRecycledNode(t *testing.T) {
+	w := testWheel(t, Config{})
+	ch1 := make(chan struct{}, 1)
+	h1 := w.Arm(w.at(5), ch1)
+	if !w.Cancel(h1) {
+		t.Fatal("first cancel failed")
+	}
+	// The freed node is recycled for the next arm with a bumped
+	// generation; the stale handle must not disarm the new entry.
+	ch2 := make(chan struct{}, 1)
+	h2 := w.Arm(w.at(7), ch2)
+	if w.Cancel(h1) {
+		t.Fatal("stale handle cancelled a recycled node")
+	}
+	if !w.Cancel(h2) {
+		t.Fatal("fresh handle failed to cancel")
+	}
+}
+
+// TestMassCancel models a broken barrier draining every parked waiter:
+// all internal wake-ups are disarmed at once and none may fire.
+func TestMassCancel(t *testing.T) {
+	w := testWheel(t, Config{Shards: 4})
+	const n = 1000
+	chs := make([]chan struct{}, n)
+	hs := make([]Handle, n)
+	for i := range chs {
+		chs[i] = make(chan struct{}, 1)
+		hs[i] = w.Arm(w.at(uint64(2+i%50)), chs[i])
+	}
+	if got := w.Stats().Armed; got != n {
+		t.Fatalf("Armed = %d, want %d", got, n)
+	}
+	for i, h := range hs {
+		if !w.Cancel(h) {
+			t.Fatalf("Cancel %d returned false", i)
+		}
+	}
+	w.advanceTo(100)
+	for i, ch := range chs {
+		if drained(ch) {
+			t.Fatalf("cancelled waiter %d fired", i)
+		}
+	}
+	if s := w.Stats(); s.Armed != 0 || s.Cancelled != n || s.Fired != 0 {
+		t.Fatalf("stats after mass cancel: %+v", s)
+	}
+}
+
+// TestHierarchyLevels pins placement and timely firing across all three
+// tiers: level 0, level 1 (cascade at a revolution boundary), and the
+// overflow bucket (rescued at a horizon boundary).
+func TestHierarchyLevels(t *testing.T) {
+	w := testWheel(t, Config{Slots0: 8, Slots1: 4}) // horizon = 32 ticks
+	cases := []uint64{3, 7, 9, 20, 31, 32, 45, 100, 257}
+	chs := make(map[uint64]chan struct{}, len(cases))
+	for _, due := range cases {
+		ch := make(chan struct{}, 1)
+		chs[due] = ch
+		if h := w.Arm(w.at(due), ch); h == (Handle{}) {
+			t.Fatalf("arm due=%d fired immediately", due)
+		}
+	}
+	for tick := uint64(1); tick <= 300; tick++ {
+		w.advanceTo(tick)
+		for due, ch := range chs {
+			got := drained(ch)
+			want := due == tick
+			if got != want {
+				t.Fatalf("tick %d: waiter due=%d fired=%v", tick, due, got)
+			}
+		}
+	}
+	if s := w.Stats(); s.Armed != 0 || s.Fired != uint64(len(cases)) {
+		t.Fatalf("stats after sweep: %+v", s)
+	}
+}
+
+// TestBigJumpFiresEverything: a single large advance (the ticker waking
+// late) must still fire every intermediate entry exactly once.
+func TestBigJumpFiresEverything(t *testing.T) {
+	w := testWheel(t, Config{Slots0: 8, Slots1: 4})
+	const n = 200
+	chs := make([]chan struct{}, n)
+	for i := range chs {
+		chs[i] = make(chan struct{}, 1)
+		w.Arm(w.at(uint64(1+i)), chs[i])
+	}
+	w.advanceTo(5000)
+	for i, ch := range chs {
+		if !drained(ch) {
+			t.Fatalf("waiter %d (due %d) missed by big jump", i, 1+i)
+		}
+	}
+	if s := w.Stats(); s.Armed != 0 || s.Fired != n {
+		t.Fatalf("stats after jump: %+v", s)
+	}
+}
+
+// TestIntraTickFIFO pins the order waiters armed for the same tick fire
+// in: insertion order (the bucket list is FIFO and cascades preserve it).
+func TestIntraTickFIFO(t *testing.T) {
+	w := testWheel(t, Config{Slots0: 8, Slots1: 4})
+	const n = 16
+	chs := make([]chan struct{}, n)
+	for i := range chs {
+		chs[i] = make(chan struct{}, 1)
+		w.Arm(w.at(20), chs[i]) // all in one level-1 bucket, cascaded at 16
+	}
+	fires, _ := w.advanceTo(20)
+	if len(fires) != n {
+		t.Fatalf("fired %d, want %d", len(fires), n)
+	}
+	for i, f := range fires {
+		if f.ch != (chan<- struct{})(chs[i]) {
+			t.Fatalf("fire %d out of insertion order", i)
+		}
+		if f.due != 20 {
+			t.Fatalf("fire %d recorded due %d, want 20", i, f.due)
+		}
+	}
+}
+
+// TestArmCancelZeroAlloc is the acceptance-criteria check: after warm-up
+// (arena growth), the arm/cancel round trip allocates nothing.
+func TestArmCancelZeroAlloc(t *testing.T) {
+	w := testWheel(t, Config{})
+	ch := make(chan struct{}, 1)
+	if n := testing.AllocsPerRun(100, func() {
+		h := w.Arm(w.at(10), ch)
+		if !w.Cancel(h) {
+			t.Fatal("cancel failed")
+		}
+	}); n != 0 {
+		t.Fatalf("arm/cancel allocates %.1f per op, want 0", n)
+	}
+}
+
+func TestConfigRounding(t *testing.T) {
+	w := newManual(Config{Slots0: 100, Slots1: 3, Shards: 5, Tick: time.Hour})
+	if w.s0 != 128 || w.s1 != 4 || w.nshard != 8 {
+		t.Fatalf("config not rounded to powers of two: s0=%d s1=%d shards=%d", w.s0, w.s1, w.nshard)
+	}
+}
+
+// TestTickerEndToEnd exercises the real ticker goroutine: a wake-up must
+// arrive no earlier than the armed duration, and cancellation must win a
+// race against a distant deadline.
+func TestTickerEndToEnd(t *testing.T) {
+	w := New(Config{Tick: time.Millisecond})
+	defer w.Stop()
+
+	ch := make(chan struct{}, 1)
+	start := time.Now()
+	w.Arm(5*time.Millisecond, ch)
+	select {
+	case <-ch:
+	case <-time.After(5 * time.Second):
+		t.Fatal("armed wake-up never fired")
+	}
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Fatalf("woke early: %v < 5ms", elapsed)
+	}
+
+	// External wake-up wins: cancel a far deadline, nothing may arrive.
+	ch2 := make(chan struct{}, 1)
+	h := w.Arm(time.Minute, ch2)
+	if !w.Cancel(h) {
+		t.Fatal("cancel of distant deadline failed")
+	}
+
+	// A short arm after a long one must re-kick the ticker rather than
+	// sleep behind the long deadline.
+	chLong := make(chan struct{}, 1)
+	chShort := make(chan struct{}, 1)
+	hLong := w.Arm(time.Hour, chLong)
+	w.Arm(2*time.Millisecond, chShort)
+	select {
+	case <-chShort:
+	case <-time.After(5 * time.Second):
+		t.Fatal("short arm stuck behind long deadline")
+	}
+	w.Cancel(hLong)
+	if drained(ch2) || drained(chLong) {
+		t.Fatal("cancelled entry delivered a token")
+	}
+}
+
+func TestStopTerminatesTicker(t *testing.T) {
+	w := New(Config{Tick: time.Millisecond})
+	ch := make(chan struct{}, 1)
+	w.Arm(time.Minute, ch)
+	w.Stop()
+	w.Stop() // idempotent
+}

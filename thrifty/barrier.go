@@ -258,8 +258,18 @@ type site struct {
 // tell a release from a break: the break path stores broken before done,
 // so a waiter that observes done and then reads broken sees the truth.
 type round struct {
-	gen    uint32 // must match the state word's generation field
-	ch     chan struct{}
+	gen uint32 // must match the state word's generation field
+	ch  chan struct{}
+	// leafCh shards the external wake-up broadcast in tree topology: each
+	// arrival leaf has its own channel, waiters park on the channel of the
+	// leaf they checked in at, and the releaser closes the leaves one by
+	// one before ch. This models the paper's invalidation fan-out to
+	// sharers — the wake-up invalidations follow the same tree the
+	// arrivals combined up — instead of one global close thundering every
+	// party onto the releaser's processor at once. nil in central
+	// topology; ch always closes last, so "<-rd.ch has returned" remains
+	// the round-over signal for code that does not hold a leaf.
+	leafCh []chan struct{}
 	done   atomic.Bool
 	broken atomic.Bool
 	// armed is the watchdog-arming claim: the first early arriver to win
@@ -340,13 +350,49 @@ func New(parties int, opts Options) *Barrier {
 		opts:      opts,
 		spinnable: runtime.GOMAXPROCS(0) > 1,
 	}
-	b.cur.Store(&round{ch: make(chan struct{})})
+	// The tree must exist before the first round: newRound sizes the
+	// sharded broadcast channels off the leaf count.
 	if opts.TreeRadix >= 2 {
 		if t := newArrivalTree(parties, opts.TreeRadix); t != nil {
 			b.tree = t
 		}
 	}
+	b.cur.Store(b.newRound(0))
 	return b
+}
+
+// newRound builds the round for generation gen, with one broadcast
+// channel per arrival leaf in tree topology (see round.leafCh).
+func (b *Barrier) newRound(gen uint32) *round {
+	rd := &round{gen: gen, ch: make(chan struct{})}
+	if b.tree != nil {
+		rd.leafCh = make([]chan struct{}, b.tree.leaves())
+		for i := range rd.leafCh {
+			rd.leafCh[i] = make(chan struct{})
+		}
+	}
+	return rd
+}
+
+// parkChan is the channel a waiter that arrived at leaf parks on: the
+// leaf's shard of the broadcast, or the round channel in central topology
+// (leaf < 0).
+func (rd *round) parkChan(leaf int) chan struct{} {
+	if leaf >= 0 && rd.leafCh != nil {
+		return rd.leafCh[leaf]
+	}
+	return rd.ch
+}
+
+// closeRound broadcasts the external wake-up: the leaf shards first (each
+// close wakes only that leaf's sharers), then the round channel, which
+// always closes last so its closure means "every waiter has been
+// signalled".
+func closeRound(rd *round) {
+	for _, ch := range rd.leafCh {
+		close(ch)
+	}
+	close(rd.ch)
 }
 
 // Parties reports the number of participating goroutines.
@@ -418,7 +464,8 @@ func (b *Barrier) site(key uintptr) *site {
 }
 
 // arrive joins the current generation without taking any lock. It returns
-// the round joined and whether this caller was the last arriver (the
+// the round joined, the arrival leaf (-1 in central topology — park on the
+// round channel), and whether this caller was the last arriver (the
 // releaser). It fails fast with ErrBroken when the generation is broken.
 //
 // The ordering argument: rd is loaded from cur BEFORE the arrival CAS, and
@@ -427,13 +474,13 @@ func (b *Barrier) site(key uintptr) *site {
 // counted into. Any concurrent release, break, or Reset changes the state
 // word (generation bump or broken bit) and forces the CAS to fail and the
 // loop to re-observe.
-func (b *Barrier) arrive() (rd *round, last bool, err error) {
+func (b *Barrier) arrive() (rd *round, leaf int, last bool, err error) {
 	spins := 0
 	for {
 		rd = b.cur.Load()
 		st := b.state.Load()
 		if st&brokenBit != 0 {
-			return nil, false, ErrBroken
+			return nil, -1, false, ErrBroken
 		}
 		g := stateGen(st)
 		if rd.gen != g {
@@ -445,7 +492,7 @@ func (b *Barrier) arrive() (rd *round, last bool, err error) {
 			continue
 		}
 		if b.tree != nil {
-			root, ok := b.tree.checkIn(g)
+			lf, root, ok := b.tree.checkIn(g)
 			if !ok {
 				// The tree observed a newer generation than g: our view is
 				// stale; re-observe.
@@ -455,7 +502,7 @@ func (b *Barrier) arrive() (rd *round, last bool, err error) {
 				continue
 			}
 			if !root {
-				return rd, false, nil
+				return rd, lf, false, nil
 			}
 			// Filling the root makes this waiter the releaser: claim the
 			// generation. The only competing transition is a break or
@@ -463,10 +510,10 @@ func (b *Barrier) arrive() (rd *round, last bool, err error) {
 			for {
 				st = b.state.Load()
 				if st&brokenBit != 0 || stateGen(st) != g {
-					return nil, false, ErrBroken
+					return nil, -1, false, ErrBroken
 				}
 				if b.state.CompareAndSwap(st, packState(g+1, 0)) {
-					return rd, true, nil
+					return rd, lf, true, nil
 				}
 			}
 		}
@@ -474,10 +521,10 @@ func (b *Barrier) arrive() (rd *round, last bool, err error) {
 			// Last arriver: flip the sense. Success atomically ends the
 			// generation; failure means a racing arrival, break, or Reset.
 			if b.state.CompareAndSwap(st, packState(g+1, 0)) {
-				return rd, true, nil
+				return rd, -1, true, nil
 			}
 		} else if b.state.CompareAndSwap(st, st+1) {
-			return rd, false, nil
+			return rd, -1, false, nil
 		}
 	}
 }
@@ -499,10 +546,9 @@ func (b *Barrier) finishRelease(rd *round, s *site, now time.Time) {
 	// Publish the next round before waking the old one's waiters, so a
 	// woken waiter that immediately re-arrives finds cur already in sync
 	// with the state word.
-	next := &round{gen: rd.gen + 1, ch: make(chan struct{})}
-	b.cur.Store(next)
+	b.cur.Store(b.newRound(rd.gen + 1))
 	rd.done.Store(true)
-	close(rd.ch) // external wake-up broadcast
+	closeRound(rd) // external wake-up broadcast (sharded per leaf in tree mode)
 	b.stopWatchdog(rd)
 }
 
@@ -510,8 +556,11 @@ func (b *Barrier) finishRelease(rd *round, s *site, now time.Time) {
 // the round it joined, its site, and — for early arrivers — the stall
 // prediction and the wait tier it implies.
 type arrivalPlan struct {
-	rd               *round
-	s                *site
+	rd *round
+	s  *site
+	// parkCh is the external wake-up channel for this waiter: its arrival
+	// leaf's shard of the broadcast, or rd.ch in central topology.
+	parkCh           chan struct{}
 	last             bool
 	tier             Tier
 	predictedStall   time.Duration
@@ -527,13 +576,13 @@ type arrivalPlan struct {
 // exactly this call — and it takes no lock on any path.
 func (b *Barrier) beginWait(key uintptr) (arrivalPlan, error) {
 	now := b.opts.Now()
-	rd, last, err := b.arrive()
+	rd, leaf, last, err := b.arrive()
 	if err != nil {
 		return arrivalPlan{}, err
 	}
 	s := b.site(key)
 	s.waits.Add(1)
-	plan := arrivalPlan{rd: rd, s: s, last: last}
+	plan := arrivalPlan{rd: rd, s: s, parkCh: rd.parkChan(leaf), last: last}
 	if last {
 		b.finishRelease(rd, s, now)
 		return plan, nil
@@ -585,7 +634,7 @@ func (b *Barrier) waitSite(ctx context.Context, key uintptr) error {
 	if plan.last {
 		return nil
 	}
-	rd, s := plan.rd, plan.s
+	rd, s, parkCh := plan.rd, plan.s, plan.parkCh
 	tier := plan.tier
 	predictedRelease, bit := plan.predictedRelease, plan.bit
 
@@ -594,15 +643,15 @@ func (b *Barrier) waitSite(ctx context.Context, key uintptr) error {
 	cancelled := false
 	switch tier {
 	case TierSpin:
-		cancelled = b.spinThenPark(rd, done)
+		cancelled = b.spinThenPark(rd, parkCh, done)
 	case TierYield:
-		cancelled = b.yieldThenPark(rd, done)
+		cancelled = b.yieldThenPark(rd, parkCh, done)
 	case TierTimedPark:
-		out, cancelled = b.timedPark(rd, predictedRelease, done)
+		out, cancelled = b.timedPark(rd, parkCh, predictedRelease, done)
 		out.parking, out.judge = true, true
 	case TierPark:
 		select {
-		case <-rd.ch:
+		case <-parkCh:
 		case <-done:
 			cancelled = true
 		}
@@ -687,7 +736,7 @@ func (b *Barrier) breakRound(rd *round) (released bool) {
 	b.lastRelease.Store(nil)
 	b.stopWatchdogLocked(rd)
 	b.mu.Unlock()
-	close(rd.ch)
+	closeRound(rd)
 	return false
 }
 
@@ -718,8 +767,7 @@ func (b *Barrier) Reset() {
 		if !b.state.CompareAndSwap(st, packState(rd.gen+1, 0)) {
 			continue
 		}
-		next := &round{gen: rd.gen + 1, ch: make(chan struct{})}
-		b.cur.Store(next)
+		b.cur.Store(b.newRound(rd.gen + 1))
 		// In tree topology an arrival may have checked in between the
 		// count snapshot and the CAS, so the round is always closed out;
 		// with the central counter the CAS makes the count exact.
@@ -735,7 +783,7 @@ func (b *Barrier) Reset() {
 		b.stopWatchdogLocked(rd)
 		b.mu.Unlock()
 		if needClose {
-			close(rd.ch)
+			closeRound(rd)
 		}
 		return
 	}
@@ -865,9 +913,9 @@ func (b *Barrier) selectTier(stall time.Duration, havePred bool) Tier {
 // atomic load; the clock and the cancellation channel are consulted only
 // every batch (done is nil for plain Wait callers and never fires). It
 // reports whether the wait ended by cancellation.
-func (b *Barrier) spinThenPark(rd *round, done <-chan struct{}) (cancelled bool) {
+func (b *Barrier) spinThenPark(rd *round, parkCh chan struct{}, done <-chan struct{}) (cancelled bool) {
 	if !b.spinnable {
-		return b.yieldThenPark(rd, done)
+		return b.yieldThenPark(rd, parkCh, done)
 	}
 	deadline := b.opts.Now().Add(b.opts.SpinBudget)
 	for {
@@ -885,7 +933,7 @@ func (b *Barrier) spinThenPark(rd *round, done <-chan struct{}) (cancelled bool)
 		}
 		if b.opts.Now().After(deadline) {
 			select {
-			case <-rd.ch:
+			case <-parkCh:
 				return false
 			case <-done:
 				return true
@@ -895,7 +943,7 @@ func (b *Barrier) spinThenPark(rd *round, done <-chan struct{}) (cancelled bool)
 }
 
 // yieldThenPark shares the processor while polling, then parks.
-func (b *Barrier) yieldThenPark(rd *round, done <-chan struct{}) (cancelled bool) {
+func (b *Barrier) yieldThenPark(rd *round, parkCh chan struct{}, done <-chan struct{}) (cancelled bool) {
 	deadline := b.opts.Now().Add(b.opts.SpinBudget)
 	for {
 		if rd.done.Load() {
@@ -911,74 +959,13 @@ func (b *Barrier) yieldThenPark(rd *round, done <-chan struct{}) (cancelled bool
 		runtime.Gosched()
 		if b.opts.Now().After(deadline) {
 			select {
-			case <-rd.ch:
+			case <-parkCh:
 				return false
 			case <-done:
 				return true
 			}
 		}
 	}
-}
-
-// timerPool recycles the timed-park timers: a waiter parks once per
-// generation, and allocating a fresh time.Timer (plus its runtime timer)
-// each round is measurable garbage on the steady state. Timers are pooled
-// package-wide; go.mod requires Go 1.23+, whose synchronous timer channels
-// make Reset-after-Stop well-defined without the historical drain dance.
-var timerPool sync.Pool
-
-// stopAndDrain stops a pooled timer before returning it. The non-blocking
-// drain is defensive: under Go 1.23 timer semantics Stop already
-// guarantees no subsequent receive, and an unconsumed tick can only exist
-// on the paths where the select chose another case.
-func stopAndDrain(t *time.Timer) {
-	if !t.Stop() {
-		select {
-		case <-t.C:
-		default:
-		}
-	}
-}
-
-// timedPark is the hybrid wake-up: block on both the broadcast channel
-// (external) and a timer armed at the predicted release minus the margin
-// (internal); a timer wake residual-spins until the release. The outcome is
-// reported back rather than recorded here so the caller can fold all
-// post-wait bookkeeping in one place.
-func (b *Barrier) timedPark(rd *round, predictedRelease time.Time, done <-chan struct{}) (out waitOutcome, cancelled bool) {
-	wake := predictedRelease.Add(-b.opts.ParkMargin)
-	d := wake.Sub(b.opts.Now())
-	if d <= 0 {
-		select {
-		case <-rd.ch:
-		case <-done:
-			cancelled = true
-		}
-		return out, cancelled
-	}
-	var timer *time.Timer
-	if t, _ := timerPool.Get().(*time.Timer); t != nil {
-		timer = t
-		timer.Reset(d)
-	} else {
-		timer = time.NewTimer(d)
-	}
-	select {
-	case <-rd.ch:
-		// External wake-up won: the release beat the timer.
-		out.lateWake = true
-		stopAndDrain(timer)
-	case <-timer.C:
-		// Internal wake-up: residual spin for the release (§2's Residual
-		// Spin), bounded by the spin budget, then park.
-		out.earlyWake = true
-		cancelled = b.spinThenPark(rd, done)
-	case <-done:
-		cancelled = true
-		stopAndDrain(timer)
-	}
-	timerPool.Put(timer)
-	return out, cancelled
 }
 
 // applyCutoff applies the §3.3.3 overprediction threshold: if the predicted

@@ -270,7 +270,7 @@ func TestChaosCancellationsVsReleases(t *testing.T) {
 				}
 			}(i)
 		}
-		wg.Wait()
+		waitOrRescue(&wg, b)
 
 		var nils, breaks, ctxErrs int
 		for i, err := range outcomes {

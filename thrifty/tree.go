@@ -127,11 +127,14 @@ func (t *arrivalTree) join(idx int, g uint32) (status int, filled bool) {
 }
 
 // checkIn deposits one arrival for generation g and propagates any node
-// fills toward the root. It reports root=true when this check-in filled
-// the root — the caller is the generation's releaser — and ok=false when
-// the tree has already moved past g (the caller's generation view is
-// stale; it must re-observe the barrier state and retry).
-func (t *arrivalTree) checkIn(g uint32) (root, ok bool) {
+// fills toward the root. It returns the leaf index (0-based among the
+// leaves) the arrival landed on — the waiter parks on that leaf's channel,
+// so the release broadcast fans out along the same tree the arrival
+// climbed. It reports root=true when this check-in filled the root — the
+// caller is the generation's releaser — and ok=false when the tree has
+// already moved past g (the caller's generation view is stale; it must
+// re-observe the barrier state and retry).
+func (t *arrivalTree) checkIn(g uint32) (leaf int, root, ok bool) {
 	nLeaves := len(t.nodes) - t.leafBase
 	start := int(rand.Uint64N(uint64(nLeaves)))
 	idx := -1
@@ -140,7 +143,7 @@ func (t *arrivalTree) checkIn(g uint32) (root, ok bool) {
 		li := t.leafBase + (start+i)%nLeaves
 		switch status, f := t.join(li, g); status {
 		case joinStale:
-			return false, false
+			return 0, false, false
 		case joinOK:
 			idx, filled = li, f
 		}
@@ -153,21 +156,26 @@ func (t *arrivalTree) checkIn(g uint32) (root, ok bool) {
 		// which the Barrier contract (like sync.WaitGroup misuse) forbids.
 		panic("thrifty: more concurrent arrivals than parties")
 	}
+	leaf = idx - t.leafBase
 	for filled {
 		p := t.nodes[idx].parent
 		if p < 0 {
-			return true, true
+			return leaf, true, true
 		}
 		status, f := t.join(int(p), g)
 		if status == joinStale {
 			// The generation died under us (Reset): the fill token is
 			// moot, the round's waiters are woken through its channel.
-			return false, false
+			return 0, false, false
 		}
 		idx, filled = int(p), f
 	}
-	return false, true
+	return leaf, false, true
 }
+
+// leaves reports the number of leaf counters — the width of the sharded
+// release broadcast (one wake channel per leaf).
+func (t *arrivalTree) leaves() int { return len(t.nodes) - t.leafBase }
 
 // arrived counts generation g's check-ins currently recorded in the
 // leaves (for the stall watchdog's head count). The sum is racy against

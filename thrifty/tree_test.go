@@ -240,3 +240,53 @@ func TestTreeWatchdogHeadCount(t *testing.T) {
 		}
 	}
 }
+
+// The sharded release broadcast: a tree-mode round carries one broadcast
+// channel per arrival leaf (wake fan-out follows the combining tree, like
+// the invalidation fan-out to sharers), every shard closes at release,
+// and the round channel still closes last as the global round-over
+// signal.
+func TestTreeShardedBroadcast(t *testing.T) {
+	b := New(16, Options{TreeRadix: 4})
+	if b.tree == nil {
+		t.Fatal("tree not selected")
+	}
+	rd := b.cur.Load()
+	if got, want := len(rd.leafCh), b.tree.leaves(); got != want {
+		t.Fatalf("round has %d leaf channels, want %d (one per leaf)", got, want)
+	}
+	for leaf := 0; leaf < b.tree.leaves(); leaf++ {
+		if rd.parkChan(leaf) != rd.leafCh[leaf] {
+			t.Fatalf("leaf %d parks on the wrong shard", leaf)
+		}
+	}
+	if rd.parkChan(-1) != rd.ch {
+		t.Fatal("central arrival (leaf -1) must park on the round channel")
+	}
+
+	// Release by running a full generation; every shard and the round
+	// channel must be closed afterwards.
+	var wg sync.WaitGroup
+	for p := 0; p < 16; p++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); b.WaitSite(0xfa0) }()
+	}
+	wg.Wait()
+	select {
+	case <-rd.ch:
+	default:
+		t.Fatal("round channel not closed by release")
+	}
+	for leaf, ch := range rd.leafCh {
+		select {
+		case <-ch:
+		default:
+			t.Fatalf("leaf shard %d not closed by release", leaf)
+		}
+	}
+
+	// Central topology carries no shards.
+	if c := New(4, Options{}); c.cur.Load().leafCh != nil {
+		t.Fatal("central round allocated leaf channels")
+	}
+}

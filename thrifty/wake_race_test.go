@@ -1,0 +1,85 @@
+package thrifty
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestTimedParkWakeRaceExternalVsTimerFire is the regression test for the
+// pooled-timer reuse race (the timerPool satellite audit): the external
+// wake-up winning the select at the same instant the internal wake-up
+// fires. Under the old time.Timer pool, Stop raced the in-flight tick and
+// the non-blocking drain could pool a timer with a late tick still
+// undelivered, poisoning the next Get. The wheel's cancel-or-drain
+// protocol must survive the same hammering with no race reports, no
+// deadlock, and exactly one wake outcome per park.
+//
+// SpinBudget is floored at 1ns so the spin-then-wheel shortcut never
+// bypasses the wheel: every iteration really arms and resolves a wheel
+// entry.
+func TestTimedParkWakeRaceExternalVsTimerFire(t *testing.T) {
+	b := New(2, Options{SpinBudget: time.Nanosecond})
+	const (
+		workers = 4
+		iters   = 400
+	)
+	var armed atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				rd := &round{ch: make(chan struct{})}
+				// The release lands right around the internal wake-up
+				// instant: the wheel entry is armed for ~d (predicted
+				// minus margin) and the closer sleeps ~d too, sweeping
+				// the fire/cancel window across iterations.
+				d := time.Duration(1+(i%8)*25) * time.Microsecond
+				predicted := time.Now().Add(b.opts.ParkMargin + d)
+				go func() {
+					time.Sleep(d)
+					rd.done.Store(true)
+					closeRound(rd)
+				}()
+				out, cancelled := b.timedPark(rd, rd.ch, predicted, nil)
+				if cancelled {
+					t.Errorf("worker %d iter %d: spuriously cancelled with nil done channel", w, i)
+					return
+				}
+				// Exactly one wake path may claim the outcome. (Neither is
+				// legal: a scheduling delay can push the anticipation
+				// instant into the past before timedPark reads the clock,
+				// degenerating to a plain park.)
+				if out.earlyWake && out.lateWake {
+					t.Errorf("worker %d iter %d: both wake paths claimed the outcome %+v", w, i, out)
+					return
+				}
+				if out.earlyWake || out.lateWake {
+					armed.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if armed.Load() == 0 {
+		t.Fatal("no iteration ever armed the wheel: the race window was not exercised")
+	}
+
+	// Poisoning detector: after the hammer every pooled wake channel must
+	// be empty. A leftover token from a mis-drained park would surface
+	// here as a bogus immediate internal wake-up (earlyWake) on a park
+	// whose wheel entry cannot fire for an hour.
+	rd := &round{ch: make(chan struct{})}
+	rd.done.Store(true)
+	close(rd.ch)
+	far := time.Now().Add(time.Hour)
+	for i := 0; i < 2*workers+16; i++ {
+		out, cancelled := b.timedPark(rd, rd.ch, far, nil)
+		if cancelled || out.earlyWake || !out.lateWake {
+			t.Fatalf("iteration %d: pooled wake channel poisoned (outcome %+v)", i, out)
+		}
+	}
+}
