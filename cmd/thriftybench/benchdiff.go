@@ -64,6 +64,11 @@ var readmeEngineAnchors = []struct {
 	{"EngineScheduleFire/pending-1k", regexp.MustCompile(`([0-9.]+) ns/op with 1024 pending\s+events`)},
 	// "24.0 ns/op for a schedule+cancel+fire round"
 	{"EngineScheduleCancelFire", regexp.MustCompile(`([0-9.]+) ns/op for a schedule\+cancel\+fire\s+round`)},
+	// "| parallel engine, 1 shard (64-rank ring) | 21.5 |" — compared in
+	// ns/event, the metric those results report.
+	{"ParallelEngine/shards-1", regexp.MustCompile(`\|\s*parallel engine, 1 shard[^|]*\|\s*([0-9.]+)\s*\|`)},
+	{"ParallelEngine/shards-4", regexp.MustCompile(`\|\s*parallel engine, 4 shards[^|]*\|\s*([0-9.]+)\s*\|`)},
+	{"ParallelEngine/shards-8", regexp.MustCompile(`\|\s*parallel engine, 8 shards[^|]*\|\s*([0-9.]+)\s*\|`)},
 }
 
 // loadSuite reads one BENCH_*.json and returns a lookup by result name.
@@ -158,8 +163,14 @@ func diffBenchReadme(jsonPath, readmePath string, w io.Writer) error {
 			continue
 		}
 		matched++
-		fmt.Fprintf(w, "  %s: %.1f ns/op (recorded %.1f, %+.0f%%)\n",
-			a.result, r.NsPerOp, want, 100*(r.NsPerOp-want)/want)
+		// Results that report ns/event (the parallel engine) are compared
+		// in that metric; plain engine results compare ns/op.
+		val, unit := r.NsPerOp, "ns/op"
+		if v, ok := r.Metrics["ns/event"]; ok {
+			val, unit = v, "ns/event"
+		}
+		fmt.Fprintf(w, "  %s: %.1f %s (recorded %.1f, %+.0f%%)\n",
+			a.result, val, unit, want, 100*(val-want)/want)
 	}
 	if matched == 0 {
 		return fmt.Errorf("bench-diff: %s has no engine results matching the README anchors", simPath)

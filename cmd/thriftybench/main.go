@@ -16,6 +16,8 @@
 //	thriftybench -all                 # everything (default)
 //	thriftybench -table2 -fig5        # selected experiments
 //	thriftybench -ablation cutoff     # one ablation (cutoff|wakeup|predictor|preempt|…|faults)
+//	thriftybench -scaling             # 64/256/1024-node study on the parallel engine
+//	                                  # (-j also sets the engine's shard count)
 //	thriftybench -nodes 16 -seed 7    # smaller machine, different seed
 //	thriftybench -all -out results    # also write text + CSV + JSON files
 //	thriftybench -all -j 1            # sequential (identical output)
@@ -42,33 +44,34 @@ import (
 
 func main() {
 	var (
-		all      = flag.Bool("all", false, "run every table, figure and ablation")
-		table1   = flag.Bool("table1", false, "print Table 1 (architecture)")
-		table2   = flag.Bool("table2", false, "run and print Table 2 (barrier imbalance)")
-		table3   = flag.Bool("table3", false, "print Table 3 (sleep states)")
-		fig3     = flag.Bool("fig3", false, "run and print Figure 3 (BIT/BST variability)")
-		fig5     = flag.Bool("fig5", false, "run and print Figure 5 (normalized energy)")
-		fig6     = flag.Bool("fig6", false, "run and print Figure 6 (normalized execution time)")
-		summary  = flag.Bool("summary", false, "print the headline numbers of section 5.1")
-		ablation = flag.String("ablation", "", "run one ablation: cutoff|wakeup|predictor|preempt|conventional|topology|confidence|dvfs|straggler|faults")
-		sens     = flag.String("sensitivity", "", "run one sweep: nodes|transition|lockcontention|barrierlatency")
-		ext      = flag.String("extension", "", "run one extension experiment: locks|mp")
-		nodes    = flag.Int("nodes", 64, "machine size (power of two <= 64)")
-		seed     = flag.Uint64("seed", 1, "workload seed")
-		observer = flag.Int("observer", 11, "Figure 3 observer thread")
-		outDir   = flag.String("out", "", "also write results into this directory")
-		markdown = flag.String("markdown", "", "run everything and write a self-contained Markdown report here")
-		jobs     = flag.Int("j", runtime.NumCPU(), "worker-pool width for independent simulations (1 = sequential)")
-		timeout  = flag.Duration("timeout", 2*time.Minute, "per-run wall-clock limit; a wedged run is skipped with a diagnostic (0 = no limit)")
-		jsonOut  = flag.Bool("json", true, "with -out, write a machine-readable .json twin next to every text artifact")
-		progress = flag.Bool("progress", true, "report per-run completion on stderr")
+		all       = flag.Bool("all", false, "run every table, figure and ablation")
+		table1    = flag.Bool("table1", false, "print Table 1 (architecture)")
+		table2    = flag.Bool("table2", false, "run and print Table 2 (barrier imbalance)")
+		table3    = flag.Bool("table3", false, "print Table 3 (sleep states)")
+		fig3      = flag.Bool("fig3", false, "run and print Figure 3 (BIT/BST variability)")
+		fig5      = flag.Bool("fig5", false, "run and print Figure 5 (normalized energy)")
+		fig6      = flag.Bool("fig6", false, "run and print Figure 6 (normalized execution time)")
+		summary   = flag.Bool("summary", false, "print the headline numbers of section 5.1")
+		ablation  = flag.String("ablation", "", "run one ablation: cutoff|wakeup|predictor|preempt|conventional|topology|confidence|dvfs|straggler|faults")
+		sens      = flag.String("sensitivity", "", "run one sweep: nodes|transition|lockcontention|barrierlatency")
+		ext       = flag.String("extension", "", "run one extension experiment: locks|mp")
+		scaling   = flag.Bool("scaling", false, "run the 64/256/1024-node barrier scaling study on the parallel engine")
+		nodes     = flag.Int("nodes", 64, "machine size (power of two <= 64)")
+		seed      = flag.Uint64("seed", 1, "workload seed")
+		observer  = flag.Int("observer", 11, "Figure 3 observer thread")
+		outDir    = flag.String("out", "", "also write results into this directory")
+		markdown  = flag.String("markdown", "", "run everything and write a self-contained Markdown report here")
+		jobs      = flag.Int("j", runtime.NumCPU(), "worker-pool width for independent simulations (1 = sequential)")
+		timeout   = flag.Duration("timeout", 2*time.Minute, "per-run wall-clock limit; a wedged run is skipped with a diagnostic (0 = no limit)")
+		jsonOut   = flag.Bool("json", true, "with -out, write a machine-readable .json twin next to every text artifact")
+		progress  = flag.Bool("progress", true, "report per-run completion on stderr")
 		benchNow  = flag.Bool("bench-json", false, "run the Go microbenchmark suite and write BENCH_runtime.json + BENCH_sim.json (into -out, or the current directory)")
 		benchDiff = flag.String("bench-diff", "", "compare a recorded BENCH_runtime.json (and the BENCH_sim.json next to it) against the wake-up engine and event-engine numbers in README.md; informational — deltas go to stderr and never fail the run")
 	)
 	flag.Parse()
 
-	if !*table1 && !*table2 && !*table3 && !*fig3 && !*fig5 && !*fig6 &&
-		!*summary && *ablation == "" && *sens == "" && *ext == "" && *markdown == "" && !*benchNow && *benchDiff == "" {
+	if !*table1 && !*table2 && !*table3 && !*fig3 && !*fig5 && !*fig6 && !*summary && !*scaling &&
+		*ablation == "" && *sens == "" && *ext == "" && *markdown == "" && !*benchNow && *benchDiff == "" {
 		*all = true
 	}
 	if *all {
@@ -100,8 +103,8 @@ func main() {
 		}
 	}
 	if (*benchNow || *benchDiff != "") &&
-		!*all && !*table1 && !*table2 && !*table3 && !*fig3 && !*fig5 && !*fig6 &&
-		!*summary && *ablation == "" && *sens == "" && *ext == "" && *markdown == "" {
+		!*all && !*table1 && !*table2 && !*table3 && !*fig3 && !*fig5 && !*fig6 && !*summary &&
+		!*scaling && *ablation == "" && *sens == "" && *ext == "" && *markdown == "" {
 		return
 	}
 
@@ -120,7 +123,7 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *markdown)
-		if !*all && *ablation == "" && *sens == "" && *ext == "" &&
+		if !*all && !*scaling && *ablation == "" && *sens == "" && *ext == "" &&
 			!*table1 && !*table2 && !*table3 && !*fig3 && !*fig5 && !*fig6 && !*summary {
 			return
 		}
@@ -283,6 +286,18 @@ func main() {
 		}
 		for _, name := range []string{"locks", "mp"} {
 			addPost("extension_"+name+".txt", "extension "+name, extensions[name])
+		}
+	}
+	if *all || *scaling {
+		// -j doubles as the parallel engine's shard count here; the scaling
+		// rows are shard-count-invariant by the RunParallel contract, so the
+		// artifacts stay byte-identical across -j like everything else.
+		for _, n := range harness.ScalingPoints {
+			n := n
+			addPost(fmt.Sprintf("scaling_%d.txt", n), fmt.Sprintf("scaling %d", n), func() (string, any) {
+				rows := harness.ScalingExperiment(*seed, n, *jobs)
+				return harness.RenderScaling(n, rows), rows
+			})
 		}
 	}
 

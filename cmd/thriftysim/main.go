@@ -7,7 +7,13 @@
 //	thriftysim -app FMM -config Thrifty
 //	thriftysim -app Ocean -config Thrifty -cutoff 0 -wakeup internal
 //	thriftysim -trace mytrace.csv -config Thrifty
+//	thriftysim -scaling 1024 -alg tree -radix 8 -j 8
 //	thriftysim -list
+//
+// -scaling N leaves the 64-CPU shared-memory machine behind and runs the
+// message-passing cluster at N nodes on the conservative parallel event
+// engine (-j shards; the result is shard-count-invariant), printing the
+// thrifty-vs-baseline comparison for one collective.
 //
 // A trace file replays measured per-thread barrier-phase durations (CSV:
 // "pc,dur0us,dur1us,..."; see internal/workload.ParseTrace) through the
@@ -19,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -26,6 +33,7 @@ import (
 	"thriftybarrier/internal/energy"
 	"thriftybarrier/internal/fault"
 	"thriftybarrier/internal/harness"
+	"thriftybarrier/internal/mp"
 	"thriftybarrier/internal/sim"
 	"thriftybarrier/internal/trace"
 	"thriftybarrier/internal/workload"
@@ -45,6 +53,11 @@ func main() {
 		jsonOut  = flag.String("json", "", "write the run's machine-readable result (JSON) to this file, or - for stdout")
 		list     = flag.Bool("list", false, "list applications and exit")
 		verbose  = flag.Bool("v", false, "also print per-static-barrier episode summary")
+
+		scaling = flag.Int("scaling", 0, "run the message-passing cluster at this node count on the parallel engine and exit")
+		alg     = flag.String("alg", "tree", "barrier collective for -scaling: tree|dissemination")
+		radix   = flag.Int("radix", 0, "combining-tree radix for -scaling (0 = config default)")
+		jobs    = flag.Int("j", 0, "parallel-engine shard count for -scaling (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -53,6 +66,11 @@ func main() {
 			fmt.Printf("%-10s imbalance(paper)=%5.2f%%  phases=%d  %s\n",
 				s.Name, s.TargetImbalance*100, s.Phases(), s.ProblemSize)
 		}
+		return
+	}
+
+	if *scaling > 0 {
+		runScaling(*scaling, *alg, *radix, *jobs, *seed)
 		return
 	}
 
@@ -235,6 +253,74 @@ func main() {
 				a.stall/sim.Cycles(a.n*len(res.Episodes[0].Arrive)))
 		}
 	}
+}
+
+// runScaling runs one collective of the many-core scaling study — the
+// message-passing machine on the conservative parallel event engine —
+// and prints the thrifty-vs-baseline comparison. Impossible flag
+// combinations (a non-power-of-two size, a radix of 1) surface as
+// mp.NewMachine errors and exit 2 through the usage path, the same
+// contract as every other flag here.
+func runScaling(nodes int, alg string, radix, jobs int, seed uint64) {
+	cfg := mp.DefaultConfig()
+	cfg.Nodes = nodes
+	cfg.NoC.Nodes = nodes
+	switch alg {
+	case "tree":
+		cfg.Algorithm = mp.TreeBarrier
+	case "dissemination":
+		cfg.Algorithm = mp.DisseminationBarrier
+	default:
+		usage("unknown -alg %q (want tree|dissemination)", alg)
+	}
+	if radix != 0 {
+		cfg.Fanout = radix
+	}
+	shards := jobs
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+
+	// NewMachine validates the whole configuration; this is the one place
+	// a user can assemble an impossible mp.Config from the command line.
+	baseM, err := mp.NewMachine(cfg, mp.Baseline())
+	if err != nil {
+		usage("bad -scaling configuration: %v", err)
+	}
+	thriftyM, err := mp.NewMachine(cfg, mp.Thrifty())
+	if err != nil {
+		usage("bad -scaling configuration: %v", err)
+	}
+
+	const phases = 24
+	prog := harness.ScalingProgram(seed, nodes, phases)
+	base := baseM.RunParallel(prog, shards)
+	res := thriftyM.RunParallel(prog, shards)
+	n := res.Breakdown.Normalize(base.Breakdown)
+
+	label := alg
+	if cfg.Algorithm == mp.TreeBarrier {
+		label = fmt.Sprintf("tree r=%d", cfg.Fanout)
+	}
+	fmt.Printf("scaling: %d nodes, %s, %d phases, %d shards (seed %d)\n",
+		nodes, label, phases, shards, seed)
+	fmt.Printf("  baseline: span=%v energy=%.4fJ round=%v\n",
+		base.Span, base.Breakdown.TotalEnergy(), base.MeanRoundLatency())
+	fmt.Printf("  thrifty:  span=%v energy=%.4fJ round=%v\n",
+		res.Span, res.Breakdown.TotalEnergy(), res.MeanRoundLatency())
+	fmt.Printf("  normalized energy: %6.2f%%  [Compute %.2f%% Spin %.2f%% Transition %.2f%% Sleep %.2f%%]\n",
+		n.TotalEnergy()*100,
+		n.Energy[sim.StateCompute]*100, n.Energy[sim.StateSpin]*100,
+		n.Energy[sim.StateTransition]*100, n.Energy[sim.StateSleep]*100)
+	fmt.Printf("  normalized time:   %6.2f%%  (span ratio %.4f)\n", n.TotalTime()*100, n.SpanRatio)
+	total := 0
+	for _, c := range res.Stats.Sleeps {
+		total += c
+	}
+	fmt.Printf("  episodes=%d sleeps=%d wakes: early=%d external=%d late=%d; disables=%d\n",
+		res.Stats.Episodes, total,
+		res.Stats.EarlyWakes, res.Stats.ExternalWakes, res.Stats.LateWakes,
+		res.Stats.Disables)
 }
 
 func fatal(err error) {

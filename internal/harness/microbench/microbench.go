@@ -95,6 +95,9 @@ func SimSpecs() []Spec {
 		{"EngineScheduleFire/empty", EngineScheduleFire(0)},
 		{"EngineScheduleFire/pending-1k", EngineScheduleFire(1024)},
 		{"EngineScheduleCancelFire", EngineScheduleCancelFire()},
+		{"ParallelEngine/shards-1", ParallelEngineEvents(1)},
+		{"ParallelEngine/shards-4", ParallelEngineEvents(4)},
+		{"ParallelEngine/shards-8", ParallelEngineEvents(8)},
 	}
 }
 
@@ -219,6 +222,59 @@ func EngineScheduleFire(pending int) func(*testing.B) {
 			e.After(10, fn)
 			e.Step()
 		}
+	}
+}
+
+// ParallelEngineEvents drives the conservative parallel engine through a
+// 64-rank token-ring workload — every event hops to the next rank exactly
+// one lookahead ahead, ranks block-mapped onto shards, so consecutive hops
+// cross shard boundaries and every window carries cross-shard merges. The
+// headline metric is ns/event; shards-1 measures the sequential golden
+// reference's window overhead against the raw engine numbers above.
+func ParallelEngineEvents(shards int) func(*testing.B) {
+	return func(b *testing.B) {
+		const (
+			ranks     = 64
+			tokens    = 64
+			hops      = 256
+			lookahead = sim.Cycles(48)
+		)
+		for i := 0; i < b.N; i++ {
+			pe := sim.NewParallelEngine(shards, lookahead)
+			owner := make([]int, ranks)
+			for r := range owner {
+				owner[r] = r * shards / ranks
+			}
+			counter := make([]uint32, ranks)
+			order := func(r int) uint64 {
+				counter[r]++
+				return uint64(r)<<32 | uint64(counter[r])
+			}
+			var hop func(r, left int) func()
+			hop = func(r, left int) func() {
+				return func() {
+					if left == 0 {
+						return
+					}
+					s := pe.Shard(owner[r])
+					next := (r + 1) % ranks
+					when := s.Now() + lookahead
+					o := order(r)
+					fn := hop(next, left-1)
+					if owner[next] == owner[r] {
+						s.At(when, o, fn)
+					} else {
+						s.Post(owner[next], when, o, fn)
+					}
+				}
+			}
+			for k := 0; k < tokens; k++ {
+				r := k % ranks
+				pe.Shard(owner[r]).At(sim.Cycles(k+1), order(r), hop(r, hops))
+			}
+			pe.Run()
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*tokens*(hops+1)), "ns/event")
 	}
 }
 

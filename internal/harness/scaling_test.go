@@ -1,0 +1,54 @@
+package harness
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestScalingExperiment(t *testing.T) {
+	rows := ScalingExperiment(7, 64, 4)
+	if len(rows) != 10 { // 5 collectives × {Baseline, Thrifty}
+		t.Fatalf("got %d rows, want 10", len(rows))
+	}
+	for _, r := range rows {
+		if r.Nodes != 64 {
+			t.Fatalf("row %+v has wrong node count", r)
+		}
+		if r.Stats.Episodes != 24 {
+			t.Fatalf("%s/%s: %d episodes, want 24", r.Collective, r.Variant, r.Stats.Episodes)
+		}
+		if r.Round <= 0 {
+			t.Fatalf("%s/%s: non-positive round latency", r.Collective, r.Variant)
+		}
+		if len(r.PerNodeDigest) != 16 {
+			t.Fatalf("digest %q not 16 hex chars", r.PerNodeDigest)
+		}
+		if r.Variant == "MP-Baseline" && (r.Energy != 1 || r.Time != 1) {
+			t.Fatalf("baseline row not self-normalized: %+v", r)
+		}
+	}
+}
+
+// TestScalingShardInvariance pins the artifact-level determinism contract:
+// the full row set — per-node digests included — is identical at any shard
+// count, so thriftybench -j 1 and -j 8 emit byte-identical scaling files.
+func TestScalingShardInvariance(t *testing.T) {
+	want := ScalingExperiment(7, 64, 1)
+	for _, shards := range []int{2, 8} {
+		got := ScalingExperiment(7, 64, shards)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("shards=%d rows diverged from shards=1", shards)
+		}
+	}
+}
+
+func TestRenderScaling(t *testing.T) {
+	rows := ScalingExperiment(7, 64, 4)
+	out := RenderScaling(64, rows)
+	for _, want := range []string{"64 nodes", "tree r=4", "dissemination", "MP-Thrifty"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

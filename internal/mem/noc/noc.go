@@ -8,6 +8,7 @@ package noc
 import (
 	"fmt"
 	"math/bits"
+	"sync/atomic"
 
 	"thriftybarrier/internal/sim"
 )
@@ -56,13 +57,15 @@ func (c Config) Validate() error {
 
 // Network computes message latencies over the hypercube. It is stateless
 // apart from traffic statistics (the paper's network is modeled
-// contention-free: wormhole pipelined latency only).
+// contention-free: wormhole pipelined latency only). The statistics are
+// atomic so that the parallel engine's shards can compute latencies
+// concurrently; the latency math itself reads only immutable configuration.
 type Network struct {
 	cfg Config
 	dim int
 
-	messages uint64
-	flits    uint64
+	messages atomic.Uint64
+	flits    atomic.Uint64
 }
 
 // New builds a network, panicking on invalid static configuration.
@@ -101,8 +104,8 @@ func (n *Network) Latency(src, dst, payloadBytes int) sim.Cycles {
 	if payloadBytes > 0 {
 		flits = (payloadBytes + n.cfg.FlitBytes - 1) / n.cfg.FlitBytes
 	}
-	n.messages++
-	n.flits += uint64(flits)
+	n.messages.Add(1)
+	n.flits.Add(uint64(flits))
 	lat := 2*n.cfg.Endpoint + sim.Cycles(hops)*n.cfg.PinToPin
 	// Wormhole: body flits pipeline behind the head, adding one flit time
 	// each at the bottleneck link.
@@ -116,8 +119,20 @@ func (n *Network) MaxLatency(payloadBytes int) sim.Cycles {
 	return n.Latency(0, n.cfg.Nodes-1, payloadBytes)
 }
 
+// MinLatency returns the latency of a one-hop message of payloadBytes —
+// the smallest delay any inter-node interaction can have, and therefore the
+// lookahead floor of the parallel engine's conservative windows. It does
+// not count toward traffic statistics (no message is modeled as sent).
+func (n *Network) MinLatency(payloadBytes int) sim.Cycles {
+	flits := 1
+	if payloadBytes > 0 {
+		flits = (payloadBytes + n.cfg.FlitBytes - 1) / n.cfg.FlitBytes
+	}
+	return 2*n.cfg.Endpoint + n.cfg.PinToPin + sim.Cycles(flits-1)*n.cfg.FlitCycle
+}
+
 // Stats reports total messages and flits carried.
-func (n *Network) Stats() (messages, flits uint64) { return n.messages, n.flits }
+func (n *Network) Stats() (messages, flits uint64) { return n.messages.Load(), n.flits.Load() }
 
 func (n *Network) checkNode(id int) {
 	if id < 0 || id >= n.cfg.Nodes {

@@ -109,6 +109,9 @@ func (c Config) Validate() error {
 	if c.NoC.Nodes != c.Nodes {
 		return fmt.Errorf("mp: NoC size %d != nodes %d", c.NoC.Nodes, c.Nodes)
 	}
+	if err := c.NoC.Validate(); err != nil {
+		return err
+	}
 	if c.Combine < 0 || c.NICWake < 0 || c.MsgBytes <= 0 || c.IPC <= 0 {
 		return fmt.Errorf("mp: invalid NIC/CPU parameters in %+v", c)
 	}
@@ -203,10 +206,15 @@ type Machine struct {
 	depthLat []sim.Cycles // root-to-rank broadcast latency
 }
 
-// NewMachine assembles a cluster.
-func NewMachine(cfg Config, opts Options) *Machine {
+// NewMachine assembles a cluster. Invalid configuration is reported as an
+// error (not a panic) so that cmd front-ends can route it to their usual
+// flag-validation exit path.
+func NewMachine(cfg Config, opts Options) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
+	}
+	if err := opts.Predictor.Validate(); err != nil {
+		return nil, err
 	}
 	var model *power.Model
 	if len(opts.States) > 0 {
@@ -231,6 +239,16 @@ func NewMachine(cfg Config, opts Options) *Machine {
 	}
 	m.buildTree()
 	m.stats.Sleeps = make(map[string]int)
+	return m, nil
+}
+
+// MustNewMachine is NewMachine for tests and examples: it panics on invalid
+// configuration instead of returning an error.
+func MustNewMachine(cfg Config, opts Options) *Machine {
+	m, err := NewMachine(cfg, opts)
+	if err != nil {
+		panic(err)
+	}
 	return m
 }
 

@@ -55,8 +55,26 @@ func TestConfigValidate(t *testing.T) {
 	}
 }
 
+// TestNewMachineErrorNotPanic pins the converted constructor contract: an
+// invalid Config comes back as an error for the CLI's exit-2 path, and only
+// the Must wrapper panics.
+func TestNewMachineErrorNotPanic(t *testing.T) {
+	bad := testConfig(16)
+	bad.Fanout = 1
+	m, err := NewMachine(bad, Baseline())
+	if err == nil || m != nil {
+		t.Fatalf("NewMachine(bad) = (%v, %v), want (nil, error)", m, err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNewMachine(bad) did not panic")
+		}
+	}()
+	MustNewMachine(bad, Baseline())
+}
+
 func TestTreeShape(t *testing.T) {
-	m := NewMachine(testConfig(16), Baseline())
+	m := MustNewMachine(testConfig(16), Baseline())
 	if m.parent[0] != -1 {
 		t.Fatal("root has a parent")
 	}
@@ -90,7 +108,7 @@ func TestTreeShape(t *testing.T) {
 }
 
 func TestBaselineRunsAndSpins(t *testing.T) {
-	m := NewMachine(testConfig(8), Baseline())
+	m := MustNewMachine(testConfig(8), Baseline())
 	res := m.Run(stragglerProgram(0x1, 6, 100*sim.Microsecond, 300*sim.Microsecond))
 	if res.Stats.Episodes != 6 {
 		t.Fatalf("episodes = %d, want 6", res.Stats.Episodes)
@@ -111,8 +129,8 @@ func TestBaselineRunsAndSpins(t *testing.T) {
 
 func TestThriftySavesEnergy(t *testing.T) {
 	prog := stragglerProgram(0x1, 10, 200*sim.Microsecond, 600*sim.Microsecond)
-	base := NewMachine(testConfig(8), Baseline()).Run(prog)
-	thr := NewMachine(testConfig(8), Thrifty()).Run(prog)
+	base := MustNewMachine(testConfig(8), Baseline()).Run(prog)
+	thr := MustNewMachine(testConfig(8), Thrifty()).Run(prog)
 	n := thr.Breakdown.Normalize(base.Breakdown)
 	if n.TotalEnergy() >= 0.9 {
 		t.Fatalf("MP-Thrifty energy = %.3f, want clear savings", n.TotalEnergy())
@@ -131,9 +149,9 @@ func TestThriftySavesEnergy(t *testing.T) {
 
 func TestOracleIsBoundAndExact(t *testing.T) {
 	prog := stragglerProgram(0x1, 10, 200*sim.Microsecond, 600*sim.Microsecond)
-	base := NewMachine(testConfig(8), Baseline()).Run(prog)
-	thr := NewMachine(testConfig(8), Thrifty()).Run(prog)
-	ora := NewMachine(testConfig(8), Oracle()).Run(prog)
+	base := MustNewMachine(testConfig(8), Baseline()).Run(prog)
+	thr := MustNewMachine(testConfig(8), Thrifty()).Run(prog)
+	ora := MustNewMachine(testConfig(8), Oracle()).Run(prog)
 	nT := thr.Breakdown.Normalize(base.Breakdown)
 	nO := ora.Breakdown.Normalize(base.Breakdown)
 	if nO.TotalEnergy() > nT.TotalEnergy()+1e-9 {
@@ -146,7 +164,7 @@ func TestOracleIsBoundAndExact(t *testing.T) {
 
 func TestWarmupSpinsFirstInstance(t *testing.T) {
 	prog := stragglerProgram(0x1, 5, 100*sim.Microsecond, 400*sim.Microsecond)
-	res := NewMachine(testConfig(8), Thrifty()).Run(prog)
+	res := MustNewMachine(testConfig(8), Thrifty()).Run(prog)
 	if res.Stats.Spins < 7 {
 		t.Fatalf("spins = %d, want >= 7 (warm-up)", res.Stats.Spins)
 	}
@@ -154,7 +172,7 @@ func TestWarmupSpinsFirstInstance(t *testing.T) {
 
 func TestBRTSReconstruction(t *testing.T) {
 	prog := stragglerProgram(0x1, 8, 100*sim.Microsecond, 200*sim.Microsecond)
-	m := NewMachine(testConfig(8), Thrifty())
+	m := MustNewMachine(testConfig(8), Thrifty())
 	m.Run(prog)
 	// Every rank's accumulated BRTS equals the root's (the broadcast
 	// carries the exact BIT).
@@ -182,7 +200,7 @@ func TestSwingTriggersCutoff(t *testing.T) {
 			return base
 		}}
 	}
-	res := NewMachine(testConfig(8), Thrifty()).Run(prog)
+	res := MustNewMachine(testConfig(8), Thrifty()).Run(prog)
 	if res.Stats.Disables == 0 {
 		t.Fatalf("cut-off never fired: %+v", res.Stats)
 	}
@@ -190,15 +208,15 @@ func TestSwingTriggersCutoff(t *testing.T) {
 
 func TestDeterminism(t *testing.T) {
 	prog := stragglerProgram(0x1, 8, 150*sim.Microsecond, 450*sim.Microsecond)
-	a := NewMachine(testConfig(16), Thrifty()).Run(prog)
-	b := NewMachine(testConfig(16), Thrifty()).Run(prog)
+	a := MustNewMachine(testConfig(16), Thrifty()).Run(prog)
+	b := MustNewMachine(testConfig(16), Thrifty()).Run(prog)
 	if a.Span != b.Span || math.Abs(a.Breakdown.TotalEnergy()-b.Breakdown.TotalEnergy()) > 1e-12 {
 		t.Fatal("MP runs not deterministic")
 	}
 }
 
 func TestEmptyProgram(t *testing.T) {
-	res := NewMachine(testConfig(8), Thrifty()).Run(nil)
+	res := MustNewMachine(testConfig(8), Thrifty()).Run(nil)
 	if res.Span != 0 {
 		t.Fatal("empty program advanced time")
 	}
@@ -206,8 +224,8 @@ func TestEmptyProgram(t *testing.T) {
 
 func TestScalesTo64(t *testing.T) {
 	prog := stragglerProgram(0x1, 6, 200*sim.Microsecond, 500*sim.Microsecond)
-	base := NewMachine(testConfig(64), Baseline()).Run(prog)
-	thr := NewMachine(testConfig(64), Thrifty()).Run(prog)
+	base := MustNewMachine(testConfig(64), Baseline()).Run(prog)
+	thr := MustNewMachine(testConfig(64), Thrifty()).Run(prog)
 	n := thr.Breakdown.Normalize(base.Breakdown)
 	if n.TotalEnergy() >= 1 {
 		t.Fatalf("64-node MP-Thrifty energy %.3f", n.TotalEnergy())
@@ -230,7 +248,7 @@ func TestAlgorithmString(t *testing.T) {
 }
 
 func TestDisseminationRunsAndSynchronizes(t *testing.T) {
-	m := NewMachine(dissemConfig(16), Baseline())
+	m := MustNewMachine(dissemConfig(16), Baseline())
 	res := m.Run(stragglerProgram(0x1, 6, 100*sim.Microsecond, 300*sim.Microsecond))
 	if res.Stats.Episodes != 6 {
 		t.Fatalf("episodes = %d, want 6", res.Stats.Episodes)
@@ -243,7 +261,7 @@ func TestDisseminationRunsAndSynchronizes(t *testing.T) {
 func TestDisseminationCompletionSkewBounded(t *testing.T) {
 	// Every rank's completion lands within a couple of message latencies
 	// of every other's — the collective really did synchronize.
-	mD := NewMachine(dissemConfig(64), Baseline())
+	mD := MustNewMachine(dissemConfig(64), Baseline())
 	prog := stragglerProgram(0x1, 2, 100*sim.Microsecond, 200*sim.Microsecond)
 	mD.Run(prog)
 	lo, hi := sim.MaxCycles, sim.Cycles(0)
@@ -262,8 +280,8 @@ func TestDisseminationCompletionSkewBounded(t *testing.T) {
 
 func TestDisseminationThriftySaves(t *testing.T) {
 	prog := stragglerProgram(0x1, 10, 200*sim.Microsecond, 600*sim.Microsecond)
-	base := NewMachine(dissemConfig(16), Baseline()).Run(prog)
-	thr := NewMachine(dissemConfig(16), Thrifty()).Run(prog)
+	base := MustNewMachine(dissemConfig(16), Baseline()).Run(prog)
+	thr := MustNewMachine(dissemConfig(16), Thrifty()).Run(prog)
 	n := thr.Breakdown.Normalize(base.Breakdown)
 	if n.TotalEnergy() >= 0.9 {
 		t.Fatalf("dissemination thrifty energy = %.3f", n.TotalEnergy())
@@ -279,8 +297,8 @@ func TestDisseminationVsTreeLatency(t *testing.T) {
 	// factor, and dissemination must not be slower than the tree's
 	// up-plus-down path at 64 nodes.
 	prog := stragglerProgram(0x1, 5, 100*sim.Microsecond, 0)
-	tree := NewMachine(testConfig(64), Baseline()).Run(prog)
-	diss := NewMachine(dissemConfig(64), Baseline()).Run(prog)
+	tree := MustNewMachine(testConfig(64), Baseline()).Run(prog)
+	diss := MustNewMachine(dissemConfig(64), Baseline()).Run(prog)
 	if diss.Span > tree.Span {
 		t.Fatalf("dissemination span %v slower than tree %v", diss.Span, tree.Span)
 	}
@@ -288,8 +306,8 @@ func TestDisseminationVsTreeLatency(t *testing.T) {
 
 func TestDisseminationDeterminism(t *testing.T) {
 	prog := stragglerProgram(0x1, 8, 150*sim.Microsecond, 450*sim.Microsecond)
-	a := NewMachine(dissemConfig(16), Thrifty()).Run(prog)
-	b := NewMachine(dissemConfig(16), Thrifty()).Run(prog)
+	a := MustNewMachine(dissemConfig(16), Thrifty()).Run(prog)
+	b := MustNewMachine(dissemConfig(16), Thrifty()).Run(prog)
 	if a.Span != b.Span || math.Abs(a.Breakdown.TotalEnergy()-b.Breakdown.TotalEnergy()) > 1e-12 {
 		t.Fatal("dissemination runs not deterministic")
 	}
@@ -297,7 +315,7 @@ func TestDisseminationDeterminism(t *testing.T) {
 
 func TestDisseminationBRTSReconstruction(t *testing.T) {
 	prog := stragglerProgram(0x1, 8, 100*sim.Microsecond, 200*sim.Microsecond)
-	m := NewMachine(dissemConfig(8), Thrifty())
+	m := MustNewMachine(dissemConfig(8), Thrifty())
 	m.Run(prog)
 	for r := 1; r < 8; r++ {
 		if m.brts[r] != m.brts[0] {
@@ -314,7 +332,7 @@ func TestMPAccountingConservation(t *testing.T) {
 		for _, alg := range []Algorithm{TreeBarrier, DisseminationBarrier} {
 			cfg := testConfig(16)
 			cfg.Algorithm = alg
-			res := NewMachine(cfg, opts).Run(prog)
+			res := MustNewMachine(cfg, opts).Run(prog)
 			total := res.Breakdown.TotalTime()
 			// Allow one NIC-wake window per wait of boundary slop: span is
 			// the max *departure*, while the last accounting interval of a

@@ -117,8 +117,8 @@ type entry struct {
 	wcount   int
 	ewma     float64
 	conf     uint8
-	disabled uint64 // per-thread disable bits (≤64 threads)
-	_        [48]byte
+	disabled []uint64 // per-thread disable bitset, grown on demand
+	_        [32]byte
 }
 
 // Table is a PC-indexed predictor table.
@@ -263,25 +263,38 @@ func (t *Table) Update(pc uint64, actual sim.Cycles) bool {
 
 // Disable sets the overprediction cut-off bit for thread on pc's entry:
 // future Enabled checks for that (thread, barrier) pair report false, and
-// the thread falls back to spinning there (§3.3.3).
+// the thread falls back to spinning there (§3.3.3). The bitset grows on
+// demand, so thread counts are unbounded (the 1024-node scaling study needs
+// well past the former 64-bit word).
 func (t *Table) Disable(pc uint64, thread int) {
-	if thread < 0 || thread >= 64 {
-		panic(fmt.Sprintf("predict: thread %d out of range [0,64)", thread))
+	if thread < 0 {
+		panic(fmt.Sprintf("predict: negative thread %d", thread))
 	}
 	e := t.entryFor(pc)
-	if e.disabled&(1<<uint(thread)) == 0 {
-		e.disabled |= 1 << uint(thread)
+	w, bit := thread/64, uint64(1)<<uint(thread%64)
+	for len(e.disabled) <= w {
+		e.disabled = append(e.disabled, 0)
+	}
+	if e.disabled[w]&bit == 0 {
+		e.disabled[w] |= bit
 		t.disables++
 	}
 }
 
 // Enabled reports whether prediction is still allowed for thread at pc.
 func (t *Table) Enabled(pc uint64, thread int) bool {
-	if thread < 0 || thread >= 64 {
-		panic(fmt.Sprintf("predict: thread %d out of range [0,64)", thread))
+	if thread < 0 {
+		panic(fmt.Sprintf("predict: negative thread %d", thread))
 	}
 	e := t.entries[pc]
-	return e == nil || e.disabled&(1<<uint(thread)) == 0
+	if e == nil {
+		return true
+	}
+	w := thread / 64
+	if w >= len(e.disabled) {
+		return true
+	}
+	return e.disabled[w]&(uint64(1)<<uint(thread%64)) == 0
 }
 
 // Stats reports table activity: prediction hits and cold misses, applied

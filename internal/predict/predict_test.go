@@ -147,10 +147,36 @@ func TestThreadRangePanics(t *testing.T) {
 	tab := NewTable(DefaultConfig())
 	defer func() {
 		if recover() == nil {
-			t.Error("thread 64 did not panic")
+			t.Error("negative thread did not panic")
 		}
 	}()
-	tab.Disable(1, 64)
+	tab.Disable(1, -1)
+}
+
+// TestDisableBeyondWord64 pins the bitset growth: the cut-off must work for
+// thread indices past the first 64-bit word (the former hard limit), which
+// the 256/1024-node scaling runs exercise for real.
+func TestDisableBeyondWord64(t *testing.T) {
+	tab := NewTable(DefaultConfig())
+	for _, th := range []int{63, 64, 100, 1023} {
+		if !tab.Enabled(1, th) {
+			t.Fatalf("thread %d disabled before any cut-off", th)
+		}
+		tab.Disable(1, th)
+		if tab.Enabled(1, th) {
+			t.Fatalf("Disable(%d) had no effect", th)
+		}
+	}
+	if !tab.Enabled(1, 65) {
+		t.Fatal("Disable leaked to a neighboring thread across the word boundary")
+	}
+	if !tab.Enabled(1, 2048) {
+		t.Fatal("thread beyond the grown bitset should default to enabled")
+	}
+	_, _, _, _, disables := tab.Stats()
+	if disables != 4 {
+		t.Fatalf("disables = %d, want 4", disables)
+	}
 }
 
 func TestNegativeIntervalPanics(t *testing.T) {

@@ -20,18 +20,23 @@ func makeHandle(slot int32, gen uint32) Handle {
 // event is one arena slot. Slots are recycled through the free-list; gen
 // counts recycles so stale Handles can be rejected in O(1).
 type event struct {
-	when Cycles
-	seq  uint64
-	fn   func()
-	gen  uint32
-	pos  int32 // index in the heap; -1 once fired or cancelled
+	when  Cycles
+	order uint64
+	seq   uint64
+	fn    func()
+	gen   uint32
+	pos   int32 // index in the heap; -1 once fired or cancelled
 }
 
 // Engine is a deterministic discrete-event simulator. Events fire in
-// (time, sequence) order; sequence is assigned at scheduling time, so two
-// events scheduled for the same cycle fire in the order they were
-// scheduled. This makes runs bit-reproducible, which the tests and the
-// calibration harness rely on.
+// (time, order, sequence) order; the order key is 0 for the sequential API
+// (At, After) and sequence is assigned at scheduling time, so two events
+// scheduled for the same cycle fire in the order they were scheduled —
+// exactly the historical (time, sequence) behaviour. This makes runs
+// bit-reproducible, which the tests and the calibration harness rely on.
+// Model-supplied order keys (AtOrdered) exist for the parallel engine,
+// whose cross-shard determinism needs a tie-break that does not depend on
+// message delivery timing.
 //
 // The queue is an index-based 4-ary min-heap over a flat event arena with a
 // free-list: scheduling and firing are allocation-free in steady state
@@ -50,10 +55,22 @@ type Engine struct {
 	seq     uint64
 	events  []event // arena; Handles and the heap index into it
 	free    []int32 // recycled arena slots
-	heap    []int32 // 4-ary min-heap of arena slots, ordered by (when, seq)
+	heap    []int32 // 4-ary min-heap of arena slots, ordered by (when, order, seq)
 	stopped bool
 	fired   uint64
+	retired uint64 // slots permanently withdrawn after generation wrap
 }
+
+// MaxArenaSlots is the hard capacity of the event arena. Slots are indexed
+// by int32 in the heap and in the Handle encoding (slot+1 in the high
+// word), so an Engine can hold at most this many simultaneously pending
+// events; one more schedule panics loudly instead of wrapping the index
+// and silently corrupting the heap.
+const MaxArenaSlots = 1<<31 - 2
+
+// maxArenaSlots is MaxArenaSlots, lowered by boundary tests that cannot
+// afford to allocate 2^31 real events.
+var maxArenaSlots = MaxArenaSlots
 
 // NewEngine returns an engine with the clock at cycle zero and an empty
 // event queue.
@@ -74,19 +91,42 @@ func (e *Engine) Pending() int { return len(e.heap) }
 // panics: the simulator has no mechanism for retroactive causality, so such
 // a call is always a modeling bug.
 func (e *Engine) At(when Cycles, fn func()) Handle {
+	return e.AtOrdered(when, 0, fn)
+}
+
+// AtOrdered schedules fn at absolute cycle when with an explicit order
+// key: events fire in (when, order, seq) order. The sequential API (At,
+// After) passes order 0, so its same-cycle ties still resolve by
+// scheduling sequence. The parallel engine's models pass unique order
+// keys, making the firing order — and therefore the whole run —
+// independent of when a cross-shard message happened to be merged into
+// the destination queue.
+//
+// It panics, with the limit in the message, when the arena is full
+// (MaxArenaSlots pending events) or the scheduling sequence counter is
+// exhausted: both are unrecoverable capacity overflows that previously
+// wrapped silently and corrupted the firing order.
+func (e *Engine) AtOrdered(when Cycles, order uint64, fn func()) Handle {
 	if when < e.now {
 		panic(fmt.Sprintf("sim: event scheduled at %d, before now %d", when, e.now))
+	}
+	if e.seq == ^uint64(0) {
+		panic("sim: event sequence counter exhausted (2^64-1 events scheduled on one Engine)")
 	}
 	var slot int32
 	if n := len(e.free); n > 0 {
 		slot = e.free[n-1]
 		e.free = e.free[:n-1]
 	} else {
+		if len(e.events) >= maxArenaSlots {
+			panic(fmt.Sprintf("sim: event arena full (%d pending events; limit %d slots)",
+				len(e.heap), maxArenaSlots))
+		}
 		e.events = append(e.events, event{})
 		slot = int32(len(e.events) - 1)
 	}
 	ev := &e.events[slot]
-	ev.when, ev.seq, ev.fn = when, e.seq, fn
+	ev.when, ev.order, ev.seq, ev.fn = when, order, e.seq, fn
 	e.seq++
 	ev.pos = int32(len(e.heap))
 	e.heap = append(e.heap, slot)
@@ -144,10 +184,22 @@ func (e *Engine) lookup(h Handle) *event {
 // release retires an arena slot: the generation bump invalidates every
 // outstanding Handle to it, the callback is dropped (so the arena does not
 // pin closures), and the slot rejoins the free-list.
+//
+// When the 32-bit generation tag wraps (after 2^32 recycles of one slot),
+// a Handle minted an entire generation cycle ago would alias the slot's
+// next occupant. The slot is withdrawn permanently instead of rejoining
+// the free-list: pos stays -1, so every outstanding Handle to it is
+// correctly stale. The arena leaks one slot per 2^32 recycles of that
+// slot; if that ever exhausts the arena, the capacity guard in AtOrdered
+// fails loudly rather than silently misordering events.
 func (e *Engine) release(ev *event, slot int32) {
 	ev.gen++
 	ev.fn = nil
 	ev.pos = -1
+	if ev.gen == 0 {
+		e.retired++
+		return
+	}
 	e.free = append(e.free, slot)
 }
 
@@ -194,18 +246,43 @@ func (e *Engine) RunUntil(deadline Cycles) Cycles {
 // callback completes.
 func (e *Engine) Stop() { e.stopped = true }
 
-// --- 4-ary heap over e.heap, ordered by (when, seq) ---
+// PeekWhen reports the timestamp of the earliest pending event. ok is
+// false when the queue is empty. The parallel engine uses it to compute
+// the global lower time bound across shards.
+func (e *Engine) PeekWhen() (when Cycles, ok bool) {
+	if len(e.heap) == 0 {
+		return 0, false
+	}
+	return e.events[e.heap[0]].when, true
+}
+
+// runBefore fires events with timestamps strictly before end. Unlike
+// RunUntil it leaves the clock at the last fired event rather than
+// advancing it to end: a parallel-engine shard may later receive
+// cross-shard events timed inside a later window that starts before end.
+func (e *Engine) runBefore(end Cycles) {
+	for len(e.heap) > 0 && e.events[e.heap[0]].when < end {
+		e.Step()
+	}
+}
+
+// --- 4-ary heap over e.heap, ordered by (when, order, seq) ---
 
 const heapArity = 4
 
-// less orders two arena slots by (when, seq). seq is unique, so the order
-// is total and the firing sequence is independent of heap shape — the
-// property that keeps every run byte-identical to the old binary
-// container/heap implementation.
+// less orders two arena slots by (when, order, seq). seq is unique, so the
+// order is total and the firing sequence is independent of heap shape —
+// the property that keeps every run byte-identical to the old binary
+// container/heap implementation. Sequentially scheduled events all carry
+// order 0, so for them the comparison reduces to the historical
+// (when, seq).
 func (e *Engine) less(a, b int32) bool {
 	ea, eb := &e.events[a], &e.events[b]
 	if ea.when != eb.when {
 		return ea.when < eb.when
+	}
+	if ea.order != eb.order {
+		return ea.order < eb.order
 	}
 	return ea.seq < eb.seq
 }

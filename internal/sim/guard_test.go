@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// mustPanic runs fn and asserts it panics with a message containing want.
+func mustPanic(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q, got none", want)
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("expected string panic, got %T: %v", r, r)
+		}
+		if !strings.Contains(msg, want) {
+			t.Fatalf("panic %q does not contain %q", msg, want)
+		}
+	}()
+	fn()
+}
+
+// TestArenaCapacityGuard pins the satellite-1 overflow fix: the arena is
+// indexed by int32, and filling it must fail loudly (with the limit in the
+// message) instead of wrapping the slot index. The real limit is 2^31-2
+// slots, which no test can afford to allocate, so the boundary is driven
+// through the package-level override.
+func TestArenaCapacityGuard(t *testing.T) {
+	old := maxArenaSlots
+	maxArenaSlots = 4
+	defer func() { maxArenaSlots = old }()
+
+	e := NewEngine()
+	fn := func() {}
+	for i := 0; i < 4; i++ {
+		e.After(Cycles(i+1), fn)
+	}
+	if got := e.Pending(); got != 4 {
+		t.Fatalf("pending = %d, want 4", got)
+	}
+	mustPanic(t, "event arena full", func() { e.After(10, fn) })
+	mustPanic(t, "limit 4 slots", func() { e.After(10, fn) })
+
+	// Freeing a slot makes scheduling possible again: the guard is a
+	// capacity check, not a one-way trip.
+	e.Step()
+	h := e.After(10, fn)
+	if _, ok := e.When(h); !ok {
+		t.Fatalf("schedule after free-list refill failed")
+	}
+}
+
+// TestSeqOverflowGuard pins the companion guard: the (when, order, seq)
+// total order assumes seq never wraps, so exhausting the 64-bit sequence
+// counter must panic rather than silently misorder same-cycle events.
+func TestSeqOverflowGuard(t *testing.T) {
+	e := NewEngine()
+	e.seq = ^uint64(0) // 2^64-1 events from now on a real run
+	mustPanic(t, "sequence counter exhausted", func() { e.After(1, func() {}) })
+}
+
+// TestGenerationWrapRetiresSlot pins the ABA boundary: after 2^32 recycles
+// of one arena slot the generation tag wraps, and a Handle minted a full
+// cycle ago would alias the next occupant. The slot must be withdrawn from
+// the free-list instead of being reused.
+func TestGenerationWrapRetiresSlot(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+
+	// Occupy and free slot 0 once so it is on the free-list, then set its
+	// generation to the wrap boundary.
+	e.Cancel(e.After(5, fn))
+	if len(e.free) != 1 {
+		t.Fatalf("free-list = %d slots, want 1", len(e.free))
+	}
+	e.events[0].gen = ^uint32(0)
+
+	// Reuse the slot at the last valid generation, then cancel: the bump
+	// wraps to zero and the slot must retire instead of rejoining the
+	// free-list.
+	h := e.After(5, fn)
+	if !e.Cancel(h) {
+		t.Fatalf("cancel of live handle failed")
+	}
+	if len(e.free) != 0 {
+		t.Fatalf("wrapped slot rejoined the free-list")
+	}
+	if e.retired != 1 {
+		t.Fatalf("retired = %d, want 1", e.retired)
+	}
+
+	// The stale pre-wrap handle must stay invalid, and new scheduling must
+	// allocate a fresh slot rather than resurrecting the retired one.
+	if e.Cancel(h) {
+		t.Fatalf("stale handle cancelled after generation wrap")
+	}
+	h2 := e.After(7, fn)
+	if slot := int32(h2.ref>>32) - 1; slot == 0 {
+		t.Fatalf("retired slot was reused")
+	}
+	if _, ok := e.When(h2); !ok {
+		t.Fatalf("scheduling after retirement failed")
+	}
+}
+
+// TestAtOrderedTieBreak pins the extended comparator: same-cycle events
+// fire by ascending order key, and equal keys fall back to scheduling
+// sequence (the historical behaviour for the order-0 sequential API).
+func TestAtOrderedTieBreak(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	log := func(id int) func() { return func() { got = append(got, id) } }
+	e.AtOrdered(10, 3, log(3))
+	e.AtOrdered(10, 1, log(1))
+	e.AtOrdered(10, 2, log(2))
+	e.AtOrdered(5, 9, log(0))
+	e.AtOrdered(10, 1|1<<32, log(4)) // higher key, same low word
+	e.Run()
+	want := []int{0, 1, 2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// ringTrace runs the synthetic workload the determinism tests share: tokens
+// circulating around a ring of logical ranks, each hop one lookahead ahead
+// of the previous one, ranks block-mapped onto shards the way mp block-maps
+// nodes. Every fire appends (when, token) to the owning rank's log; the
+// per-rank logs are the observable the golden-reference policy promises is
+// shard-count-invariant.
+//
+// Order keys follow the production rule: a per-source-rank counter packed
+// under the rank, unique per destination and derived from simulation state
+// only.
+func ringTrace(ranks, tokens, hops, shards int, lookahead Cycles) ([][]uint64, *ParallelEngine) {
+	pe := NewParallelEngine(shards, lookahead)
+	owner := make([]int, ranks)
+	for r := range owner {
+		owner[r] = r * shards / ranks
+	}
+	logs := make([][]uint64, ranks)
+	counter := make([]uint32, ranks) // counter[r] touched only by rank r's events
+	order := func(r int) uint64 {
+		counter[r]++
+		if counter[r] == 0 {
+			panic("test: order counter wrapped")
+		}
+		return uint64(r)<<32 | uint64(counter[r])
+	}
+	var hop func(token, r, left int) func()
+	hop = func(token, r, left int) func() {
+		return func() {
+			s := pe.Shard(owner[r])
+			now := s.Now()
+			logs[r] = append(logs[r], uint64(now)<<16|uint64(token))
+			if left == 0 {
+				return
+			}
+			next := (r + 1) % ranks
+			when := now + lookahead
+			o := order(r)
+			fn := hop(token, next, left-1)
+			if owner[next] == owner[r] {
+				s.At(when, o, fn)
+			} else {
+				s.Post(owner[next], when, o, fn)
+			}
+		}
+	}
+	for k := 0; k < tokens; k++ {
+		r := k % ranks
+		pe.Shard(owner[r]).At(Cycles(k+1), order(r), hop(k, r, hops))
+	}
+	pe.Run()
+	return logs, pe
+}
+
+// ringTraceSequential is the same workload run on a plain Engine — the
+// pre-parallel golden reference.
+func ringTraceSequential(ranks, tokens, hops int, lookahead Cycles) [][]uint64 {
+	e := NewEngine()
+	logs := make([][]uint64, ranks)
+	counter := make([]uint32, ranks)
+	order := func(r int) uint64 {
+		counter[r]++
+		return uint64(r)<<32 | uint64(counter[r])
+	}
+	var hop func(token, r, left int) func()
+	hop = func(token, r, left int) func() {
+		return func() {
+			now := e.Now()
+			logs[r] = append(logs[r], uint64(now)<<16|uint64(token))
+			if left == 0 {
+				return
+			}
+			next := (r + 1) % ranks
+			e.AtOrdered(now+lookahead, order(r), hop(token, next, left-1))
+		}
+	}
+	for k := 0; k < tokens; k++ {
+		r := k % ranks
+		e.AtOrdered(Cycles(k+1), order(r), hop(k, r, hops))
+	}
+	e.Run()
+	return logs
+}
+
+func diffLogs(t *testing.T, want, got [][]uint64, label string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d ranks, want %d", label, len(got), len(want))
+	}
+	for r := range want {
+		if len(want[r]) != len(got[r]) {
+			t.Fatalf("%s: rank %d fired %d events, want %d", label, r, len(got[r]), len(want[r]))
+		}
+		for i := range want[r] {
+			if want[r][i] != got[r][i] {
+				t.Fatalf("%s: rank %d event %d = %#x, want %#x",
+					label, r, i, got[r][i], want[r][i])
+			}
+		}
+	}
+}
+
+// TestParallelMatchesSequentialSingleShard pins the golden-reference
+// policy: a one-shard ParallelEngine produces exactly the trace a plain
+// sequential Engine produces for the same model.
+func TestParallelMatchesSequentialSingleShard(t *testing.T) {
+	const ranks, tokens, hops = 8, 8, 40
+	const lookahead = Cycles(48)
+	want := ringTraceSequential(ranks, tokens, hops, lookahead)
+	got, pe := ringTrace(ranks, tokens, hops, 1, lookahead)
+	diffLogs(t, want, got, "1 shard vs sequential")
+	if wantFired := uint64(tokens * (hops + 1)); pe.Fired() != wantFired {
+		t.Fatalf("fired %d events, want %d", pe.Fired(), wantFired)
+	}
+	if pe.Pending() != 0 {
+		t.Fatalf("%d events left pending", pe.Pending())
+	}
+}
+
+// TestParallelDeterminismAcrossShardCounts pins the tentpole contract: the
+// per-rank trace is byte-identical at every shard count, so a single-shard
+// run is a valid golden reference for any -j.
+func TestParallelDeterminismAcrossShardCounts(t *testing.T) {
+	const ranks, tokens, hops = 16, 16, 60
+	const lookahead = Cycles(48)
+	want, _ := ringTrace(ranks, tokens, hops, 1, lookahead)
+	for _, shards := range []int{2, 3, 4, 8, 16} {
+		got, pe := ringTrace(ranks, tokens, hops, shards, lookahead)
+		diffLogs(t, want, got, fmt.Sprintf("%d shards vs 1", shards))
+		if pe.Pending() != 0 {
+			t.Fatalf("%d shards: %d events left pending", shards, pe.Pending())
+		}
+		if shards > 1 && pe.Posted() == 0 {
+			t.Fatalf("%d shards: no cross-shard messages — workload not exercising the merge path", shards)
+		}
+	}
+}
+
+// TestPostLookaheadViolation pins the conservative invariant's failure
+// mode: a cross-shard message timed inside the executing window must panic
+// (the model lied about its lookahead), not silently fire out of order.
+func TestPostLookaheadViolation(t *testing.T) {
+	pe := NewParallelEngine(2, 10)
+	s0 := pe.Shard(0)
+	s0.At(5, 1, func() {
+		s0.Post(1, 6, 2, func() {}) // window is [5,15); 6 < 15 violates
+	})
+	mustPanic(t, "lookahead violation", func() { pe.Run() })
+}
+
+// TestPostOutOfRange pins the destination-shard bounds check.
+func TestPostOutOfRange(t *testing.T) {
+	pe := NewParallelEngine(2, 10)
+	s0 := pe.Shard(0)
+	s0.At(5, 1, func() {
+		s0.Post(2, 100, 2, func() {})
+	})
+	mustPanic(t, "out of range", func() { pe.Run() })
+}
+
+// TestParallelEngineStop checks Stop halts at a window boundary and leaves
+// a consistent cut: no window in flight, later work still queued.
+func TestParallelEngineStop(t *testing.T) {
+	pe := NewParallelEngine(2, 10)
+	var tick func(s *EngineShard, when Cycles, n int) func()
+	tick = func(s *EngineShard, when Cycles, n int) func() {
+		return func() {
+			if n == 3 {
+				pe.Stop()
+			}
+			s.At(when+10, 1, tick(s, when+10, n+1))
+		}
+	}
+	pe.Shard(0).At(0, 1, tick(pe.Shard(0), 0, 1))
+	pe.Shard(1).At(0, 1, tick(pe.Shard(1), 0, 1))
+	pe.Run()
+	if pe.Fired() == 0 || pe.Pending() == 0 {
+		t.Fatalf("fired %d, pending %d; want a partial run with queued work", pe.Fired(), pe.Pending())
+	}
+	// Resuming picks up where the cut left off and drains nothing new wrong:
+	// the next Run must start at the stopped window, not re-fire anything.
+	before := pe.Fired()
+	pe.Shard(0).At(pe.Now()+100, 2, func() { pe.Stop() })
+	pe.Run()
+	if pe.Fired() <= before {
+		t.Fatalf("resume fired nothing")
+	}
+}
+
+// TestNewParallelEngineValidation pins the constructor guards.
+func TestNewParallelEngineValidation(t *testing.T) {
+	mustPanic(t, ">= 1 shard", func() { NewParallelEngine(0, 10) })
+	mustPanic(t, "positive lookahead", func() { NewParallelEngine(1, 0) })
+}
+
+// TestParallelMaxCyclesSentinel covers the overflow clamp: events parked at
+// MaxCycles (the "never" sentinel some models use) must still fire rather
+// than livelock the window loop, whose exclusive end cannot exceed the
+// sentinel.
+func TestParallelMaxCyclesSentinel(t *testing.T) {
+	pe := NewParallelEngine(2, 10)
+	fired := 0
+	pe.Shard(0).At(MaxCycles, 1, func() { fired++ })
+	pe.Shard(1).At(MaxCycles, 1, func() { fired++ })
+	pe.Run()
+	if fired != 2 {
+		t.Fatalf("fired %d sentinel events, want 2", fired)
+	}
+}

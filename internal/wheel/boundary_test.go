@@ -1,0 +1,100 @@
+package wheel
+
+import (
+	"testing"
+)
+
+// TestHorizonBoundaryCascade pins the overflow-bucket rescue at the exact
+// revolution and horizon boundaries, tick by tick. With Slots0=8, Slots1=4
+// a revolution is 8 ticks and the two-level horizon is 32; the boundary
+// arithmetic in advance() (overflow re-sort first, then the level-1
+// cascade, then slot 0) is exactly what this schedule exercises:
+//
+//   - due 8: fires on a revolution boundary (slot 0 of the next revolution)
+//   - due 31: level-1 at arm, cascades at the tick-24 boundary, fires on
+//     the last tick before the horizon
+//   - due 32: overflow at arm (rev = 4 >= Slots1); the tick-32 horizon
+//     re-sort must land it in slot 0 and fire it the same tick — the
+//     ordering bug this test exists to catch is firing slot 0 before the
+//     overflow rescue, which would delay it a full revolution
+//   - due 33: overflow at arm, re-sorted at 32 into level 0, fires at 33
+//   - due 40: the full bounce — overflow at arm, level-1 after the tick-32
+//     re-sort, level-0 after the tick-40 cascade, fires at 40
+//   - due 64: survives one horizon re-sort still in overflow (rev = 4 at
+//     ref 32), lands in slot 0 at the second, fires at 64
+//
+// The wheel must fire each entry exactly at its due tick: never early
+// (the Arm contract), and never a revolution late (a mis-ordered rescue).
+func TestHorizonBoundaryCascade(t *testing.T) {
+	w := testWheel(t, Config{Slots0: 8, Slots1: 4, Shards: 1})
+
+	dues := []uint64{8, 31, 32, 33, 40, 64}
+	byCh := map[chan<- struct{}]uint64{}
+	for _, due := range dues {
+		ch := make(chan struct{}, 1)
+		if h := w.Arm(w.at(due), ch); h == (Handle{}) {
+			t.Fatalf("due %d: future arm fired immediately", due)
+		}
+		byCh[ch] = due
+	}
+
+	firedAt := map[uint64]uint64{} // due tick -> actual fire tick
+	for now := uint64(1); now <= 70; now++ {
+		fires, _ := w.advanceTo(now)
+		for _, f := range fires {
+			due, ok := byCh[f.ch]
+			if !ok {
+				t.Fatalf("tick %d: fire on unknown channel", now)
+			}
+			if prev, dup := firedAt[due]; dup {
+				t.Fatalf("tick %d: entry due %d fired twice (first at %d)", now, due, prev)
+			}
+			firedAt[due] = now
+		}
+	}
+
+	for _, due := range dues {
+		got, ok := firedAt[due]
+		if !ok {
+			t.Fatalf("entry due %d never fired (lost in a cascade)", due)
+		}
+		if got != due {
+			t.Fatalf("entry due %d fired at tick %d", due, got)
+		}
+	}
+	if got := w.Stats().Armed; got != 0 {
+		t.Fatalf("%d entries still armed after the sweep", got)
+	}
+}
+
+// TestHorizonBoundarySingleStep repeats the horizon rescue with one giant
+// catch-up advance instead of tick-by-tick stepping: a ticker that slept
+// through several boundaries must replay them in order, still firing every
+// entry at its recorded due tick.
+func TestHorizonBoundarySingleStep(t *testing.T) {
+	w := testWheel(t, Config{Slots0: 8, Slots1: 4, Shards: 1})
+
+	dues := []uint64{8, 31, 32, 33, 40, 64}
+	byCh := map[chan<- struct{}]uint64{}
+	for _, due := range dues {
+		ch := make(chan struct{}, 1)
+		w.Arm(w.at(due), ch)
+		byCh[ch] = due
+	}
+
+	fires, _ := w.advanceTo(70)
+	if len(fires) != len(dues) {
+		t.Fatalf("catch-up fired %d entries, want %d", len(fires), len(dues))
+	}
+	var last uint64
+	for i, f := range fires {
+		due := byCh[f.ch]
+		if f.due != due {
+			t.Fatalf("fire %d: recorded due %d, armed for %d", i, f.due, due)
+		}
+		if f.due < last {
+			t.Fatalf("fire %d: out of order (due %d after %d)", i, f.due, last)
+		}
+		last = f.due
+	}
+}
