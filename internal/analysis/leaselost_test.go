@@ -1,0 +1,21 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"thriftybarrier/internal/analysis/analysistest"
+	"thriftybarrier/internal/analysis/lockedwait"
+	"thriftybarrier/internal/analysis/waketimer"
+)
+
+// The leaselost fixture holds the remote client library's wait,
+// heartbeat and reconnect shapes — ticker-driven lease keeping,
+// sleep-quanta release polling, detached lease watchdog, unlock-before-
+// wait — and must stay CLEAN under both wake-path analyzers. If either
+// analyzer grows a rule these idioms trip, the client library (which is
+// in waketimer scope via the thriftybarrier/thrifty prefix) breaks with
+// it; this test surfaces that before thriftyvet does.
+func TestLeaseLostShapesStayClean(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), waketimer.Analyzer, "leaselost")
+	analysistest.Run(t, analysistest.TestData(), lockedwait.Analyzer, "leaselost")
+}

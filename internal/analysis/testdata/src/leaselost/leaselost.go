@@ -1,0 +1,103 @@
+// Golden CLEAN cases for the waketimer and lockedwait analyzers,
+// mirroring the wait/heartbeat/reconnect shapes of the remote client
+// library (thrifty/client). The package imports the wheel, so it is in
+// waketimer's scope; every pattern here must produce zero findings —
+// this fixture is the regression net that keeps the lease-keeping and
+// release-polling idioms expressible without raw per-waiter timers or
+// parked-holding-a-lock hazards.
+package leaselost
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"thriftybarrier/internal/wheel"
+	"thriftybarrier/thrifty"
+)
+
+// heartbeatLoop keeps a lease alive the way the client library does: a
+// ticker, not a rearmed time.NewTimer. Tickers are one runtime timer for
+// the loop's whole lifetime, so they do not reintroduce the per-wake
+// heap traffic the wheel exists to avoid.
+func heartbeatLoop(send func() error, every time.Duration, done chan struct{}) {
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			if err := send(); err != nil {
+				return
+			}
+		case <-done:
+			return
+		}
+	}
+}
+
+// pollRelease waits out a server sleep directive in bounded time.Sleep
+// quanta — the client-side analog of the paper's timed park — rather
+// than a single time.After the lease watchdog could never interrupt.
+func pollRelease(released func() bool, poll time.Duration, done chan struct{}) bool {
+	for !released() {
+		select {
+		case <-done:
+			return false
+		default:
+		}
+		time.Sleep(poll)
+	}
+	return true
+}
+
+// reconnectBackoff sleeps between redial attempts; plain time.Sleep on a
+// goroutine that holds nothing is exactly what the discipline asks for.
+func reconnectBackoff(attempt int, base time.Duration) {
+	if attempt > 8 {
+		attempt = 8
+	}
+	time.Sleep(base << uint(attempt))
+}
+
+// leaseWatchdog is the sanctioned detached-timer shape: time.AfterFunc
+// fires the lease-lost path even when the wheel itself is wedged, and
+// waketimer deliberately leaves it alone.
+func leaseWatchdog(lease time.Duration, onLost func()) *time.Timer {
+	return time.AfterFunc(lease, onLost)
+}
+
+// wheelPark arms the internal wake-up through the wheel, the engine this
+// package opted into by importing it.
+func wheelPark(w *wheel.Wheel, d time.Duration, ch chan struct{}) {
+	h := w.Arm(d, ch)
+	if !w.Cancel(h) {
+		<-ch
+	}
+}
+
+type session struct {
+	mu      sync.Mutex
+	epoch   uint64
+	barrier *thrifty.Barrier
+}
+
+// waitEpoch snapshots connection state under the lock and releases it
+// BEFORE parking at the barrier — the unlock-before-wait ordering
+// lockedwait enforces, as the client library's Wait path does.
+func (s *session) waitEpoch(ctx context.Context) error {
+	s.mu.Lock()
+	s.epoch++
+	b := s.barrier
+	s.mu.Unlock()
+	return b.WaitContext(ctx)
+}
+
+// recordRelease shows the inverse interleaving is fine too: the wait
+// completes first, and only then is the lock taken to publish the
+// outcome.
+func (s *session) recordRelease() {
+	s.barrier.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.epoch++
+}

@@ -1,0 +1,214 @@
+package fault
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Transport fault kinds. They live in their own numbering space (salted
+// differently from the Plan kinds by the Source base mixing), but keep
+// distinct values anyway so a future shared consumer cannot collide.
+const (
+	kindConnDrop uint64 = iota + 16
+	kindConnDelay
+	kindConnDup
+	kindConnPartition
+	kindConnMidClose
+)
+
+// ConnPlan describes which transport faults to inject on wrapped
+// connections and how often. Like Plan, the zero value (or a nil
+// *ConnPlan) injects nothing and every method is nil-safe.
+//
+// Every decision is a pure function of (Seed, connection key, frame
+// index): the i-th Write on a wrapped connection draws the same verdicts
+// in every run, regardless of goroutine scheduling — which is what lets a
+// chaos test replay the exact failure it found, and what the reconnect
+// idempotency property test leans on to compare faulted and fault-free
+// histories.
+//
+// Faults are injected on the WRITE side only: a dropped write is a lost
+// frame, a partitioned connection blackholes every subsequent write while
+// the writer keeps believing it succeeded, a mid-frame close delivers a
+// torn frame to the peer. Read-side faults are always expressible as the
+// peer's write-side faults, so one side of the wrapping suffices; wrap
+// both endpoints (with distinct keys) to model a symmetric partition.
+type ConnPlan struct {
+	// Seed decorrelates this plan's decisions from other plans and from
+	// the workload.
+	Seed uint64
+
+	// Drop is the per-frame probability that a write is silently
+	// discarded: the frame is lost in flight, the writer sees success.
+	Drop float64
+
+	// Delay is the per-frame probability that a write is held for DelayBy
+	// before being transmitted (head-of-line: later frames on the same
+	// connection queue behind it, as on a real socket).
+	Delay   float64
+	DelayBy time.Duration
+
+	// Duplicate is the per-frame probability that a frame is transmitted
+	// twice — the retransmission-after-lost-ack shape every idempotent
+	// handler must survive.
+	Duplicate float64
+
+	// Partition is the per-frame probability that the connection enters a
+	// permanent blackhole: this write and every later one is silently
+	// discarded. The writer keeps "succeeding", exactly like a host behind
+	// a dropped route; only lease expiry can detect it.
+	Partition float64
+
+	// MidClose is the per-frame probability that the connection closes
+	// after transmitting only a prefix of the frame — the peer's decoder
+	// sees a torn frame, the writer sees the close error. Terminal for the
+	// connection.
+	MidClose float64
+}
+
+// Active reports whether the plan injects any transport fault at all.
+func (p *ConnPlan) Active() bool {
+	return p != nil && (p.Drop > 0 || p.Delay > 0 || p.Duplicate > 0 ||
+		p.Partition > 0 || p.MidClose > 0)
+}
+
+// Validate reports an error for a malformed plan.
+func (p *ConnPlan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"drop", p.Drop}, {"delay", p.Delay}, {"duplicate", p.Duplicate},
+		{"partition", p.Partition}, {"midclose", p.MidClose},
+	} {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("fault: conn %s rate %v outside [0,1]", r.name, r.v)
+		}
+	}
+	if p.Delay > 0 && p.DelayBy <= 0 {
+		return fmt.Errorf("fault: conn delay rate set without delayby")
+	}
+	return nil
+}
+
+// Wrap returns conn with the plan's faults injected on its write side,
+// keyed by the opaque key (connection identity: client ID, remote
+// address, accept index — whatever is stable across the runs being
+// compared). An inactive plan returns conn unchanged.
+func (p *ConnPlan) Wrap(conn net.Conn, key string) net.Conn {
+	if !p.Active() {
+		return conn
+	}
+	return &FaultConn{Conn: conn, plan: p, src: NewSource(p.Seed, key), key: key}
+}
+
+// FaultConn injects a ConnPlan's faults into a net.Conn's writes. The
+// protocol layers above are expected to issue exactly one Write per frame
+// (internal/remote's WriteFrame does), so the write index is the frame
+// index and every verdict is frame-granular.
+type FaultConn struct {
+	net.Conn
+	plan *ConnPlan
+	src  *Source
+	key  string
+
+	mu          sync.Mutex
+	idx         uint64
+	partitioned bool
+	torn        bool // mid-frame close happened: terminal
+}
+
+// Key returns the opaque identity the connection's decisions are keyed by.
+func (c *FaultConn) Key() string { return c.key }
+
+// Frames returns how many writes have been issued so far (tests).
+func (c *FaultConn) Frames() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.idx
+}
+
+// Write applies the plan's per-frame verdicts in a fixed order —
+// partition (sticky), mid-frame close, drop, duplicate, delay — and then
+// forwards to the wrapped connection. A swallowed write still reports
+// full success, as a real lossy network would.
+func (c *FaultConn) Write(b []byte) (int, error) {
+	c.mu.Lock()
+	if c.torn {
+		c.mu.Unlock()
+		return 0, net.ErrClosed
+	}
+	i := c.idx
+	c.idx++
+	if c.partitioned {
+		c.mu.Unlock()
+		return len(b), nil
+	}
+	if c.plan.Partition > 0 && c.src.Roll(kindConnPartition, i) < c.plan.Partition {
+		c.partitioned = true
+		c.mu.Unlock()
+		return len(b), nil
+	}
+	c.mu.Unlock()
+
+	if c.plan.MidClose > 0 && c.src.Roll(kindConnMidClose, i) < c.plan.MidClose {
+		c.mu.Lock()
+		c.torn = true
+		c.mu.Unlock()
+		n, _ := c.Conn.Write(b[:len(b)/2])
+		c.Conn.Close()
+		return n, fmt.Errorf("fault: conn %q closed mid-frame at frame %d: %w", c.key, i, net.ErrClosed)
+	}
+	if c.plan.Drop > 0 && c.src.Roll(kindConnDrop, i) < c.plan.Drop {
+		return len(b), nil
+	}
+	if c.plan.Delay > 0 && c.src.Roll(kindConnDelay, i) < c.plan.Delay {
+		time.Sleep(c.plan.DelayBy)
+	}
+	if c.plan.Duplicate > 0 && c.src.Roll(kindConnDup, i) < c.plan.Duplicate {
+		if n, err := c.Conn.Write(b); err != nil {
+			return n, err
+		}
+	}
+	return c.Conn.Write(b)
+}
+
+// FaultListener wraps every accepted connection in a ConnPlan. The i-th
+// accepted connection is keyed "<key>/accept<i>", so a test whose clients
+// connect in a deterministic order gets deterministic per-connection
+// faults; tests with racing dials should wrap the dial side instead,
+// keyed by client identity.
+type FaultListener struct {
+	net.Listener
+	plan *ConnPlan
+	key  string
+
+	mu sync.Mutex
+	n  int
+}
+
+// NewFaultListener wraps l. An inactive plan returns l unchanged.
+func NewFaultListener(l net.Listener, plan *ConnPlan, key string) net.Listener {
+	if !plan.Active() {
+		return l
+	}
+	return &FaultListener{Listener: l, plan: plan, key: key}
+}
+
+// Accept accepts from the wrapped listener and applies the plan.
+func (l *FaultListener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	i := l.n
+	l.n++
+	l.mu.Unlock()
+	return l.plan.Wrap(conn, fmt.Sprintf("%s/accept%d", l.key, i)), nil
+}

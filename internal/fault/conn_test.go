@@ -1,0 +1,252 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// sinkConn records every Write it receives; reads and deadlines are
+// inert. It stands in for the healthy half of a pipe.
+type sinkConn struct {
+	mu     sync.Mutex
+	writes [][]byte
+	closed bool
+}
+
+func (s *sinkConn) Write(b []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, net.ErrClosed
+	}
+	s.writes = append(s.writes, append([]byte(nil), b...))
+	return len(b), nil
+}
+
+func (s *sinkConn) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}
+
+func (s *sinkConn) delivered() [][]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([][]byte(nil), s.writes...)
+}
+
+func (s *sinkConn) Read([]byte) (int, error)         { return 0, io.EOF }
+func (s *sinkConn) LocalAddr() net.Addr              { return nil }
+func (s *sinkConn) RemoteAddr() net.Addr             { return nil }
+func (s *sinkConn) SetDeadline(time.Time) error      { return nil }
+func (s *sinkConn) SetReadDeadline(time.Time) error  { return nil }
+func (s *sinkConn) SetWriteDeadline(time.Time) error { return nil }
+
+func frames(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte{byte(i), byte(i >> 8), 0xAA, 0xBB}
+	}
+	return out
+}
+
+// The same (seed, key) must deliver the identical fault pattern in every
+// run: replay both the survivor set and the writer-visible results.
+func TestFaultConnIsDeterministic(t *testing.T) {
+	plan := &ConnPlan{Seed: 9, Drop: 0.3, Duplicate: 0.2}
+	run := func() ([][]byte, []error) {
+		sink := &sinkConn{}
+		fc := plan.Wrap(sink, "client-1")
+		var errs []error
+		for _, f := range frames(200) {
+			_, err := fc.Write(f)
+			errs = append(errs, err)
+		}
+		return sink.delivered(), errs
+	}
+	d1, e1 := run()
+	d2, e2 := run()
+	if len(d1) != len(d2) {
+		t.Fatalf("delivered %d vs %d frames across identical runs", len(d1), len(d2))
+	}
+	for i := range d1 {
+		if string(d1[i]) != string(d2[i]) {
+			t.Fatalf("frame %d differs across identical runs", i)
+		}
+	}
+	for i := range e1 {
+		if (e1[i] == nil) != (e2[i] == nil) {
+			t.Fatalf("write %d error differs across identical runs", i)
+		}
+	}
+	if len(d1) == 200 {
+		t.Fatal("drop rate 0.3 delivered every frame — faults not injected")
+	}
+}
+
+func TestFaultConnKeyDecorrelates(t *testing.T) {
+	plan := &ConnPlan{Seed: 9, Drop: 0.5}
+	deliveredFor := func(key string) int {
+		sink := &sinkConn{}
+		fc := plan.Wrap(sink, key)
+		for _, f := range frames(400) {
+			fc.Write(f)
+		}
+		return len(sink.delivered())
+	}
+	a, b := deliveredFor("client-a"), deliveredFor("client-b")
+	if a == b {
+		// Equal counts alone are possible; compare the actual pattern.
+		sinkA, sinkB := &sinkConn{}, &sinkConn{}
+		fcA, fcB := plan.Wrap(sinkA, "client-a"), plan.Wrap(sinkB, "client-b")
+		for _, f := range frames(400) {
+			fcA.Write(f)
+			fcB.Write(f)
+		}
+		da, db := sinkA.delivered(), sinkB.delivered()
+		if len(da) == len(db) {
+			same := true
+			for i := range da {
+				if string(da[i]) != string(db[i]) {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Fatal("two keys drew the identical 400-frame fault pattern")
+			}
+		}
+	}
+}
+
+// A duplicated frame arrives exactly twice, back to back.
+func TestFaultConnDuplicates(t *testing.T) {
+	plan := &ConnPlan{Seed: 3, Duplicate: 1}
+	sink := &sinkConn{}
+	fc := plan.Wrap(sink, "dup")
+	fc.Write([]byte("hello"))
+	got := sink.delivered()
+	if len(got) != 2 || string(got[0]) != "hello" || string(got[1]) != "hello" {
+		t.Fatalf("duplicate=1 delivered %d frames: %q", len(got), got)
+	}
+}
+
+// A partition is sticky: once entered, every later write is swallowed
+// while still reporting success to the writer.
+func TestFaultConnPartitionIsSticky(t *testing.T) {
+	plan := &ConnPlan{Seed: 3, Partition: 1}
+	sink := &sinkConn{}
+	fc := plan.Wrap(sink, "part")
+	for i := 0; i < 10; i++ {
+		n, err := fc.Write([]byte("frame"))
+		if err != nil || n != 5 {
+			t.Fatalf("write %d: (%d, %v), want silent success", i, n, err)
+		}
+	}
+	if got := sink.delivered(); len(got) != 0 {
+		t.Fatalf("partitioned conn delivered %d frames", len(got))
+	}
+}
+
+// A mid-frame close delivers a strict prefix and then kills the
+// connection: the peer sees a torn frame, the writer an error.
+func TestFaultConnMidClose(t *testing.T) {
+	plan := &ConnPlan{Seed: 3, MidClose: 1}
+	sink := &sinkConn{}
+	fc := plan.Wrap(sink, "tear")
+	payload := []byte("0123456789")
+	_, err := fc.Write(payload)
+	if err == nil {
+		t.Fatal("mid-close write reported success")
+	}
+	got := sink.delivered()
+	if len(got) != 1 || len(got[0]) >= len(payload) {
+		t.Fatalf("mid-close delivered %d frames (first %d bytes), want one strict prefix", len(got), len(got[0]))
+	}
+	if _, err := fc.Write(payload); !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("write after mid-close: %v, want closed conn", err)
+	}
+}
+
+func TestFaultConnDelayHolds(t *testing.T) {
+	plan := &ConnPlan{Seed: 3, Delay: 1, DelayBy: 20 * time.Millisecond}
+	sink := &sinkConn{}
+	fc := plan.Wrap(sink, "slow")
+	start := time.Now()
+	fc.Write([]byte("x"))
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("delayed write returned after %v, want >= 20ms", d)
+	}
+	if got := sink.delivered(); len(got) != 1 {
+		t.Fatalf("delayed frame not delivered: %d frames", len(got))
+	}
+}
+
+func TestConnPlanInactivePassesThrough(t *testing.T) {
+	var nilPlan *ConnPlan
+	sink := &sinkConn{}
+	if got := nilPlan.Wrap(sink, "k"); got != net.Conn(sink) {
+		t.Fatal("nil plan should return the conn unchanged")
+	}
+	if (&ConnPlan{Seed: 1}).Active() {
+		t.Fatal("rate-free plan reported active")
+	}
+	if nilPlan.Active() {
+		t.Fatal("nil plan reported active")
+	}
+}
+
+func TestConnPlanValidate(t *testing.T) {
+	if err := (&ConnPlan{Drop: 1.5}).Validate(); err == nil || !strings.Contains(err.Error(), "drop") {
+		t.Fatalf("drop=1.5: %v", err)
+	}
+	if err := (&ConnPlan{Delay: 0.5}).Validate(); err == nil || !strings.Contains(err.Error(), "delayby") {
+		t.Fatalf("delay without delayby: %v", err)
+	}
+	if err := (&ConnPlan{Drop: 0.5, Delay: 0.1, DelayBy: time.Millisecond}).Validate(); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	var nilPlan *ConnPlan
+	if err := nilPlan.Validate(); err != nil {
+		t.Fatalf("nil plan rejected: %v", err)
+	}
+}
+
+// FaultListener keys each accepted connection by its accept index, so a
+// deterministic dial order draws deterministic per-connection faults.
+func TestFaultListenerKeysByAcceptOrder(t *testing.T) {
+	plan := &ConnPlan{Seed: 5, Drop: 0.5}
+	// net.Pipe-backed listener shim.
+	inner := &stubListener{conns: make(chan net.Conn, 2)}
+	l := NewFaultListener(inner, plan, "lis")
+	c1, s1 := net.Pipe()
+	c2, s2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	inner.conns <- s1
+	inner.conns <- s2
+	a1, _ := l.Accept()
+	a2, _ := l.Accept()
+	f1, ok1 := a1.(*FaultConn)
+	f2, ok2 := a2.(*FaultConn)
+	if !ok1 || !ok2 {
+		t.Fatal("accepted conns not wrapped")
+	}
+	if f1.Key() != "lis/accept0" || f2.Key() != "lis/accept1" {
+		t.Fatalf("keys %q, %q", f1.Key(), f2.Key())
+	}
+	s1.Close()
+	s2.Close()
+}
+
+type stubListener struct{ conns chan net.Conn }
+
+func (s *stubListener) Accept() (net.Conn, error) { return <-s.conns, nil }
+func (s *stubListener) Close() error              { return nil }
+func (s *stubListener) Addr() net.Addr            { return nil }

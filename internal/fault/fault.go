@@ -86,15 +86,15 @@ const (
 )
 
 // roll returns a uniform [0,1) variate that is a pure function of
-// (seed, kind, phase, thread) — a SplitMix64 finalizer over the mixed key.
+// (seed, kind, phase, thread) — the shared SplitMix64 finalizer
+// (source.go) over the mixed key. The mixing sequence is pinned: the
+// committed ablation artifacts under results/ replay these exact
+// decisions, so any change here would silently invalidate them.
 func (p *Plan) roll(kind uint64, phase, thread int) float64 {
 	z := p.Seed ^ kind*0x9E3779B97F4A7C15
 	z ^= (uint64(phase) + 1) * 0xBF58476D1CE4E5B9
 	z ^= (uint64(thread) + 1) * 0x94D049BB133111EB
-	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
-	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
-	z ^= z >> 31
-	return float64(z>>11) / (1 << 53)
+	return unit(finalize64(z))
 }
 
 // Active reports whether the plan injects any fault at all.

@@ -1,0 +1,58 @@
+package fault
+
+import "hash/fnv"
+
+// finalize64 is the SplitMix64 finalizer shared by every decision in this
+// package: a full-avalanche bijection, so distinct mixed keys give
+// independent-looking variates. Plan.roll and Source.Roll both end here,
+// which keeps the two keying schemes (numeric (phase, thread) and opaque
+// string) statistically interchangeable.
+func finalize64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// unit maps a finalized word to a uniform [0,1) variate using the top 53
+// bits (the float64 mantissa width).
+func unit(z uint64) float64 {
+	return float64(z>>11) / (1 << 53)
+}
+
+// Source is a seeded deterministic variate stream keyed by an opaque
+// string — the generalization of Plan's (phase, thread) keying for
+// consumers whose identity is not a thread ID: network connections keyed
+// by address or client ID, retry loops keyed by attempt owner, shards
+// keyed by name. Every draw is a pure function of
+// (seed, key, kind, index): no mutable state, no draw ordering, so two
+// runs that ask the same questions get the same answers regardless of
+// goroutine scheduling — the same replayability contract as Plan.
+//
+// The key is hashed once at construction (FNV-1a); Source values are
+// immutable and safe for concurrent use.
+type Source struct {
+	base uint64
+}
+
+// NewSource builds the variate stream for (seed, key).
+func NewSource(seed uint64, key string) *Source {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	// The same golden-ratio / MurmurHash3 constants Plan.roll mixes with,
+	// applied to the hashed key so an empty key still decorrelates from
+	// the raw seed.
+	return &Source{base: seed ^ (h.Sum64()+1)*0x9E3779B97F4A7C15}
+}
+
+// Uint64 returns the raw finalized word for (kind, index). Kinds salt the
+// stream so one index can answer several independent questions.
+func (s *Source) Uint64(kind, index uint64) uint64 {
+	z := s.base ^ (kind+1)*0xBF58476D1CE4E5B9
+	z ^= (index + 1) * 0x94D049BB133111EB
+	return finalize64(z)
+}
+
+// Roll returns a uniform [0,1) variate for (kind, index).
+func (s *Source) Roll(kind, index uint64) float64 {
+	return unit(s.Uint64(kind, index))
+}

@@ -1,0 +1,85 @@
+package fault
+
+import "testing"
+
+// A Source's stream must be a pure function of (seed, key, kind, index):
+// two sources built the same way agree everywhere, and changing any
+// coordinate decorrelates.
+func TestSourceIsDeterministic(t *testing.T) {
+	a := NewSource(42, "conn/client-3")
+	b := NewSource(42, "conn/client-3")
+	for kind := uint64(0); kind < 4; kind++ {
+		for i := uint64(0); i < 100; i++ {
+			if a.Uint64(kind, i) != b.Uint64(kind, i) {
+				t.Fatalf("kind %d index %d: sources disagree", kind, i)
+			}
+			if r := a.Roll(kind, i); r < 0 || r >= 1 {
+				t.Fatalf("roll %v outside [0,1)", r)
+			}
+		}
+	}
+}
+
+func TestSourceKeySeedAndKindDecorrelate(t *testing.T) {
+	base := NewSource(42, "key")
+	for name, other := range map[string]*Source{
+		"different key":  NewSource(42, "key2"),
+		"different seed": NewSource(43, "key"),
+	} {
+		same := 0
+		for i := uint64(0); i < 1000; i++ {
+			if base.Uint64(1, i) == other.Uint64(1, i) {
+				same++
+			}
+		}
+		if same > 0 {
+			t.Errorf("%s: %d/1000 collisions", name, same)
+		}
+	}
+	same := 0
+	for i := uint64(0); i < 1000; i++ {
+		if base.Uint64(1, i) == base.Uint64(2, i) {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("kinds collide: %d/1000", same)
+	}
+}
+
+// Rolls must be usable as probabilities: the empirical mean of a long
+// stream sits near 1/2.
+func TestSourceRollIsUniformish(t *testing.T) {
+	s := NewSource(7, "uniform")
+	var sum float64
+	const n = 10000
+	for i := uint64(0); i < n; i++ {
+		sum += s.Roll(0, i)
+	}
+	if mean := sum / n; mean < 0.47 || mean > 0.53 {
+		t.Fatalf("mean roll %v, want ~0.5", mean)
+	}
+}
+
+// Plan.roll was refactored onto the shared finalizer when Source was
+// introduced. Committed results/ artifacts replay plans' exact decisions,
+// so the arithmetic must stay bit-identical forever: pin a handful of
+// absolute values observed before the refactor's introduction.
+func TestPlanRollPinned(t *testing.T) {
+	p := &Plan{Seed: 1, DropWakeup: 0.5}
+	got := []float64{
+		p.roll(kindDrop, 0, 0),
+		p.roll(kindDrop, 3, 7),
+		p.roll(kindTimerFail, 1, 2),
+	}
+	want := []float64{
+		0.40788535967831596,
+		0.89764036220476073,
+		0.482336987808067,
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("roll[%d] = %.17g, want %.17g — Plan.roll arithmetic changed; committed results/ artifacts no longer replay", i, got[i], want[i])
+		}
+	}
+}

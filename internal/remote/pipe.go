@@ -1,0 +1,72 @@
+package remote
+
+import (
+	"context"
+	"net"
+	"sync"
+)
+
+// PipeListener is an in-memory net.Listener over net.Pipe pairs: the
+// deterministic test transport. Dial hands one end to the caller and
+// queues the other for Accept, so a whole server + clients topology runs
+// in one process with no sockets — which is how the chaos suite runs the
+// protocol under -race in CI with no real network.
+type PipeListener struct {
+	ch chan net.Conn
+
+	mu     sync.Mutex
+	closed bool
+	done   chan struct{}
+}
+
+// NewPipeListener builds an open in-memory listener.
+func NewPipeListener() *PipeListener {
+	return &PipeListener{ch: make(chan net.Conn), done: make(chan struct{})}
+}
+
+// Dial connects to the listener, blocking until the server Accepts (the
+// pipe has no backlog) or ctx is cancelled.
+func (l *PipeListener) Dial(ctx context.Context) (net.Conn, error) {
+	client, server := net.Pipe()
+	select {
+	case l.ch <- server:
+		return client, nil
+	case <-l.done:
+		client.Close()
+		server.Close()
+		return nil, net.ErrClosed
+	case <-ctx.Done():
+		client.Close()
+		server.Close()
+		return nil, ctx.Err()
+	}
+}
+
+// Accept waits for the next Dial.
+func (l *PipeListener) Accept() (net.Conn, error) {
+	select {
+	case conn := <-l.ch:
+		return conn, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+// Close unblocks Accept and all future Dials.
+func (l *PipeListener) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.closed {
+		l.closed = true
+		close(l.done)
+	}
+	return nil
+}
+
+// Addr reports a synthetic address.
+func (l *PipeListener) Addr() net.Addr { return pipeAddr{} }
+
+type pipeAddr struct{}
+
+func (pipeAddr) Network() string { return "pipe" }
+func (pipeAddr) String() string  { return "pipe://in-memory" }

@@ -1,0 +1,139 @@
+package remote
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrips(t *testing.T) {
+	reg := Register{ClientID: "c1", Barrier: "phase", Parties: 4, Nonce: 9, Epoch: 3, Gen: 1}
+	if got, err := DecodeRegister(reg.Encode()); err != nil || got != reg {
+		t.Fatalf("register: %+v, %v", got, err)
+	}
+	dir := Directive{Barrier: "phase", Epoch: 3, Gen: 1, Nonce: 9, Tier: TierTimedPark,
+		Shed: 1, PredictedStallNanos: 12345, PollNanos: 200, ParkNanos: 11000}
+	if got, err := DecodeDirective(dir.Encode()); err != nil || got != dir {
+		t.Fatalf("directive: %+v, %v", got, err)
+	}
+	hb := Heartbeat{ClientID: "c1", Seq: 77}
+	if got, err := DecodeHeartbeat(hb.Encode()); err != nil || got != hb {
+		t.Fatalf("heartbeat: %+v, %v", got, err)
+	}
+	rel := Release{Barrier: "phase", Epoch: 3, Gen: 1, Broken: true, Arrived: 2,
+		Reason: "lease lost: client \"c2\" went silent"}
+	if got, err := DecodeRelease(rel.Encode()); err != nil || got != rel {
+		t.Fatalf("release: %+v, %v", got, err)
+	}
+	adv := Advisory{Barrier: "phase", Epoch: 3, Gen: 1, Arrived: 2, Parties: 4}
+	if got, err := DecodeAdvisory(adv.Encode()); err != nil || got != adv {
+		t.Fatalf("advisory: %+v, %v", got, err)
+	}
+	cn := Cancel{ClientID: "c1", Barrier: "phase", Nonce: 9, Epoch: 3, Gen: 1, Reason: "ctx"}
+	if got, err := DecodeCancel(cn.Encode()); err != nil || got != cn {
+		t.Fatalf("cancel: %+v, %v", got, err)
+	}
+	ef := ErrorFrame{Code: ErrCodeParties, Barrier: "phase", Msg: "width 4 != 2"}
+	if got, err := DecodeError(ef.Encode()); err != nil || got != ef {
+		t.Fatalf("error: %+v, %v", got, err)
+	}
+	rows := []BarrierStatus{
+		{Name: "a", Epoch: 2, Gen: 0, Arrived: 1, Parties: 4},
+		{Name: "b", Epoch: 9, Gen: 3, Arrived: 0, Parties: 2, Broken: true},
+	}
+	if got, err := DecodeStatus(EncodeStatus(rows)); err != nil || !reflect.DeepEqual(got, rows) {
+		t.Fatalf("status: %+v, %v", got, err)
+	}
+}
+
+// Encoding is canonical: the same logical frame renders the same bytes
+// every time — the foundation of the chaos suite's byte-identity checks.
+func TestEncodeIsCanonical(t *testing.T) {
+	a := Release{Barrier: "phase", Epoch: 3, Gen: 1, Arrived: 4}
+	b := Release{Barrier: "phase", Epoch: 3, Gen: 1, Arrived: 4}
+	if !bytes.Equal(a.Encode(), b.Encode()) {
+		t.Fatal("identical releases encoded differently")
+	}
+}
+
+// Trailing bytes — two payloads concatenated by duplicate-frame chaos —
+// must be rejected, not silently half-parsed.
+func TestDecodeRejectsTrailingBytes(t *testing.T) {
+	reg := Register{ClientID: "c", Barrier: "b", Parties: 2, Nonce: 1}
+	p := append(reg.Encode(), 0xFF)
+	if _, err := DecodeRegister(p); err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("trailing byte accepted: %v", err)
+	}
+}
+
+// Truncated payloads — the visible half of a torn frame — must error,
+// never panic or return zero-filled frames as valid.
+func TestDecodeRejectsTruncation(t *testing.T) {
+	full := (&Directive{Barrier: "phase", Epoch: 1, Nonce: 2}).Encode()
+	for cut := 1; cut < len(full); cut++ {
+		if _, err := DecodeDirective(full[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestReadFrameTornAndOversized(t *testing.T) {
+	var buf bytes.Buffer
+	payload := (&Heartbeat{ClientID: "c", Seq: 1}).Encode()
+	if err := WriteFrame(&buf, payload); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	// Every strict prefix is a torn frame.
+	for cut := 0; cut < len(whole); cut++ {
+		_, err := ReadFrame(bytes.NewReader(whole[:cut]))
+		if cut == 0 {
+			if err != io.EOF {
+				t.Fatalf("empty stream: %v, want io.EOF", err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Fatalf("torn frame at %d accepted", cut)
+		}
+	}
+	got, err := ReadFrame(bytes.NewReader(whole))
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("round trip: %q, %v", got, err)
+	}
+	// A hostile length prefix must be bounded.
+	big := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := ReadFrame(bytes.NewReader(big)); err == nil || !strings.Contains(err.Error(), "MaxFrame") {
+		t.Fatalf("oversized prefix: %v", err)
+	}
+	if err := WriteFrame(io.Discard, make([]byte, MaxFrame+1)); err == nil {
+		t.Fatal("oversized write accepted")
+	}
+}
+
+func TestWriteFrameIsOneWrite(t *testing.T) {
+	w := &countingWriter{}
+	if err := WriteFrame(w, []byte{FrameStatusReq}); err != nil {
+		t.Fatal(err)
+	}
+	if w.calls != 1 {
+		t.Fatalf("WriteFrame used %d Write calls, want exactly 1 (FaultConn frame granularity)", w.calls)
+	}
+}
+
+type countingWriter struct{ calls int }
+
+func (w *countingWriter) Write(b []byte) (int, error) { w.calls++; return len(b), nil }
+
+func TestTierName(t *testing.T) {
+	for tier, want := range map[byte]string{
+		TierSpin: "spin", TierYield: "yield", TierTimedPark: "timed-park",
+		TierPark: "park", 99: "tier(99)",
+	} {
+		if got := TierName(tier); got != want {
+			t.Errorf("TierName(%d) = %q, want %q", tier, got, want)
+		}
+	}
+}

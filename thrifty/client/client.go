@@ -1,0 +1,789 @@
+// Package client is the thin client half of the thriftyd protocol: it
+// turns a remote thrifty-barrier service into a blocking Wait call with
+// the same contract as the in-process thrifty.Barrier — nil on release,
+// thrifty.ErrBroken when the rendezvous breaks, ctx.Err() for the caller
+// that cancelled — while obeying the server's sleep directive (the
+// paper's Table 3 tier decision, made server-side from the predicted
+// stall) for how it waits locally.
+//
+// The client is built for a faulty transport. Every wait attempt carries
+// a nonce the server keys its double-count guard on, so registers can be
+// retransmitted freely: across silent frame drops (the register is
+// re-sent until its directive arrives), across reconnects (a background
+// redial re-registers every pending waiter with its original nonce), and
+// across the release itself (a duplicate register is answered with the
+// recorded outcome, never counted again). Reconnect backoff is
+// exponential with deterministic jitter drawn from internal/fault.Source
+// keyed by the client ID, so a chaos run's retry schedule replays
+// exactly. A client that stays partitioned past the server's lease finds
+// its epoch broken for everyone — the liveness half of the contract —
+// and its own Wait surfaces thrifty.ErrBroken as soon as it reconnects
+// and is handed the broken release.
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"thriftybarrier/internal/fault"
+	"thriftybarrier/internal/remote"
+	"thriftybarrier/thrifty"
+)
+
+// retryKind is this package's decision kind in its fault.Source space.
+const retryKind uint64 = 1
+
+// Options configures a Client. Dial and ClientID are required; every
+// other zero field selects the default.
+type Options struct {
+	// Dial opens a connection to the server. It is called for the initial
+	// connection and for every reconnect.
+	Dial func(ctx context.Context) (net.Conn, error)
+	// ClientID identifies this client to the server's lease table and
+	// prediction machinery. It must be unique among live clients and
+	// stable across reconnects.
+	ClientID string
+
+	// Lease should match the server's lease interval; heartbeats are sent
+	// every Lease/3 (or HeartbeatEvery when set) and frame writes carry a
+	// Lease-wide deadline. Default 5s.
+	Lease          time.Duration
+	HeartbeatEvery time.Duration
+
+	// RetryBase/RetryMax bound the exponential reconnect-and-retransmit
+	// backoff. Defaults 5ms and 500ms.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// Seed feeds the deterministic backoff jitter. Default 1.
+	Seed uint64
+
+	// OnAdvisory, when non-nil, receives the server's stall advisories.
+	OnAdvisory func(remote.Advisory)
+	// Now overrides the clock (tests). Default time.Now.
+	Now func() time.Time
+	// Logf, when non-nil, receives diagnostic logs.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) fill() error {
+	if o.Dial == nil {
+		return errors.New("client: Options.Dial is required")
+	}
+	if o.ClientID == "" {
+		return errors.New("client: Options.ClientID is required")
+	}
+	if o.Lease == 0 {
+		o.Lease = 5 * time.Second
+	}
+	if o.HeartbeatEvery == 0 {
+		o.HeartbeatEvery = o.Lease / 3
+	}
+	if o.RetryBase == 0 {
+		o.RetryBase = 5 * time.Millisecond
+	}
+	if o.RetryMax == 0 {
+		o.RetryMax = 500 * time.Millisecond
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return nil
+}
+
+// ErrClosed is returned by waits interrupted by Close.
+var ErrClosed = errors.New("client: closed")
+
+// Client is a connection to a thriftyd server. One Client serves any
+// number of concurrent Wait calls on distinct barriers; it is safe for
+// concurrent use.
+type Client struct {
+	opts Options
+	src  *fault.Source // deterministic backoff jitter
+
+	mu      sync.Mutex
+	conn    net.Conn
+	waiters map[string]*waiter // barrier → in-flight wait
+	status  chan []remote.BarrierStatus
+	closed  bool
+
+	wmu sync.Mutex // frame writes
+
+	dialMu    sync.Mutex // single-flight dialing
+	redialing bool
+
+	closedCh   chan struct{}
+	baseCtx    context.Context // done when the client closes
+	baseCancel context.CancelFunc
+	hbOnce     sync.Once
+	nonce      atomic.Uint64
+	hbSeq      atomic.Uint64
+	wg         sync.WaitGroup
+}
+
+// waiter is one in-flight Wait call.
+type waiter struct {
+	barrier string
+	parties uint32
+	nonce   uint64
+
+	mu        sync.Mutex
+	directive *remote.Directive
+	err       error
+
+	dirCh chan struct{} // closed when the directive lands
+	done  chan struct{} // closed when the outcome lands
+}
+
+func (w *waiter) setDirective(d remote.Directive) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.directive == nil {
+		w.directive = &d
+		close(w.dirCh)
+	}
+}
+
+func (w *waiter) finish(err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	select {
+	case <-w.done:
+		return
+	default:
+	}
+	w.err = err
+	close(w.done)
+}
+
+func (w *waiter) finished() bool {
+	select {
+	case <-w.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// New builds a client. It does not dial; the first Wait (or Status)
+// does.
+func New(opts Options) (*Client, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Client{
+		opts:       opts,
+		src:        fault.NewSource(opts.Seed, "client/"+opts.ClientID),
+		waiters:    make(map[string]*waiter),
+		closedCh:   make(chan struct{}),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+	}, nil
+}
+
+// dialContext derives a dial context from parent that also ends when the
+// client closes, so no goroutine can stay wedged in Dial past Close.
+func (c *Client) dialContext(parent context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(parent)
+	stop := context.AfterFunc(c.baseCtx, cancel)
+	return ctx, func() { stop(); cancel() }
+}
+
+// Close tears the client down: the connection closes, every in-flight
+// Wait returns ErrClosed, and background goroutines are joined.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	conn := c.conn
+	c.conn = nil
+	waiters := make([]*waiter, 0, len(c.waiters))
+	for _, w := range c.waiters {
+		waiters = append(waiters, w)
+	}
+	c.mu.Unlock()
+	close(c.closedCh)
+	c.baseCancel()
+	if conn != nil {
+		conn.Close()
+	}
+	for _, w := range waiters {
+		w.finish(ErrClosed)
+	}
+	c.wg.Wait()
+	return nil
+}
+
+// Wait arrives at the named barrier and blocks until the epoch releases
+// (nil), breaks (thrifty.ErrBroken, wrapped with the server's reason),
+// the ctx ends (ctx.Err(), after telling the server to break the epoch
+// for the peers — the WaitContext contract), or the client closes
+// (ErrClosed). How it blocks is the server's call: the registration's
+// directive picks the spin/yield/timed-park/park tier from the predicted
+// stall, and the client honors it locally.
+func (c *Client) Wait(ctx context.Context, barrier string, parties int) error {
+	w, err := c.addWaiter(barrier, parties)
+	if err != nil {
+		return err
+	}
+	defer c.removeWaiter(w)
+	if err := c.register(ctx, w); err != nil {
+		return err
+	}
+	return c.await(ctx, w)
+}
+
+// WaitTimeout is Wait with a hard deadline: past it, the wait gives up,
+// the epoch is broken for the peers, and the call returns
+// thrifty.ErrBroken (wrapped with the deadline) — the remote analog of a
+// timed-out WaitContext.
+func (c *Client) WaitTimeout(barrier string, parties int, d time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	err := c.Wait(ctx, barrier, parties)
+	if errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: wait deadline %v exceeded", thrifty.ErrBroken, d)
+	}
+	return err
+}
+
+func (c *Client) addWaiter(barrier string, parties int) (*waiter, error) {
+	if barrier == "" {
+		return nil, errors.New("client: empty barrier name")
+	}
+	if parties < 1 {
+		return nil, fmt.Errorf("client: parties %d < 1", parties)
+	}
+	w := &waiter{
+		barrier: barrier,
+		parties: uint32(parties),
+		nonce:   c.nonce.Add(1),
+		dirCh:   make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if _, dup := c.waiters[barrier]; dup {
+		return nil, fmt.Errorf("client: wait already in flight on barrier %q", barrier)
+	}
+	c.waiters[barrier] = w
+	return w, nil
+}
+
+func (c *Client) removeWaiter(w *waiter) {
+	c.mu.Lock()
+	if c.waiters[w.barrier] == w {
+		delete(c.waiters, w.barrier)
+	}
+	c.mu.Unlock()
+}
+
+func (c *Client) registerFrame(w *waiter) []byte {
+	f := remote.Register{
+		ClientID: c.opts.ClientID,
+		Barrier:  w.barrier,
+		Parties:  w.parties,
+		Nonce:    w.nonce,
+	}
+	w.mu.Lock()
+	if w.directive != nil {
+		f.Epoch, f.Gen = w.directive.Epoch, w.directive.Gen
+	}
+	w.mu.Unlock()
+	return f.Encode()
+}
+
+// register re-sends the registration until its directive (or outcome)
+// arrives. The transport may silently drop any frame, so "sent" proves
+// nothing — only the directive does; the nonce makes the retransmits
+// harmless. Between sends it polls briefly at yield cadence (the
+// fault-free directive arrives in microseconds) and then backs off
+// exponentially with deterministic jitter.
+func (c *Client) register(ctx context.Context, w *waiter) error {
+	for attempt := 0; ; attempt++ {
+		if w.finished() {
+			return nil // outcome replayed before the directive: await reads it
+		}
+		select {
+		case <-w.dirCh:
+			return nil
+		case <-ctx.Done():
+			c.sendCancel(w, ctx.Err().Error())
+			return ctx.Err()
+		case <-c.closedCh:
+			return ErrClosed
+		default:
+		}
+		if conn, err := c.ensureConn(ctx); err == nil {
+			c.write(conn, c.registerFrame(w))
+		}
+		// Fast path: yield-poll for the round trip before sleeping.
+		for i := 0; i < 256; i++ {
+			if w.finished() {
+				return nil
+			}
+			select {
+			case <-w.dirCh:
+				return nil
+			default:
+				runtime.Gosched()
+			}
+		}
+		if done := c.sleep(c.backoff(attempt), w.dirCh, w.done); done {
+			continue
+		}
+		select {
+		case <-ctx.Done():
+			c.sendCancel(w, ctx.Err().Error())
+			return ctx.Err()
+		case <-c.closedCh:
+			return ErrClosed
+		default:
+		}
+	}
+}
+
+// await blocks until the waiter's outcome, honoring the directive's
+// tier. Because the release frame itself may be dropped, the wait
+// doubles as a pull loop: past the expected stall it re-sends the
+// registration at a backed-off cadence, and the server replays either
+// the still-open directive or the recorded release.
+func (c *Client) await(ctx context.Context, w *waiter) error {
+	w.mu.Lock()
+	dir := w.directive
+	w.mu.Unlock()
+
+	// Directive-driven first phase.
+	if dir != nil && !w.finished() {
+		switch dir.Tier {
+		case remote.TierSpin:
+			// Busy-poll, bounded by twice the predicted stall: past that
+			// the prediction was wrong and burning cycles stops paying.
+			limit := 2 * time.Duration(dir.PredictedStallNanos)
+			start := c.opts.Now()
+			for !w.finished() && ctx.Err() == nil && c.opts.Now().Sub(start) < limit {
+				runtime.Gosched()
+			}
+		case remote.TierTimedPark:
+			// Sleep through the predicted stall (minus the server's
+			// margin), then fall through to the poll loop for the rest.
+			if d := time.Duration(dir.ParkNanos); d > 0 {
+				c.sleep(d, w.done, ctx.Done())
+			}
+		}
+	}
+
+	// Poll-and-refresh phase: yield/park tiers start here immediately.
+	poll := 2 * time.Millisecond
+	if dir != nil && dir.PollNanos > 0 {
+		poll = time.Duration(dir.PollNanos)
+	}
+	refresh := 8 * poll
+	if refresh < 20*time.Millisecond {
+		refresh = 20 * time.Millisecond
+	}
+	nextRefresh := c.opts.Now().Add(refresh)
+	for {
+		if w.finished() {
+			w.mu.Lock()
+			err := w.err
+			w.mu.Unlock()
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			c.sendCancel(w, ctx.Err().Error())
+			return ctx.Err()
+		case <-c.closedCh:
+			return ErrClosed
+		default:
+		}
+		c.sleep(poll, w.done, ctx.Done())
+		if now := c.opts.Now(); now.After(nextRefresh) {
+			if conn, err := c.ensureConn(ctx); err == nil {
+				c.write(conn, c.registerFrame(w))
+			}
+			if refresh < c.opts.RetryMax {
+				refresh *= 2
+			}
+			nextRefresh = now.Add(refresh)
+		}
+	}
+}
+
+// sendCancel tells the server this attempt is abandoned, breaking the
+// epoch for the peers. Best-effort: if it is lost, the lease breaks the
+// epoch instead.
+func (c *Client) sendCancel(w *waiter, reason string) {
+	f := remote.Cancel{
+		ClientID: c.opts.ClientID,
+		Barrier:  w.barrier,
+		Nonce:    w.nonce,
+		Reason:   reason,
+	}
+	w.mu.Lock()
+	if w.directive != nil {
+		f.Epoch, f.Gen = w.directive.Epoch, w.directive.Gen
+	}
+	w.mu.Unlock()
+	c.mu.Lock()
+	conn := c.conn
+	c.mu.Unlock()
+	if conn != nil {
+		c.write(conn, f.Encode())
+	}
+}
+
+// sleep sleeps for d in small quanta, returning early (true) if either
+// wake channel closes. Built on time.Sleep alone: the client library is
+// inside the waketimer analyzer's scope, and a per-poll runtime timer
+// heap entry is exactly the cost it polices.
+func (c *Client) sleep(d time.Duration, wake1, wake2 <-chan struct{}) bool {
+	const quantum = time.Millisecond
+	deadline := c.opts.Now().Add(d)
+	for {
+		select {
+		case <-wake1:
+			return true
+		case <-wake2:
+			return true
+		case <-c.closedCh:
+			return true
+		default:
+		}
+		remaining := deadline.Sub(c.opts.Now())
+		if remaining <= 0 {
+			return false
+		}
+		if remaining > quantum {
+			remaining = quantum
+		}
+		time.Sleep(remaining)
+	}
+}
+
+// backoff is exponential with deterministic jitter in [d/2, d]: the
+// attempt schedule is a pure function of (Seed, ClientID, attempt), so a
+// chaos run replays byte for byte.
+func (c *Client) backoff(attempt int) time.Duration {
+	shift := attempt
+	if shift > 16 {
+		shift = 16
+	}
+	d := c.opts.RetryBase << shift
+	if d > c.opts.RetryMax || d <= 0 {
+		d = c.opts.RetryMax
+	}
+	j := c.src.Roll(retryKind, uint64(attempt))
+	return d/2 + time.Duration(float64(d/2)*j)
+}
+
+// ensureConn returns the live connection, dialing (single-flight) when
+// there is none.
+func (c *Client) ensureConn(ctx context.Context) (net.Conn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if conn := c.conn; conn != nil {
+		c.mu.Unlock()
+		return conn, nil
+	}
+	c.mu.Unlock()
+
+	c.dialMu.Lock()
+	defer c.dialMu.Unlock()
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if conn := c.conn; conn != nil {
+		c.mu.Unlock()
+		return conn, nil
+	}
+	c.mu.Unlock()
+
+	dctx, done := c.dialContext(ctx)
+	conn, err := c.opts.Dial(dctx)
+	done()
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		return nil, ErrClosed
+	}
+	c.conn = conn
+	c.wg.Add(1) // under mu: Close sets closed before it waits
+	startHB := false
+	c.hbOnce.Do(func() {
+		c.wg.Add(1)
+		startHB = true
+	})
+	c.mu.Unlock()
+	go func() {
+		defer c.wg.Done()
+		c.readLoop(conn)
+	}()
+	if startHB {
+		go func() {
+			defer c.wg.Done()
+			c.heartbeatLoop()
+		}()
+	}
+	return conn, nil
+}
+
+// write sends one frame under the write lock with a lease-wide deadline.
+// A failed write declares the connection lost.
+func (c *Client) write(conn net.Conn, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	conn.SetWriteDeadline(c.opts.Now().Add(c.opts.Lease))
+	if err := remote.WriteFrame(conn, payload); err != nil {
+		c.connLost(conn, err)
+		return err
+	}
+	return nil
+}
+
+// readLoop dispatches inbound frames until the connection dies.
+func (c *Client) readLoop(conn net.Conn) {
+	for {
+		payload, err := remote.ReadFrame(conn)
+		if err != nil {
+			c.connLost(conn, err)
+			return
+		}
+		switch payload[0] {
+		case remote.FrameDirective:
+			f, err := remote.DecodeDirective(payload)
+			if err != nil {
+				continue
+			}
+			if w := c.waiterFor(f.Barrier); w != nil && w.nonce == f.Nonce {
+				w.setDirective(f)
+			}
+		case remote.FrameRelease:
+			f, err := remote.DecodeRelease(payload)
+			if err != nil {
+				continue
+			}
+			w := c.waiterFor(f.Barrier)
+			if w == nil {
+				continue
+			}
+			// Accept when the epoch matches ours, or when we never
+			// learned ours — a replayed outcome answering our register.
+			w.mu.Lock()
+			known := w.directive
+			w.mu.Unlock()
+			if known != nil && known.Epoch != f.Epoch {
+				continue
+			}
+			if f.Broken {
+				w.finish(fmt.Errorf("%w: %s", thrifty.ErrBroken, f.Reason))
+			} else {
+				w.finish(nil)
+			}
+		case remote.FrameAdvisory:
+			f, err := remote.DecodeAdvisory(payload)
+			if err != nil {
+				continue
+			}
+			c.opts.Logf("client %s: stall advisory: barrier %q epoch %d %d/%d arrived",
+				c.opts.ClientID, f.Barrier, f.Epoch, f.Arrived, f.Parties)
+			if c.opts.OnAdvisory != nil {
+				c.opts.OnAdvisory(f)
+			}
+		case remote.FrameError:
+			f, err := remote.DecodeError(payload)
+			if err != nil {
+				continue
+			}
+			c.opts.Logf("client %s: server error %d: %s", c.opts.ClientID, f.Code, f.Msg)
+			if f.Code == remote.ErrCodeParties && f.Barrier != "" {
+				// Permanent for this wait: retrying cannot fix a width
+				// disagreement.
+				if w := c.waiterFor(f.Barrier); w != nil {
+					w.finish(fmt.Errorf("client: %s", f.Msg))
+				}
+			}
+		case remote.FrameStatus:
+			rows, err := remote.DecodeStatus(payload)
+			if err != nil {
+				continue
+			}
+			c.mu.Lock()
+			ch := c.status
+			c.status = nil
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- rows
+			}
+		}
+	}
+}
+
+func (c *Client) waiterFor(barrier string) *waiter {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.waiters[barrier]
+}
+
+// connLost drops a dead connection and, when waits are pending, kicks
+// the background redial so reconnect does not wait for the next poll.
+func (c *Client) connLost(conn net.Conn, err error) {
+	conn.Close()
+	c.mu.Lock()
+	if c.conn != conn {
+		c.mu.Unlock()
+		return
+	}
+	c.conn = nil
+	pending := len(c.waiters) > 0
+	kick := pending && !c.redialing && !c.closed
+	if kick {
+		c.redialing = true
+		c.wg.Add(1) // under mu: Close sets closed before it waits
+	}
+	c.mu.Unlock()
+	c.opts.Logf("client %s: connection lost: %v", c.opts.ClientID, err)
+	if kick {
+		go func() {
+			defer c.wg.Done()
+			c.redialLoop()
+		}()
+	}
+}
+
+// redialLoop re-dials after a lost connection and re-registers every
+// pending waiter with its original nonce — the reconnect path of the
+// idempotency contract. The waiters' own retransmit loops would get
+// there eventually; this just gets there first.
+func (c *Client) redialLoop() {
+	defer func() {
+		c.mu.Lock()
+		c.redialing = false
+		c.mu.Unlock()
+	}()
+	for attempt := 0; ; attempt++ {
+		c.mu.Lock()
+		pending := make([]*waiter, 0, len(c.waiters))
+		for _, w := range c.waiters {
+			pending = append(pending, w)
+		}
+		closed := c.closed
+		c.mu.Unlock()
+		if closed || len(pending) == 0 {
+			return
+		}
+		conn, err := c.ensureConn(c.baseCtx)
+		if err != nil {
+			if c.sleep(c.backoff(attempt), nil, nil) {
+				return // closed
+			}
+			continue
+		}
+		for _, w := range pending {
+			if !w.finished() {
+				c.write(conn, c.registerFrame(w))
+			}
+		}
+		return
+	}
+}
+
+// heartbeatLoop renews the lease for as long as the client lives. A
+// ticker, not a per-beat timer: one timer-heap entry total.
+func (c *Client) heartbeatLoop() {
+	t := time.NewTicker(c.opts.HeartbeatEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.closedCh:
+			return
+		case <-t.C:
+		}
+		c.mu.Lock()
+		conn := c.conn
+		pending := len(c.waiters) > 0
+		c.mu.Unlock()
+		if conn == nil && pending {
+			// Keep the lease alive across a dropped connection too.
+			var err error
+			if conn, err = c.ensureConn(c.baseCtx); err != nil {
+				continue
+			}
+		}
+		if conn != nil {
+			hb := remote.Heartbeat{ClientID: c.opts.ClientID, Seq: c.hbSeq.Add(1)}
+			c.write(conn, hb.Encode())
+		}
+	}
+}
+
+// Status asks the server for its barrier table. One outstanding request
+// at a time.
+func (c *Client) Status(ctx context.Context) ([]remote.BarrierStatus, error) {
+	ch := make(chan []remote.BarrierStatus, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c.status != nil {
+		c.mu.Unlock()
+		return nil, errors.New("client: status request already in flight")
+	}
+	c.status = ch
+	c.mu.Unlock()
+	clear := func() {
+		c.mu.Lock()
+		if c.status == ch {
+			c.status = nil
+		}
+		c.mu.Unlock()
+	}
+	conn, err := c.ensureConn(ctx)
+	if err != nil {
+		clear()
+		return nil, err
+	}
+	if err := c.write(conn, remote.EncodeStatusReq()); err != nil {
+		clear()
+		return nil, err
+	}
+	select {
+	case rows := <-ch:
+		return rows, nil
+	case <-ctx.Done():
+		clear()
+		return nil, ctx.Err()
+	case <-c.closedCh:
+		clear()
+		return nil, ErrClosed
+	}
+}

@@ -1,0 +1,48 @@
+package thrifty
+
+// Snapshot is a point-in-time view of a barrier's rendezvous state,
+// decoded from the packed state word: generation in bits 63..32, the
+// broken bit at bit 31, and the arrival count in bits 30..0 (taken from
+// the combining tree in tree topology, where the central word's count
+// field stays zero by design). It is what an external observer — a
+// status endpoint, a debugger, thriftyd's barrier table — needs to
+// render the barrier without touching its fast path.
+type Snapshot struct {
+	// Generation is the state word's generation field: the number of
+	// rendezvous (releases and breaks) the barrier has cycled through,
+	// truncated to 32 bits as stored in the word.
+	Generation uint32
+	// Arrived is how many of Parties have arrived at the open generation.
+	Arrived int
+	Parties int
+	// Broken reports the broken bit: the window between breakRound and
+	// Reset, when every arrival fails fast with ErrBroken.
+	Broken bool
+	// Releases and Breaks are the lifetime completion and break counters
+	// (Releases mirrors Generation() before any wraparound).
+	Releases uint64
+	Breaks   uint64
+}
+
+// Snapshot decodes the current barrier state. It is a single atomic load
+// of the state word plus (in tree topology) a read of the tree's arrival
+// counters: safe to call at any time from any goroutine, and it never
+// perturbs waiters. The count is a consistent snapshot only in the weak
+// sense any concurrent observer gets — arrivals may land between the
+// load and the return.
+func (b *Barrier) Snapshot() Snapshot {
+	st := b.state.Load()
+	s := Snapshot{
+		Generation: stateGen(st),
+		Broken:     st&brokenBit != 0,
+		Parties:    b.parties,
+		Releases:   b.generation.Load(),
+		Breaks:     b.breaks.Load(),
+	}
+	if b.tree != nil {
+		s.Arrived = b.tree.arrived(stateGen(st))
+	} else {
+		s.Arrived = stateCount(st)
+	}
+	return s
+}

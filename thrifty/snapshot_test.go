@@ -1,0 +1,135 @@
+package thrifty
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The packed-word layout is wire format for anyone decoding snapshots:
+// generation in bits 63..32, broken at bit 31, count in bits 30..0. Pin
+// it so a refactor cannot silently shuffle the fields.
+func TestStateWordBitLayoutPinned(t *testing.T) {
+	if brokenBit != uint64(1)<<31 {
+		t.Fatalf("brokenBit = %#x, want bit 31", brokenBit)
+	}
+	if got := packState(5, 3); got != 5<<32|3 {
+		t.Fatalf("packState(5,3) = %#x, want %#x", got, uint64(5<<32|3))
+	}
+	// Round-trip at the field extremes.
+	for _, tc := range []struct {
+		gen   uint32
+		count int
+	}{
+		{0, 0}, {1, 1}, {5, 3}, {1<<32 - 1, 0}, {7, 1<<31 - 1},
+	} {
+		st := packState(tc.gen, tc.count)
+		if stateGen(st) != tc.gen {
+			t.Fatalf("stateGen(packState(%d,%d)) = %d", tc.gen, tc.count, stateGen(st))
+		}
+		// The count accessor must mask the broken bit out, whether or not
+		// it is set.
+		if stateCount(st) != tc.count&^(1<<31) {
+			t.Fatalf("stateCount(packState(%d,%d)) = %d", tc.gen, tc.count, stateCount(st))
+		}
+		if stateCount(st|brokenBit) != tc.count&^(1<<31) {
+			t.Fatalf("broken bit leaked into count for (%d,%d)", tc.gen, tc.count)
+		}
+		if stateGen(st|brokenBit) != tc.gen {
+			t.Fatalf("broken bit leaked into generation for (%d,%d)", tc.gen, tc.count)
+		}
+	}
+}
+
+// Snapshot must decode exactly what the packed word encodes, for any
+// word we plant.
+func TestSnapshotDecodesPlantedWords(t *testing.T) {
+	b := New(4, Options{})
+	for _, tc := range []struct {
+		st   uint64
+		want Snapshot
+	}{
+		{packState(0, 0), Snapshot{Generation: 0, Arrived: 0}},
+		{packState(2, 3), Snapshot{Generation: 2, Arrived: 3}},
+		{packState(7, 1) | brokenBit, Snapshot{Generation: 7, Arrived: 1, Broken: true}},
+	} {
+		b.state.Store(tc.st)
+		got := b.Snapshot()
+		if got.Generation != tc.want.Generation || got.Arrived != tc.want.Arrived ||
+			got.Broken != tc.want.Broken || got.Parties != 4 {
+			t.Fatalf("word %#x decoded to %+v, want %+v", tc.st, got, tc.want)
+		}
+	}
+}
+
+// Live behavior: arrivals show up in the count, a release bumps the
+// generation and zeroes the count, a break sets the bit until Reset.
+func TestSnapshotTracksLifecycle(t *testing.T) {
+	b := New(2, Options{})
+	if s := b.Snapshot(); s.Arrived != 0 || s.Generation != 0 || s.Broken || s.Parties != 2 {
+		t.Fatalf("fresh barrier snapshot %+v", s)
+	}
+
+	// One arrival in flight.
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() { errCh <- b.WaitContext(ctx) }()
+	waitFor(t, func() bool { return b.Snapshot().Arrived == 1 })
+
+	// Cancel it: the barrier breaks and the bit shows.
+	cancel()
+	if err := <-errCh; err != context.Canceled {
+		t.Fatalf("cancelled waiter: %v", err)
+	}
+	waitFor(t, func() bool { return b.Snapshot().Broken })
+	if s := b.Snapshot(); s.Breaks != 1 {
+		t.Fatalf("snapshot after break: %+v", s)
+	}
+	b.Reset()
+	if s := b.Snapshot(); s.Broken {
+		t.Fatalf("snapshot after Reset still broken: %+v", s)
+	}
+
+	// A full rendezvous: generation moves, count returns to zero.
+	before := b.Snapshot().Generation
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); b.Wait() }()
+	}
+	wg.Wait()
+	s := b.Snapshot()
+	if s.Generation != before+1 || s.Arrived != 0 || s.Releases != 1 {
+		t.Fatalf("snapshot after release: %+v (gen before %d)", s, before)
+	}
+}
+
+// In tree topology the central word's count field stays zero and the
+// snapshot must read the combining tree instead.
+func TestSnapshotReadsTreeArrivals(t *testing.T) {
+	b := New(4, Options{TreeRadix: 2})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); b.Wait() }()
+	}
+	waitFor(t, func() bool { return b.Snapshot().Arrived == 3 })
+	wg.Add(1)
+	go func() { defer wg.Done(); b.Wait() }()
+	wg.Wait()
+	if s := b.Snapshot(); s.Arrived != 0 || s.Releases != 1 {
+		t.Fatalf("tree snapshot after release: %+v", s)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never held")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
