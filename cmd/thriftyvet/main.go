@@ -19,15 +19,27 @@
 // annotations (::error file=...) and, when GITHUB_STEP_SUMMARY is set,
 // appends a markdown summary for the job page.
 //
+// The -json flag prints the run as a single JSON object on stdout —
+// every finding (suppressed ones included, with their suppression state
+// and directive reason) plus every directive with its use count — for
+// CI tooling and diff scripts. Stdout carries nothing but the JSON.
+//
 // Findings are suppressed with a directive comment on, or on the line
 // before, the flagged line:
 //
 //	//lint:ignore barriercopy reason for the exception
 //	//lint:file-ignore sleeptable reason the whole file is exempt
+//
+// The -ignores flag audits those directives instead of reporting
+// findings: every analyzer is forced on, each directive is listed with
+// its reason and the number of diagnostics it suppressed, and the exit
+// code is 1 if any directive is stale (suppresses nothing) or malformed
+// (missing the mandatory reason).
 package main
 
 import (
 	"crypto/sha256"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -89,6 +101,8 @@ func standalone(progname string) int {
 		fs.PrintDefaults()
 	}
 	github := fs.Bool("github", false, "emit findings as GitHub Actions annotations and a step summary")
+	jsonOut := fs.Bool("json", false, "emit the run as one JSON object on stdout (findings, suppression state, directives)")
+	ignores := fs.Bool("ignores", false, "audit //lint:ignore directives instead of reporting findings; exit 1 on stale or malformed directives")
 	enabled := map[string]*bool{}
 	for _, a := range suite.All() {
 		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" analyzer: "+a.Doc)
@@ -96,9 +110,15 @@ func standalone(progname string) int {
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		return 2
 	}
+	if *ignores && (*jsonOut || *github) {
+		fmt.Fprintf(os.Stderr, "%s: -ignores cannot be combined with -json or -github\n", progname)
+		return 2
+	}
 	var analyzers []*analysis.Analyzer
 	for _, a := range suite.All() {
-		if *enabled[a.Name] {
+		// The ignores audit forces every analyzer on: a directive is only
+		// provably stale if the analyzer it silences actually ran.
+		if *ignores || *enabled[a.Name] {
 			analyzers = append(analyzers, a)
 		}
 	}
@@ -135,16 +155,37 @@ func standalone(progname string) int {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
 		return 2
 	}
-	findings, err := analysis.Run(pkgs, analyzers)
+	detail, err := analysis.RunDetailed(pkgs, analyzers)
 	code := 0
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
 		code = 1
 	}
-	for i := range findings {
-		findings[i].Pos.Filename = relPath(cwd, findings[i].Pos.Filename)
+	for i := range detail.Findings {
+		detail.Findings[i].Pos.Filename = relPath(cwd, detail.Findings[i].Pos.Filename)
 	}
-	for _, f := range findings {
+	for i := range detail.Suppressed {
+		detail.Suppressed[i].Pos.Filename = relPath(cwd, detail.Suppressed[i].Pos.Filename)
+	}
+	for _, d := range detail.Directives {
+		d.Pos.Filename = relPath(cwd, d.Pos.Filename)
+	}
+
+	if *ignores {
+		return max(code, reportIgnores(detail))
+	}
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, detail); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+			return 1
+		}
+		if len(detail.Findings) > 0 {
+			code = 1
+		}
+		return code
+	}
+
+	for _, f := range detail.Findings {
 		if *github {
 			// Workflow-command annotation: renders on the PR diff.
 			fmt.Printf("::error file=%s,line=%d,col=%d::[%s] %s\n",
@@ -154,10 +195,102 @@ func standalone(progname string) int {
 		}
 	}
 	if *github {
-		writeStepSummary(findings)
+		writeStepSummary(detail.Findings)
 	}
-	if len(findings) > 0 {
+	if len(detail.Findings) > 0 {
 		code = 1
+	}
+	return code
+}
+
+// jsonFinding is one finding row of the -json document.
+type jsonFinding struct {
+	Analyzer   string `json:"analyzer"`
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Column     int    `json:"column"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+// jsonDirective is one //lint:ignore row of the -json document.
+type jsonDirective struct {
+	File      string   `json:"file"`
+	Line      int      `json:"line"`
+	Analyzers []string `json:"analyzers"`
+	Reason    string   `json:"reason"`
+	FileWide  bool     `json:"fileWide,omitempty"`
+	Uses      int      `json:"uses"`
+	Malformed bool     `json:"malformed,omitempty"`
+}
+
+// writeJSON renders the whole run as one JSON object. Findings and
+// suppressed findings share a flat list distinguished by the suppressed
+// field, so a consumer filtering on it needs no schema knowledge beyond
+// one row shape.
+func writeJSON(w io.Writer, detail *analysis.Detail) error {
+	rows := make([]jsonFinding, 0, len(detail.Findings)+len(detail.Suppressed))
+	add := func(fs []analysis.Finding) {
+		for _, f := range fs {
+			rows = append(rows, jsonFinding{
+				Analyzer:   f.Analyzer,
+				File:       f.Pos.Filename,
+				Line:       f.Pos.Line,
+				Column:     f.Pos.Column,
+				Message:    f.Message,
+				Suppressed: f.Suppressed,
+				Reason:     f.Reason,
+			})
+		}
+	}
+	add(detail.Findings)
+	add(detail.Suppressed)
+	directives := make([]jsonDirective, 0, len(detail.Directives))
+	for _, d := range detail.Directives {
+		directives = append(directives, jsonDirective{
+			File:      d.Pos.Filename,
+			Line:      d.Pos.Line,
+			Analyzers: d.Analyzers,
+			Reason:    d.Reason,
+			FileWide:  d.FileWide,
+			Uses:      d.Uses,
+			Malformed: d.Malformed,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Findings   []jsonFinding   `json:"findings"`
+		Directives []jsonDirective `json:"directives"`
+	}{rows, directives})
+}
+
+// reportIgnores prints the directive audit and returns 1 when any
+// directive is stale or malformed.
+func reportIgnores(detail *analysis.Detail) int {
+	code := 0
+	for _, d := range detail.Directives {
+		kind := "ignore"
+		if d.FileWide {
+			kind = "file-ignore"
+		}
+		switch {
+		case d.Malformed:
+			fmt.Printf("%s:%d: MALFORMED %s %s: missing the mandatory reason (directive suppresses nothing)\n",
+				d.Pos.Filename, d.Pos.Line, kind, strings.Join(d.Analyzers, ","))
+			code = 1
+		case d.Uses == 0:
+			fmt.Printf("%s:%d: STALE %s %s: suppresses no diagnostic (%s)\n",
+				d.Pos.Filename, d.Pos.Line, kind, strings.Join(d.Analyzers, ","), d.Reason)
+			code = 1
+		default:
+			fmt.Printf("%s:%d: %s %s: used %d time(s) (%s)\n",
+				d.Pos.Filename, d.Pos.Line, kind, strings.Join(d.Analyzers, ","), d.Uses, d.Reason)
+		}
+	}
+	if code == 0 {
+		fmt.Printf("%d directive(s), none stale\n", len(detail.Directives))
 	}
 	return code
 }

@@ -1,0 +1,81 @@
+// Package atomicmix flags struct fields that are accessed both through
+// sync/atomic operations and through ordinary reads or writes in the
+// same package — the exact hazard class of the thrifty barrier's packed
+// generation+count word (§3.1's single shared counter) and the timing
+// wheel's minimum-arm mailbox.
+//
+// A word updated with atomic.AddUint64 in one place and read plainly in
+// another is a data race even when the plain read "only" feeds a
+// heuristic: the compiler may tear, cache, or reorder it, and the race
+// detector will (rightly) fire. Holding a mutex around the plain access
+// does not help unless every atomic access holds it too — which would
+// defeat the point of the atomic. The rule is therefore strict: once any
+// access of a field goes through sync/atomic, every access must.
+//
+// Fields of the typed atomic kinds (atomic.Uint64 and friends) cannot be
+// mixed by construction and are ignored; only function-style atomics
+// over plain words create the hazard. The check is package-local, like
+// the vet unit it runs in: a field mixed across package boundaries is
+// out of scope (and would be unexported state escaping anyway).
+package atomicmix
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"sort"
+
+	"thriftybarrier/internal/analysis"
+	"thriftybarrier/internal/analysis/callgraph"
+)
+
+// Analyzer is the atomicmix analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc: "flags struct fields reached by both sync/atomic operations and " +
+		"plain accesses (mixed-access data race on a shared word)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	g := callgraph.Build(pass.TypesInfo, pass.Files)
+
+	// First sweep: every field class with at least one atomic access
+	// anywhere in the package, keeping the earliest site as the exemplar
+	// the diagnostics cite.
+	exemplar := map[string]token.Pos{}
+	for _, s := range g.Summaries {
+		for class, sites := range s.Atomic {
+			for _, p := range sites {
+				if cur, ok := exemplar[class]; !ok || p < cur {
+					exemplar[class] = p
+				}
+			}
+		}
+	}
+	if len(exemplar) == 0 {
+		return nil
+	}
+
+	// Second sweep: report every plain access of those classes, in
+	// declaration order so diagnostics are deterministic.
+	for _, s := range g.Summaries {
+		classes := make([]string, 0, len(s.Plain))
+		for class := range s.Plain {
+			if _, mixed := exemplar[class]; mixed {
+				classes = append(classes, class)
+			}
+		}
+		sort.Strings(classes)
+		for _, class := range classes {
+			at := pass.Fset.Position(exemplar[class])
+			cite := fmt.Sprintf("%s:%d", filepath.Base(at.Filename), at.Line)
+			for _, p := range s.Plain[class] {
+				pass.Reportf(p,
+					"plain access of field %s, which is updated through sync/atomic (e.g. at %s): mixed atomic and plain accesses race on the shared word — make every access atomic",
+					class, cite)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,310 @@
+// Package callgraph builds a package-local call graph with per-function
+// summaries, giving analyzers cheap interprocedural answers without
+// whole-program analysis: which locks a function may acquire
+// (transitively), whether it can reach a barrier wait, and which struct
+// fields it touches atomically versus plainly.
+//
+// The graph is deliberately scoped to one package — the same unit a vet
+// pass sees — so summaries never dangle: an edge is recorded only when
+// the callee's declaration is in the same package. Calls into other
+// packages are treated as opaque, which keeps the analyses built on top
+// (lockorder, atomicmix) under-approximate rather than noisy.
+package callgraph
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"thriftybarrier/internal/analysis"
+	"thriftybarrier/internal/analysis/cfg"
+	"thriftybarrier/internal/analysis/lockset"
+)
+
+// Acquire records one lock acquisition inside a function: the lock's
+// canonical class, the receiver text the source spells, and the classes
+// already held at that point (union over paths; never includes the lock
+// itself).
+type Acquire struct {
+	Class   string
+	Display string
+	Pos     token.Pos
+	Held    []string // classes held when this lock is taken
+}
+
+// Call records one call to a function declared in the same package.
+type Call struct {
+	Callee      *types.Func
+	Pos         token.Pos
+	Held        []string // classes held at the call site
+	HeldDisplay string   // source spelling of one held lock, for messages
+}
+
+// Wait records a direct thrifty.Barrier wait/park call.
+type Wait struct {
+	Pos    token.Pos
+	Method string // Wait, WaitSite, WaitContext, WaitSiteContext
+}
+
+// Summary is the per-function digest the graph serves to analyzers.
+type Summary struct {
+	Fn       *types.Func
+	Decl     *ast.FuncDecl
+	Waits    []Wait
+	Acquires []Acquire
+	Calls    []Call
+	// Atomic and Plain map a field's class ("(pkg.Type).field") to the
+	// sites where it is accessed through sync/atomic functions versus
+	// ordinary reads/writes. Function literals nested in the declaration
+	// are included here (the access exists regardless of which goroutine
+	// runs it) but excluded from the lock/wait tracking above.
+	Atomic map[string][]token.Pos
+	Plain  map[string][]token.Pos
+}
+
+// Graph holds every function summary of one package, in declaration
+// order, with memoized transitive queries.
+type Graph struct {
+	Summaries []*Summary
+	byFunc    map[*types.Func]*Summary
+
+	reachMemo map[*types.Func][]string
+	acqMemo   map[*types.Func]map[string]token.Pos
+}
+
+// Lookup returns the summary for fn, or nil if fn is not declared in the
+// analyzed package.
+func (g *Graph) Lookup(fn *types.Func) *Summary { return g.byFunc[fn] }
+
+var waitMethods = map[string]bool{
+	"Wait": true, "WaitSite": true, "WaitContext": true, "WaitSiteContext": true,
+}
+
+// Build constructs the graph for one package's files. Each declared
+// function gets a CFG, a may-held lockset flow, and a summary extracted
+// by replaying the flow block by block; dead blocks contribute nothing.
+func Build(info *types.Info, files []*ast.File) *Graph {
+	g := &Graph{
+		byFunc:    map[*types.Func]*Summary{},
+		reachMemo: map[*types.Func][]string{},
+		acqMemo:   map[*types.Func]map[string]token.Pos{},
+	}
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			s := summarize(info, fn, fd)
+			g.Summaries = append(g.Summaries, s)
+			g.byFunc[fn] = s
+		}
+	}
+	return g
+}
+
+func summarize(info *types.Info, fn *types.Func, fd *ast.FuncDecl) *Summary {
+	s := &Summary{
+		Fn:     fn,
+		Decl:   fd,
+		Atomic: map[string][]token.Pos{},
+		Plain:  map[string][]token.Pos{},
+	}
+
+	graph := cfg.New(fd.Body)
+	flow := lockset.Flow(info, graph)
+	for _, b := range graph.Blocks {
+		if !b.Live {
+			continue
+		}
+		lockset.WalkBlock(info, b, flow.In[b], func(n ast.Node, held lockset.Set) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if recv, method, ok := analysis.ReceiverOf(info, call); ok &&
+				waitMethods[method] && analysis.IsNamed(recv, analysis.ThriftyPkg, "Barrier") {
+				s.Waits = append(s.Waits, Wait{Pos: call.Pos(), Method: method})
+				return true
+			}
+			if op, lock := lockset.Classify(info, call); op == lockset.Acquire {
+				s.Acquires = append(s.Acquires, Acquire{
+					Class:   lockset.Class(info, lock),
+					Display: types.ExprString(lock),
+					Pos:     call.Pos(),
+					Held:    held.Classes(),
+				})
+				return true
+			}
+			if callee := calleeOf(info, call); callee != nil && callee.Pkg() == fn.Pkg() {
+				s.Calls = append(s.Calls, Call{
+					Callee:      callee,
+					Pos:         call.Pos(),
+					Held:        held.Classes(),
+					HeldDisplay: held.Min(),
+				})
+			}
+			return true
+		})
+	}
+
+	collectFieldOps(info, fd, s)
+	return s
+}
+
+// calleeOf resolves a call to the *types.Func it statically invokes
+// (plain function, method, or qualified identifier); nil for builtins,
+// conversions, and calls through function values.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// collectFieldOps records, over the whole declaration (function literals
+// included), which struct fields are accessed through sync/atomic
+// function calls and which through ordinary selectors. The address
+// argument of an atomic call is claimed by the atomic side so the same
+// node is not double-counted as a plain access.
+func collectFieldOps(info *types.Info, fd *ast.FuncDecl, s *Summary) {
+	claimed := map[*ast.SelectorExpr]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel := atomicAddrField(info, call); sel != nil {
+			claimed[sel] = true
+			if class, ok := fieldClass(info, sel); ok {
+				s.Atomic[class] = append(s.Atomic[class], sel.Pos())
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || claimed[sel] {
+			return true
+		}
+		if class, ok := fieldClass(info, sel); ok {
+			s.Plain[class] = append(s.Plain[class], sel.Pos())
+		}
+		return true
+	})
+}
+
+// atomicAddrField returns the field selector whose address is the first
+// argument of a sync/atomic function call (atomic.AddUint64(&s.n, 1)
+// returns the s.n node), or nil.
+func atomicAddrField(info *types.Info, call *ast.CallExpr) *ast.SelectorExpr {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return nil // typed-atomic methods synchronize by construction
+	}
+	if len(call.Args) == 0 {
+		return nil
+	}
+	addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+	if !ok || addr.Op != token.AND {
+		return nil
+	}
+	field, ok := ast.Unparen(addr.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return field
+}
+
+// fieldClass resolves a selector to a named struct field's canonical
+// class "(pkgpath.Type).field".
+func fieldClass(info *types.Info, sel *ast.SelectorExpr) (string, bool) {
+	selection, ok := info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return "", false
+	}
+	recv := selection.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return "", false
+	}
+	return "(" + named.Obj().Pkg().Path() + "." + named.Obj().Name() + ")." + selection.Obj().Name(), true
+}
+
+// ReachesWait reports whether fn can reach a thrifty.Barrier wait through
+// package-local calls, returning the call chain as display names ending
+// with the barrier method (e.g. ["flush", "drain", "(*thrifty.Barrier).Wait"]).
+// Results are memoized; cycles are cut by treating in-progress functions
+// as not reaching (a cycle with no wait inside never parks).
+func (g *Graph) ReachesWait(fn *types.Func) ([]string, bool) {
+	if trace, ok := g.reachMemo[fn]; ok {
+		return trace, trace != nil
+	}
+	g.reachMemo[fn] = nil // cycle cut: in progress / negative
+	s := g.byFunc[fn]
+	if s == nil {
+		return nil, false
+	}
+	if len(s.Waits) > 0 {
+		trace := []string{"(*thrifty.Barrier)." + s.Waits[0].Method}
+		g.reachMemo[fn] = trace
+		return trace, true
+	}
+	for _, c := range s.Calls {
+		if sub, ok := g.ReachesWait(c.Callee); ok {
+			trace := append([]string{c.Callee.Name()}, sub...)
+			g.reachMemo[fn] = trace
+			return trace, true
+		}
+	}
+	return nil, false
+}
+
+// TransitiveAcquires returns every lock class fn may acquire, directly
+// or through package-local calls, with a representative position.
+// Memoized; cycles are cut by returning the partial set computed so far.
+func (g *Graph) TransitiveAcquires(fn *types.Func) map[string]token.Pos {
+	if acq, ok := g.acqMemo[fn]; ok {
+		return acq
+	}
+	acq := map[string]token.Pos{}
+	g.acqMemo[fn] = acq // cycle cut: callees in the cycle see the partial map
+	s := g.byFunc[fn]
+	if s == nil {
+		return acq
+	}
+	for _, a := range s.Acquires {
+		if _, ok := acq[a.Class]; !ok {
+			acq[a.Class] = a.Pos
+		}
+	}
+	for _, c := range s.Calls {
+		for class, pos := range g.TransitiveAcquires(c.Callee) {
+			if _, ok := acq[class]; !ok {
+				acq[class] = pos
+			}
+		}
+	}
+	return acq
+}

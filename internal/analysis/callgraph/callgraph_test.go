@@ -1,0 +1,136 @@
+package callgraph
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+func buildGraph(t *testing.T, src string) (*Graph, map[string]*types.Func) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	g := Build(info, []*ast.File{file})
+	funcs := map[string]*types.Func{}
+	for _, s := range g.Summaries {
+		funcs[s.Fn.Name()] = s.Fn
+	}
+	return g, funcs
+}
+
+const src = `package p
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type S struct {
+	mu  sync.Mutex
+	n   uint64
+	hot uint64
+}
+
+var other sync.Mutex
+
+func (s *S) leaf() {
+	atomic.AddUint64(&s.n, 1)
+}
+
+func (s *S) mid() {
+	s.leaf()
+	other.Lock()
+	other.Unlock()
+}
+
+func (s *S) top() {
+	s.mu.Lock()
+	s.mid()
+	s.mu.Unlock()
+}
+
+func (s *S) plainReader() uint64 {
+	return s.n + s.hot
+}
+`
+
+func TestCallsAndHeldLocks(t *testing.T) {
+	g, funcs := buildGraph(t, src)
+	top := g.Lookup(funcs["top"])
+	if top == nil {
+		t.Fatal("no summary for top")
+	}
+	if len(top.Calls) != 1 || top.Calls[0].Callee.Name() != "mid" {
+		t.Fatalf("top.Calls = %+v, want one call to mid", top.Calls)
+	}
+	if got := top.Calls[0].Held; len(got) != 1 || got[0] != "(p.S).mu" {
+		t.Errorf("held at call to mid = %v, want [(p.S).mu]", got)
+	}
+}
+
+func TestTransitiveAcquires(t *testing.T) {
+	g, funcs := buildGraph(t, src)
+	acq := g.TransitiveAcquires(funcs["top"])
+	for _, class := range []string{"(p.S).mu", "p.other"} {
+		if _, ok := acq[class]; !ok {
+			t.Errorf("TransitiveAcquires(top) missing %q (got %v)", class, acq)
+		}
+	}
+	if acqLeaf := g.TransitiveAcquires(funcs["leaf"]); len(acqLeaf) != 0 {
+		t.Errorf("TransitiveAcquires(leaf) = %v, want empty", acqLeaf)
+	}
+}
+
+func TestAtomicVsPlainFieldOps(t *testing.T) {
+	g, funcs := buildGraph(t, src)
+	leaf := g.Lookup(funcs["leaf"])
+	if got := leaf.Atomic["(p.S).n"]; len(got) != 1 {
+		t.Errorf("leaf atomic ops on (p.S).n = %d sites, want 1", len(got))
+	}
+	if got := leaf.Plain["(p.S).n"]; len(got) != 0 {
+		t.Errorf("leaf plain ops on (p.S).n = %d sites, want 0 (claimed by the atomic call)", len(got))
+	}
+	reader := g.Lookup(funcs["plainReader"])
+	if got := reader.Plain["(p.S).n"]; len(got) != 1 {
+		t.Errorf("plainReader plain ops on (p.S).n = %d sites, want 1", len(got))
+	}
+	if got := reader.Plain["(p.S).hot"]; len(got) != 1 {
+		t.Errorf("plainReader plain ops on (p.S).hot = %d sites, want 1", len(got))
+	}
+}
+
+func TestRecursionDoesNotDiverge(t *testing.T) {
+	g, funcs := buildGraph(t, `package p
+
+import "sync"
+
+var mu sync.Mutex
+
+func a() { mu.Lock(); mu.Unlock(); b() }
+func b() { a() }
+`)
+	acq := g.TransitiveAcquires(funcs["b"])
+	if _, ok := acq["p.mu"]; !ok {
+		t.Errorf("TransitiveAcquires(b) = %v, want to include p.mu through the cycle", acq)
+	}
+	if _, reaches := g.ReachesWait(funcs["a"]); reaches {
+		t.Error("ReachesWait(a) = true, want false (no barrier in the cycle)")
+	}
+}

@@ -1,0 +1,526 @@
+// Package cfg builds per-function control-flow graphs from go/ast and
+// runs dataflow analyses over them. It is the flow-sensitive substrate of
+// the analyzer suite: the syntactic analyzers in internal/analysis walk
+// statements in source order, which misses facts that only hold on some
+// paths (a lock released in one branch, a wait reached around a loop's
+// back edge, code skipped by a goto). A CFG makes those paths explicit,
+// and the generic fixpoint engine in dataflow.go propagates analyzer
+// facts along them.
+//
+// The shape follows golang.org/x/tools/go/cfg, rebuilt on the standard
+// library only: a Graph of basic Blocks whose Nodes are the statements
+// and control-condition expressions executed in order. Compound
+// statements never appear as nodes themselves — an if contributes its
+// condition, a switch its tag, a range its operand — so walking a
+// block's nodes visits each executable subtree exactly once.
+//
+// Control flow covered: if/else, for (all three clauses), range,
+// switch/type switch (with fallthrough), select, labeled statements,
+// break/continue (labeled and bare), goto (forward and backward), return
+// and calls to the panic builtin (both edges to the synthetic Exit
+// block). Deferred calls are collected on Graph.Defers and also appear
+// in flow order as DeferStmt nodes, so an analysis can both see where a
+// defer is scheduled and model its body running at every exit.
+package cfg
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// Block is one basic block: a maximal sequence of nodes with a single
+// entry at the top and branches only at the bottom.
+type Block struct {
+	// Index is the block's position in Graph.Blocks, stable across a
+	// build; the String form names blocks bN by it.
+	Index int
+	// Kind describes what created the block ("entry", "if.then",
+	// "for.head", "label.retry", ...) for dumps and goldens.
+	Kind string
+	// Nodes are the statements and control expressions executed in
+	// order. Subtrees of distinct nodes never overlap.
+	Nodes []ast.Node
+	// Succs and Preds are the flow edges. Succs order is deterministic:
+	// fallthrough/then edges precede branch/else edges.
+	Succs []*Block
+	Preds []*Block
+	// Live is false for blocks unreachable from Entry (statements after
+	// an unconditional return/goto/panic). Dead blocks keep their edges
+	// into live code — a goto target is still a join point in the
+	// source — but the dataflow engine never propagates facts out of
+	// them, and analyses skip them when reporting.
+	Live bool
+}
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Blocks holds every block, Entry first; Exit is the single
+	// synthetic exit that return, panic and falling off the end reach.
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block
+	// Defers collects the function's defer statements in source order;
+	// their calls run, in reverse order, on every path into Exit.
+	Defers []*ast.DeferStmt
+}
+
+// New builds the graph of one function body (from an *ast.FuncDecl.Body
+// or *ast.FuncLit.Body). Nested function literals are opaque: they
+// contribute a node where the literal appears but their bodies get their
+// own graphs.
+func New(body *ast.BlockStmt) *Graph {
+	g := &Graph{}
+	b := &builder{g: g, labels: map[string]*labelInfo{}}
+	g.Entry = b.newBlock("entry")
+	g.Exit = b.newBlock("exit")
+	b.cur = g.Entry
+	b.stmtList(body.List)
+	b.jump(g.Exit)
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Succs {
+			s.Preds = append(s.Preds, blk)
+		}
+	}
+	var mark func(*Block)
+	mark = func(blk *Block) {
+		if blk.Live {
+			return
+		}
+		blk.Live = true
+		for _, s := range blk.Succs {
+			mark(s)
+		}
+	}
+	mark(g.Entry)
+	return g
+}
+
+// String renders the graph one block per line — "bN kind: node; node ->
+// succs" — for goldens and debugging. Node text is the printed source
+// with whitespace collapsed.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&sb, "b%d %s:", blk.Index, blk.Kind)
+		for i, n := range blk.Nodes {
+			if i > 0 {
+				sb.WriteString(";")
+			}
+			sb.WriteString(" " + nodeText(n))
+		}
+		if len(blk.Succs) > 0 {
+			sb.WriteString(" ->")
+			for _, s := range blk.Succs {
+				fmt.Fprintf(&sb, " b%d", s.Index)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func nodeText(n ast.Node) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, token.NewFileSet(), n); err != nil {
+		return fmt.Sprintf("<%T>", n)
+	}
+	return strings.Join(strings.Fields(buf.String()), " ")
+}
+
+// labelInfo tracks one label: the block a goto targets, and — while its
+// labeled loop/switch/select is being built — the break/continue
+// targets.
+type labelInfo struct {
+	target    *Block // goto target / fall-in block
+	breakB    *Block
+	continueB *Block
+	resolved  bool // the LabeledStmt itself has been reached
+}
+
+type builder struct {
+	g   *Graph
+	cur *Block // nil while flow is unreachable (after return/goto/panic)
+	// breakB/continueB are the innermost bare-break/continue targets.
+	breakB    *Block
+	continueB *Block
+	// fallthroughB is the next case body while building a switch case.
+	fallthroughB *Block
+	// pendingLabel is set by a LabeledStmt for the loop/switch statement
+	// it wraps, which registers its break/continue targets there.
+	pendingLabel *labelInfo
+	labels       map[string]*labelInfo
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func link(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+}
+
+// add appends n to the current block; a nil current block means the node
+// is unreachable, and it is parked in a fresh predecessor-less block so
+// analyses can still see (and deliberately skip) dead code.
+func (b *builder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock("unreachable")
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// jump ends the current block with an edge to target.
+func (b *builder) jump(target *Block) {
+	if b.cur != nil {
+		link(b.cur, target)
+		b.cur = nil
+	}
+}
+
+// start makes target the current block (the usual join-point pattern:
+// jump into it from the branches, then start it).
+func (b *builder) start(target *Block) {
+	b.cur = target
+}
+
+func (b *builder) label(name string) *labelInfo {
+	info := b.labels[name]
+	if info == nil {
+		info = &labelInfo{}
+		b.labels[name] = info
+	}
+	return info
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes a pending label for the construct being built and
+// returns it (nil when the construct is unlabeled).
+func (b *builder) takeLabel() *labelInfo {
+	info := b.pendingLabel
+	b.pendingLabel = nil
+	return info
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.EmptyStmt:
+		// no node
+	case *ast.LabeledStmt:
+		info := b.label(s.Label.Name)
+		if info.target == nil {
+			info.target = b.newBlock("label." + s.Label.Name)
+		}
+		info.resolved = true
+		b.jump(info.target)
+		b.start(info.target)
+		b.pendingLabel = info
+		b.stmt(s.Stmt)
+		b.pendingLabel = nil
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.g.Exit)
+	case *ast.BranchStmt:
+		b.branch(s)
+	case *ast.DeferStmt:
+		b.g.Defers = append(b.g.Defers, s)
+		b.add(s)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		b.switchStmt(s)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s)
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok && isPanic(call) {
+			b.jump(b.g.Exit)
+		}
+	default:
+		// DeclStmt, AssignStmt, IncDecStmt, SendStmt, GoStmt, ...
+		b.add(s)
+	}
+}
+
+// isPanic matches a call to the predeclared panic builtin syntactically
+// (a shadowed panic would be misread; no function in this module shadows
+// it, and the cost of a miss is one conservative extra flow edge).
+func isPanic(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+func (b *builder) branch(s *ast.BranchStmt) {
+	switch s.Tok {
+	case token.GOTO:
+		info := b.label(s.Label.Name)
+		if info.target == nil {
+			info.target = b.newBlock("label." + s.Label.Name)
+		}
+		b.add(s)
+		b.jump(info.target)
+	case token.BREAK:
+		target := b.breakB
+		if s.Label != nil {
+			target = b.label(s.Label.Name).breakB
+		}
+		b.add(s)
+		if target != nil {
+			b.jump(target)
+		} else {
+			b.cur = nil // malformed break: sever flow rather than mislink
+		}
+	case token.CONTINUE:
+		target := b.continueB
+		if s.Label != nil {
+			target = b.label(s.Label.Name).continueB
+		}
+		b.add(s)
+		if target != nil {
+			b.jump(target)
+		} else {
+			b.cur = nil
+		}
+	case token.FALLTHROUGH:
+		b.add(s)
+		if b.fallthroughB != nil {
+			b.jump(b.fallthroughB)
+		} else {
+			b.cur = nil
+		}
+	}
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Cond)
+	then := b.newBlock("if.then")
+	done := b.newBlock("if.done")
+	var elseB *Block
+	if s.Else != nil {
+		elseB = b.newBlock("if.else")
+	}
+	if b.cur != nil {
+		link(b.cur, then)
+		if elseB != nil {
+			link(b.cur, elseB)
+		} else {
+			link(b.cur, done)
+		}
+		b.cur = nil
+	}
+	b.start(then)
+	b.stmtList(s.Body.List)
+	b.jump(done)
+	if elseB != nil {
+		b.start(elseB)
+		b.stmt(s.Else)
+		b.jump(done)
+	}
+	b.start(done)
+}
+
+// pushLoop installs break/continue targets (and binds them to a pending
+// label), returning a restore func.
+func (b *builder) pushLoop(breakB, continueB *Block) func() {
+	prevBreak, prevCont := b.breakB, b.continueB
+	prevFall := b.fallthroughB
+	b.breakB, b.continueB = breakB, continueB
+	b.fallthroughB = nil // fallthrough does not cross a loop boundary
+	if info := b.takeLabel(); info != nil {
+		info.breakB, info.continueB = breakB, continueB
+	}
+	return func() {
+		b.breakB, b.continueB = prevBreak, prevCont
+		b.fallthroughB = prevFall
+	}
+}
+
+func (b *builder) forStmt(s *ast.ForStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	head := b.newBlock("for.head")
+	body := b.newBlock("for.body")
+	done := b.newBlock("for.done")
+	back := head // continue target
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock("for.post")
+		back = post
+	}
+	b.jump(head)
+	b.start(head)
+	if s.Cond != nil {
+		b.add(s.Cond)
+		link(head, body)
+		link(head, done)
+	} else {
+		link(head, body) // for {}: done is reached only by break
+	}
+	b.cur = nil
+	restore := b.pushLoop(done, back)
+	b.start(body)
+	b.stmtList(s.Body.List)
+	if post != nil {
+		b.jump(post)
+		b.start(post)
+		b.add(s.Post)
+		b.jump(head)
+	} else {
+		b.jump(head)
+	}
+	restore()
+	b.start(done)
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt) {
+	b.add(s.X)
+	head := b.newBlock("range.head")
+	body := b.newBlock("range.body")
+	done := b.newBlock("range.done")
+	b.jump(head)
+	link(head, body)
+	link(head, done)
+	restore := b.pushLoop(done, head)
+	b.start(body)
+	b.stmtList(s.Body.List)
+	b.jump(head)
+	restore()
+	b.start(done)
+}
+
+// caseBodies builds the shared case-dispatch shape: head links to every
+// case body (and to done when a non-blocking statement has no default —
+// a select without a default never falls through, it waits), each body
+// ends at done, fallthrough falls into the next body.
+func (b *builder) caseBodies(head, done *Block, kind string, clauses []ast.Stmt) {
+	type caseBlock struct {
+		body  []ast.Stmt
+		block *Block
+	}
+	var cases []caseBlock
+	hasDefault := false
+	for _, cl := range clauses {
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cl.List {
+				head.Nodes = append(head.Nodes, e)
+			}
+			cases = append(cases, caseBlock{cl.Body, b.newBlock(kind + ".case")})
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			}
+			blk := b.newBlock(kind + ".case")
+			if cl.Comm != nil {
+				blk.Nodes = append(blk.Nodes, cl.Comm)
+			}
+			cases = append(cases, caseBlock{cl.Body, blk})
+		}
+	}
+	for _, c := range cases {
+		link(head, c.block)
+	}
+	if !hasDefault && kind != "select" {
+		link(head, done)
+	}
+	prevFall := b.fallthroughB
+	for i, c := range cases {
+		b.fallthroughB = nil
+		if i+1 < len(cases) {
+			b.fallthroughB = cases[i+1].block
+		}
+		b.start(c.block)
+		b.stmtList(c.body)
+		b.jump(done)
+	}
+	b.fallthroughB = prevFall
+}
+
+func (b *builder) switchStmt(s *ast.SwitchStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	if s.Tag != nil {
+		b.add(s.Tag)
+	}
+	head := b.cur
+	if head == nil {
+		head = b.newBlock("unreachable")
+		b.cur = head
+	}
+	done := b.newBlock("switch.done")
+	prevBreak := b.breakB
+	b.breakB = done
+	if info := b.takeLabel(); info != nil {
+		info.breakB = done
+	}
+	b.cur = nil
+	b.caseBodies(head, done, "switch", s.Body.List)
+	b.breakB = prevBreak
+	b.start(done)
+}
+
+func (b *builder) typeSwitchStmt(s *ast.TypeSwitchStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Assign)
+	head := b.cur
+	if head == nil {
+		head = b.newBlock("unreachable")
+		b.cur = head
+	}
+	done := b.newBlock("typeswitch.done")
+	prevBreak := b.breakB
+	b.breakB = done
+	if info := b.takeLabel(); info != nil {
+		info.breakB = done
+	}
+	b.cur = nil
+	b.caseBodies(head, done, "typeswitch", s.Body.List)
+	b.breakB = prevBreak
+	b.start(done)
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt) {
+	head := b.cur
+	if head == nil {
+		head = b.newBlock("unreachable")
+		b.cur = head
+	}
+	done := b.newBlock("select.done")
+	prevBreak := b.breakB
+	b.breakB = done
+	if info := b.takeLabel(); info != nil {
+		info.breakB = done
+	}
+	b.cur = nil
+	b.caseBodies(head, done, "select", s.Body.List)
+	b.breakB = prevBreak
+	b.start(done)
+}

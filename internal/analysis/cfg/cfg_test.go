@@ -1,0 +1,236 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildFunc parses src as the body of a function and returns its graph.
+func buildFunc(t *testing.T, src string) *Graph {
+	t.Helper()
+	file := "package p\nfunc f() {\n" + src + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", file, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return New(f.Decls[0].(*ast.FuncDecl).Body)
+}
+
+// The goldens pin the exact block structure for the shapes the issue
+// calls out — defer, goto, labeled break — plus the loop-with-continue
+// shape the lockedwait rewrite depends on. A changed builder that still
+// produces a correct graph may legitimately change these strings; update
+// them only after checking the new edges by hand.
+func TestGolden(t *testing.T) {
+	tests := []struct {
+		name, src, want string
+	}{
+		{
+			name: "defer",
+			src: `mu.Lock()
+defer mu.Unlock()
+work()`,
+			want: `
+b0 entry: mu.Lock(); defer mu.Unlock(); work() -> b1
+b1 exit:
+`,
+		},
+		{
+			name: "goto_skips_lock",
+			src: `goto wait
+mu.Lock()
+wait:
+b.Wait()`,
+			want: `
+b0 entry: goto wait -> b2
+b1 exit:
+b2 label.wait: b.Wait() -> b1
+b3 unreachable: mu.Lock() -> b2
+`,
+		},
+		{
+			name: "goto_backward",
+			src: `retry:
+if x() {
+	goto retry
+}
+done()`,
+			want: `
+b0 entry: -> b2
+b1 exit:
+b2 label.retry: x() -> b3 b4
+b3 if.then: goto retry -> b2
+b4 if.done: done() -> b1
+`,
+		},
+		{
+			name: "labeled_break",
+			src: `outer:
+for a() {
+	for b() {
+		if c() {
+			break outer
+		}
+		break
+	}
+}
+end()`,
+			want: `
+b0 entry: -> b2
+b1 exit:
+b2 label.outer: -> b3
+b3 for.head: a() -> b4 b5
+b4 for.body: -> b6
+b5 for.done: end() -> b1
+b6 for.head: b() -> b7 b8
+b7 for.body: c() -> b9 b10
+b8 for.done: -> b3
+b9 if.then: break outer -> b5
+b10 if.done: break -> b8
+`,
+		},
+		{
+			name: "labeled_continue_post",
+			src: `loop:
+for i := 0; i < n; i++ {
+	if skip() {
+		continue loop
+	}
+	body()
+}`,
+			want: `
+b0 entry: -> b2
+b1 exit:
+b2 label.loop: i := 0 -> b3
+b3 for.head: i < n -> b4 b5
+b4 for.body: skip() -> b7 b8
+b5 for.done: -> b1
+b6 for.post: i++ -> b3
+b7 if.then: continue loop -> b6
+b8 if.done: body() -> b6
+`,
+		},
+		{
+			name: "switch_fallthrough",
+			src: `switch x {
+case 1:
+	a()
+	fallthrough
+case 2:
+	b()
+default:
+	c()
+}`,
+			want: `
+b0 entry: x; 1; 2 -> b3 b4 b5
+b1 exit:
+b2 switch.done: -> b1
+b3 switch.case: a(); fallthrough -> b4
+b4 switch.case: b() -> b2
+b5 switch.case: c() -> b2
+`,
+		},
+		{
+			name: "select_no_default",
+			src: `select {
+case <-ch:
+	a()
+case v := <-ch2:
+	use(v)
+}
+after()`,
+			want: `
+b0 entry: -> b3 b4
+b1 exit:
+b2 select.done: after() -> b1
+b3 select.case: <-ch; a() -> b2
+b4 select.case: v := <-ch2; use(v) -> b2
+`,
+		},
+		{
+			name: "return_and_panic_exit",
+			src: `if x() {
+	return
+}
+panic("boom")`,
+			want: `
+b0 entry: x() -> b2 b3
+b1 exit:
+b2 if.then: return -> b1
+b3 if.done: panic("boom") -> b1
+`,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g := buildFunc(t, tt.src)
+			got := strings.TrimSpace(g.String())
+			want := strings.TrimSpace(tt.want)
+			if got != want {
+				t.Errorf("graph mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+func TestDefersCollected(t *testing.T) {
+	g := buildFunc(t, `defer a()
+if x() {
+	defer b()
+}
+defer c()`)
+	if len(g.Defers) != 3 {
+		t.Fatalf("got %d defers, want 3", len(g.Defers))
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := buildFunc(t, `goto wait
+mu.Lock()
+wait:
+b.Wait()`)
+	var dead *Block
+	for _, blk := range g.Blocks {
+		if blk.Kind == "unreachable" {
+			dead = blk
+		}
+	}
+	if dead == nil {
+		t.Fatal("no unreachable block built for the skipped statement")
+	}
+	if dead.Live {
+		t.Errorf("block %d (statement after goto) reported live", dead.Index)
+	}
+	if !g.Exit.Live {
+		t.Errorf("exit reported dead")
+	}
+}
+
+// Every block reachable from entry must flow somewhere: no dangling
+// blocks without successors except Exit. Checked over a grab bag of
+// shapes, including nested and labeled control flow.
+func TestNoDanglingBlocks(t *testing.T) {
+	srcs := []string{
+		`for { if a() { break }; work() }`,
+		`for a() { for b() { continue } }`,
+		`switch { case a(): x(); case b(): y() }`,
+		`l: for { switch v { case 1: break l; case 2: continue } }`,
+		`if a() { return }; defer f(); go g()`,
+	}
+	for _, src := range srcs {
+		g := buildFunc(t, src)
+		for _, blk := range g.Blocks {
+			if blk == g.Exit || !blk.Live {
+				continue
+			}
+			if len(blk.Succs) == 0 {
+				t.Errorf("src %q: reachable block b%d %s has no successors\n%s",
+					src, blk.Index, blk.Kind, g.String())
+			}
+		}
+	}
+}

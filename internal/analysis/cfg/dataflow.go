@@ -1,0 +1,103 @@
+package cfg
+
+// Lattice is the join-semilattice a dataflow analysis computes over.
+// Facts must be treated as immutable by Join (return a fresh value when
+// the result differs from both inputs): the engine caches and compares
+// them across iterations.
+type Lattice[F any] interface {
+	// Bottom is the identity of Join: the initial fact of every block
+	// except the boundary.
+	Bottom() F
+	// Join combines facts flowing in over two edges.
+	Join(a, b F) F
+	// Equal reports fact equality; the fixpoint terminates when no
+	// block's output changes under Equal.
+	Equal(a, b F) bool
+}
+
+// Result holds the per-block fixpoint facts: In is the fact at block
+// entry (join over predecessor Outs for a forward analysis), Out the
+// fact after the block's transfer function.
+type Result[F any] struct {
+	In  map[*Block]F
+	Out map[*Block]F
+}
+
+// Forward computes the forward dataflow fixpoint: boundary is the fact
+// entering Graph.Entry, and transfer maps a block's entry fact to its
+// exit fact. Iteration is a FIFO worklist seeded in block order; with a
+// monotone transfer over a finite-height lattice it terminates at the
+// least fixpoint (the same one naive whole-graph iteration reaches,
+// which the differential test in dataflow_test.go pins).
+func Forward[F any](g *Graph, lat Lattice[F], boundary F, transfer func(*Block, F) F) Result[F] {
+	return fixpoint(g, lat, boundary, transfer, g.Entry,
+		func(b *Block) []*Block { return b.Preds },
+		func(b *Block) []*Block { return b.Succs })
+}
+
+// Backward computes the backward fixpoint: boundary enters Graph.Exit
+// and facts propagate against the flow edges. Result.In remains "fact at
+// block entry in execution order": for a backward analysis it is the
+// transferred fact, and Result.Out the join over successors.
+func Backward[F any](g *Graph, lat Lattice[F], boundary F, transfer func(*Block, F) F) Result[F] {
+	res := fixpoint(g, lat, boundary, transfer, g.Exit,
+		func(b *Block) []*Block { return b.Succs },
+		func(b *Block) []*Block { return b.Preds })
+	// fixpoint's "in" is the joined side and its "out" the transferred
+	// side; flip so callers always read In/Out in execution order.
+	return Result[F]{In: res.Out, Out: res.In}
+}
+
+// fixpoint is the direction-agnostic worklist: "in" of a block joins the
+// "out" of its sources (preds forward, succs backward), "out" is the
+// transferred "in", and a changed "out" re-queues the block's sinks.
+// Dead blocks (Live false) hold Bottom throughout: code that never
+// executes must not contribute facts to the join points its stray edges
+// reach (a statement after a goto still links to the goto's label).
+func fixpoint[F any](g *Graph, lat Lattice[F], boundary F, transfer func(*Block, F) F,
+	start *Block, sources, sinks func(*Block) []*Block) Result[F] {
+
+	in := make(map[*Block]F, len(g.Blocks))
+	out := make(map[*Block]F, len(g.Blocks))
+	for _, b := range g.Blocks {
+		in[b] = lat.Bottom()
+		out[b] = lat.Bottom()
+	}
+
+	queued := make([]bool, len(g.Blocks))
+	var list []*Block
+	push := func(b *Block) {
+		if b.Live && !queued[b.Index] {
+			queued[b.Index] = true
+			list = append(list, b)
+		}
+	}
+	for _, b := range g.Blocks {
+		push(b)
+	}
+
+	for len(list) > 0 {
+		b := list[0]
+		list = list[1:]
+		queued[b.Index] = false
+
+		fact := lat.Bottom()
+		if b == start {
+			fact = boundary
+		}
+		for _, src := range sources(b) {
+			if src.Live {
+				fact = lat.Join(fact, out[src])
+			}
+		}
+		in[b] = fact
+		next := transfer(b, fact)
+		if !lat.Equal(next, out[b]) {
+			out[b] = next
+			for _, snk := range sinks(b) {
+				push(snk)
+			}
+		}
+	}
+	return Result[F]{In: in, Out: out}
+}

@@ -17,19 +17,39 @@ import (
 // file-ignore directive, anywhere in a file, suppresses the listed
 // analyzers for the whole file. The analyzer list may be "*" to suppress
 // every analyzer. A reason is mandatory; a directive without one is
-// ignored (and the diagnostic stays).
+// ignored (the diagnostic stays) and surfaces as malformed in the
+// -ignores audit.
 
-// suppressor answers "is this diagnostic suppressed?" for one package.
+// Directive is one parsed //lint:ignore or //lint:file-ignore comment,
+// with a use counter so the -ignores audit can detect stale suppressions
+// that no longer match any diagnostic.
+type Directive struct {
+	Pos       token.Position
+	Analyzers []string
+	Reason    string
+	FileWide  bool
+	// Uses counts the diagnostics this directive suppressed in the run.
+	// A well-formed directive with zero uses is stale: the finding it
+	// once silenced is gone, and the directive should go with it.
+	Uses int
+	// Malformed marks a directive with no reason; it suppresses nothing.
+	Malformed bool
+}
+
+// suppressor answers "is this diagnostic suppressed?" for one package,
+// counting uses per directive.
 type suppressor struct {
 	fset *token.FileSet
-	// line directives: filename -> line -> analyzer names ("*" wildcards).
-	lines map[string]map[int][]string
-	// file directives: filename -> analyzer names.
-	files map[string][]string
+	// directives in source order, shared with the index maps below.
+	directives []*Directive
+	// line index: filename -> line -> directives covering that line.
+	lines map[string]map[int][]*Directive
+	// file index: filename -> file-wide directives.
+	files map[string][]*Directive
 }
 
 func newSuppressor(fset *token.FileSet, files []*ast.File) *suppressor {
-	s := &suppressor{fset: fset, lines: map[string]map[int][]string{}, files: map[string][]string{}}
+	s := &suppressor{fset: fset, lines: map[string]map[int][]*Directive{}, files: map[string][]*Directive{}}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -44,23 +64,35 @@ func newSuppressor(fset *token.FileSet, files []*ast.File) *suppressor {
 				default:
 					continue
 				}
-				fields := strings.Fields(text)
-				if len(fields) < 2 {
-					continue // no reason given: directive is ineffective
-				}
-				names := strings.Split(fields[0], ",")
 				pos := s.fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					continue // not even an analyzer list: plain noise
+				}
+				d := &Directive{
+					Pos:       pos,
+					Analyzers: strings.Split(fields[0], ","),
+					FileWide:  fileWide,
+					Malformed: len(fields) < 2,
+				}
+				if !d.Malformed {
+					d.Reason = strings.TrimSpace(strings.TrimPrefix(text, fields[0]))
+				}
+				s.directives = append(s.directives, d)
+				if d.Malformed {
+					continue // recorded for the audit, but never suppresses
+				}
 				if fileWide {
-					s.files[pos.Filename] = append(s.files[pos.Filename], names...)
+					s.files[pos.Filename] = append(s.files[pos.Filename], d)
 					continue
 				}
 				m := s.lines[pos.Filename]
 				if m == nil {
-					m = map[int][]string{}
+					m = map[int][]*Directive{}
 					s.lines[pos.Filename] = m
 				}
-				m[pos.Line] = append(m[pos.Line], names...)
-				m[pos.Line+1] = append(m[pos.Line+1], names...)
+				m[pos.Line] = append(m[pos.Line], d)
+				m[pos.Line+1] = append(m[pos.Line+1], d)
 			}
 		}
 	}
@@ -77,14 +109,28 @@ func matches(names []string, analyzer string) bool {
 }
 
 // suppressed reports whether analyzer's diagnostic at pos is covered by a
-// directive.
-func (s *suppressor) suppressed(analyzer string, pos token.Pos) bool {
+// directive. Every covering directive is counted as used (two directives
+// over one diagnostic are both live), and the first one's reason is
+// returned for reporting.
+func (s *suppressor) suppressed(analyzer string, pos token.Pos) (reason string, ok bool) {
 	p := s.fset.Position(pos)
-	if matches(s.files[p.Filename], analyzer) {
-		return true
+	hit := func(d *Directive) {
+		d.Uses++
+		if !ok {
+			reason, ok = d.Reason, true
+		}
 	}
-	if m := s.lines[p.Filename]; m != nil && matches(m[p.Line], analyzer) {
-		return true
+	for _, d := range s.files[p.Filename] {
+		if matches(d.Analyzers, analyzer) {
+			hit(d)
+		}
 	}
-	return false
+	if m := s.lines[p.Filename]; m != nil {
+		for _, d := range m[p.Line] {
+			if matches(d.Analyzers, analyzer) {
+				hit(d)
+			}
+		}
+	}
+	return reason, ok
 }

@@ -2,17 +2,20 @@ package analysis_test
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"thriftybarrier/internal/analysis/load"
 )
 
-// TestThriftyvetExamplesClean builds the real cmd/thriftyvet binary and
-// runs it over the shipped example programs: the documentation must pass
-// its own linter with zero diagnostics.
-func TestThriftyvetExamplesClean(t *testing.T) {
+// buildThriftyvet compiles the real cmd/thriftyvet binary into a temp
+// dir and returns its path plus the module root it was built from.
+func buildThriftyvet(t *testing.T) (bin, root string) {
+	t.Helper()
 	if testing.Short() {
 		t.Skip("builds and runs the binary")
 	}
@@ -20,24 +23,170 @@ func TestThriftyvetExamplesClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bin := filepath.Join(t.TempDir(), "thriftyvet")
+	bin = filepath.Join(t.TempDir(), "thriftyvet")
 	build := exec.Command("go", "build", "-o", bin, "./cmd/thriftyvet")
 	build.Dir = root
 	out, err := build.CombinedOutput()
 	if err != nil {
 		t.Fatalf("go build: %v\n%s", err, out)
 	}
+	return bin, root
+}
 
-	var stdout, stderr bytes.Buffer
-	cmd := exec.Command(bin, "./examples/...", "./cmd/...")
-	cmd.Dir = root
-	cmd.Stdout = &stdout
-	cmd.Stderr = &stderr
-	if err := cmd.Run(); err != nil {
-		t.Errorf("thriftyvet over examples/ and cmd/: %v\nstdout:\n%s\nstderr:\n%s",
-			err, stdout.String(), stderr.String())
+// runVet runs the built binary and returns its exit code and streams.
+func runVet(t *testing.T, bin, dir string, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var outBuf, errBuf bytes.Buffer
+	cmd := exec.Command(bin, args...)
+	cmd.Dir = dir
+	cmd.Stdout = &outBuf
+	cmd.Stderr = &errBuf
+	err := cmd.Run()
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("thriftyvet %v: %v", args, err)
+		}
+		code = ee.ExitCode()
 	}
-	if stdout.Len() != 0 {
-		t.Errorf("expected zero diagnostics, got:\n%s", stdout.String())
+	return code, outBuf.String(), errBuf.String()
+}
+
+// TestThriftyvetExamplesClean runs the binary over the shipped example
+// programs: the documentation must pass its own linter with zero
+// diagnostics.
+func TestThriftyvetExamplesClean(t *testing.T) {
+	bin, root := buildThriftyvet(t)
+	code, stdout, stderr := runVet(t, bin, root, "./examples/...", "./cmd/...")
+	if code != 0 {
+		t.Errorf("thriftyvet over examples/ and cmd/: exit %d\nstdout:\n%s\nstderr:\n%s",
+			code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("expected zero diagnostics, got:\n%s", stdout)
+	}
+}
+
+// vetReport mirrors the -json document shape.
+type vetReport struct {
+	Findings []struct {
+		Analyzer   string `json:"analyzer"`
+		File       string `json:"file"`
+		Line       int    `json:"line"`
+		Message    string `json:"message"`
+		Suppressed bool   `json:"suppressed"`
+		Reason     string `json:"reason"`
+	} `json:"findings"`
+	Directives []struct {
+		File   string `json:"file"`
+		Line   int    `json:"line"`
+		Reason string `json:"reason"`
+		Uses   int    `json:"uses"`
+	} `json:"directives"`
+}
+
+// TestThriftyvetJSONStdoutClean pins the -json contract: stdout carries
+// one JSON object and nothing else, in both the clean (exit 0) and the
+// flagged (exit 1) case. A stray diagnostic line or debug print on
+// stdout breaks every CI consumer piping the report into a tool, so the
+// whole stream must unmarshal.
+func TestThriftyvetJSONStdoutClean(t *testing.T) {
+	bin, root := buildThriftyvet(t)
+
+	t.Run("clean", func(t *testing.T) {
+		code, stdout, stderr := runVet(t, bin, root, "-json", "./examples/...", "./cmd/...")
+		if code != 0 {
+			t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+		}
+		var rep vetReport
+		if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+			t.Fatalf("stdout is not pure JSON: %v\n%s", err, stdout)
+		}
+		if len(rep.Findings) != 0 {
+			t.Errorf("expected zero findings, got %d", len(rep.Findings))
+		}
+	})
+
+	t.Run("flagged", func(t *testing.T) {
+		// A scratch module with one unwired frame constant: framepair
+		// fires without needing any import, so the module stays
+		// self-contained.
+		dir := t.TempDir()
+		writeFile(t, filepath.Join(dir, "go.mod"), "module scratch\n\ngo 1.23\n")
+		writeFile(t, filepath.Join(dir, "frame.go"),
+			"package scratch\n\n// FramePing has no direction marker and no codecs.\nconst FramePing byte = 1\n")
+		code, stdout, stderr := runVet(t, bin, dir, "-json", ".")
+		if code != 1 {
+			t.Fatalf("want exit 1, got %d\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+		}
+		var rep vetReport
+		if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+			t.Fatalf("stdout is not pure JSON: %v\n%s", err, stdout)
+		}
+		if len(rep.Findings) == 0 {
+			t.Fatal("want at least one finding in the JSON document")
+		}
+		for _, f := range rep.Findings {
+			if f.Analyzer != "framepair" || f.Suppressed {
+				t.Errorf("unexpected finding: %+v", f)
+			}
+		}
+	})
+
+	t.Run("suppressed rows carry reasons", func(t *testing.T) {
+		// thrifty/ has deliberate under-fill directives: the JSON must
+		// report those findings as suppressed with the directive's
+		// reason, and list the directives with non-zero use counts.
+		code, stdout, stderr := runVet(t, bin, root, "-json", "./thrifty/...")
+		if code != 0 {
+			t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+		}
+		var rep vetReport
+		if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+			t.Fatalf("stdout is not pure JSON: %v\n%s", err, stdout)
+		}
+		suppressed := 0
+		for _, f := range rep.Findings {
+			if f.Suppressed {
+				suppressed++
+				if f.Reason == "" {
+					t.Errorf("suppressed finding without a reason: %+v", f)
+				}
+			} else {
+				t.Errorf("unsuppressed finding: %+v", f)
+			}
+		}
+		if suppressed == 0 {
+			t.Error("want suppressed findings from thrifty/'s deliberate under-fill tests")
+		}
+		for _, d := range rep.Directives {
+			if d.Uses == 0 {
+				t.Errorf("stale directive in report: %+v", d)
+			}
+		}
+	})
+}
+
+// TestThriftyvetIgnoresAuditClean runs the -ignores audit over the whole
+// module: every suppression directive in the tree must still earn its
+// keep. A stale or malformed directive fails here before it fails CI.
+func TestThriftyvetIgnoresAuditClean(t *testing.T) {
+	bin, root := buildThriftyvet(t)
+	code, stdout, stderr := runVet(t, bin, root, "-ignores", "./...")
+	if code != 0 {
+		t.Fatalf("ignores audit: exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if strings.Contains(stdout, "STALE") || strings.Contains(stdout, "MALFORMED") {
+		t.Errorf("audit reports problems despite exit 0:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "none stale") {
+		t.Errorf("audit summary line missing:\n%s", stdout)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
 	}
 }

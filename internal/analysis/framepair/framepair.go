@@ -1,0 +1,266 @@
+// Package framepair checks exhaustive wiring of a wire-protocol frame
+// enum: every Frame* constant the package declares must have a canonical
+// encoder, a bounds-checked decoder, and — depending on its direction —
+// either a dispatch-switch case (frames this side receives) or an
+// encoder call site (frames this side emits). Adding a frame kind
+// without wiring both sides fails vet instead of failing at runtime.
+//
+// The conventions checked are internal/remote's (and COUNTDOWN-style
+// protocols generally):
+//
+//   - frame kinds are byte constants named Frame<Kind>, with a doc
+//     comment carrying a direction marker "(client → server)" or
+//     "(server → client)" (the ASCII arrow "->" is also accepted);
+//   - the encoder for <Kind> is a function or method whose name starts
+//     with Encode and whose body writes the Frame<Kind> constant;
+//   - the decoder is a function named Decode<Kind> whose last result is
+//     an error — the channel through which short payloads and trailing
+//     garbage (torn or duplicated frames under transport chaos) are
+//     rejected;
+//   - a dispatch switch is any switch statement whose cases reference at
+//     least two Frame<Kind> constants.
+//
+// Direction decides which wiring the declaring package must contain: the
+// package hosts the server, so inbound (client → server) kinds must
+// appear in a dispatch switch here, and outbound (server → client) kinds
+// must have their encoder invoked here. The peer side lives in another
+// package and is checked by its own conventions (an unhandled frame
+// there hits the dispatch default and surfaces as a protocol error).
+//
+// Packages that declare no Frame* byte constants are ignored.
+package framepair
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"thriftybarrier/internal/analysis"
+)
+
+// Analyzer is the framepair analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "framepair",
+	Doc: "checks that every wire frame kind has an encoder, a bounds-checked " +
+		"decoder, and dispatch/emission wiring for its direction",
+	Run: run,
+}
+
+// kind is one Frame* constant and what the package wires up for it.
+type kind struct {
+	name     string // constant name, e.g. FrameRegister
+	short    string // kind name, e.g. Register
+	pos      token.Pos
+	obj      types.Object
+	inbound  bool // doc says client → server
+	outbound bool // doc says server → client
+
+	encoded    bool // some Encode* func/method writes the constant
+	emitted    bool // such an encoder is called in this package
+	dispatched bool // the constant appears in a dispatch switch case
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	kinds := collectKinds(pass)
+	if len(kinds) == 0 {
+		return nil
+	}
+	byObj := map[types.Object]*kind{}
+	for _, k := range kinds {
+		byObj[k.obj] = k
+	}
+
+	// Encoders: Encode-prefixed declarations whose bodies reference a
+	// frame constant claim that kind; calls to them mark it emitted.
+	encoders := map[*types.Func][]*kind{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !strings.HasPrefix(fd.Name.Name, "Encode") {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			for _, k := range constsReferenced(info, fd.Body, byObj) {
+				k.encoded = true
+				encoders[fn] = append(encoders[fn], k)
+			}
+		}
+	}
+
+	decoders := map[string]*ast.FuncDecl{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Recv == nil &&
+				strings.HasPrefix(fd.Name.Name, "Decode") {
+				decoders[fd.Name.Name] = fd
+			}
+		}
+	}
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if fn := calleeOf(info, n); fn != nil {
+					for _, k := range encoders[fn] {
+						k.emitted = true
+					}
+				}
+			case *ast.SwitchStmt:
+				var cased []*kind
+				for _, stmt := range n.Body.List {
+					cc, ok := stmt.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, expr := range cc.List {
+						cased = append(cased, constsReferenced(info, expr, byObj)...)
+					}
+				}
+				if len(cased) >= 2 {
+					for _, k := range cased {
+						k.dispatched = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	for _, k := range kinds {
+		if !k.encoded {
+			pass.Reportf(k.pos,
+				"frame kind %s has no encoder: no Encode function or method writes the constant, so the frame cannot be produced canonically",
+				k.name)
+		}
+		dec, ok := decoders["Decode"+k.short]
+		switch {
+		case !ok:
+			pass.Reportf(k.pos,
+				"frame kind %s has no decoder Decode%s: every frame needs a bounds-checked decoder so torn or duplicated payloads are rejected, not misread",
+				k.name, k.short)
+		case !returnsError(info, dec):
+			pass.Reportf(dec.Pos(),
+				"decoder Decode%s does not return an error: without one, short payloads and trailing garbage cannot be rejected",
+				k.short)
+		}
+		switch {
+		case !k.inbound && !k.outbound:
+			pass.Reportf(k.pos,
+				"frame kind %s has no direction marker in its doc comment (\"client → server\" or \"server → client\"): dispatch wiring cannot be checked",
+				k.name)
+		case k.inbound && !k.dispatched:
+			pass.Reportf(k.pos,
+				"inbound frame kind %s is not handled by any dispatch switch in this package: the server silently drops it",
+				k.name)
+		case k.outbound && !k.emitted:
+			pass.Reportf(k.pos,
+				"outbound frame kind %s is never emitted: its encoder has no call site in this package",
+				k.name)
+		}
+	}
+	return nil
+}
+
+// collectKinds finds the Frame* byte constants and their direction
+// markers, in declaration order.
+func collectKinds(pass *analysis.Pass) []*kind {
+	var kinds []*kind
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					short, ok := strings.CutPrefix(name.Name, "Frame")
+					if !ok || short == "" {
+						continue
+					}
+					obj := pass.TypesInfo.Defs[name]
+					if obj == nil || !isByte(obj.Type()) {
+						continue
+					}
+					doc := ""
+					if vs.Doc != nil {
+						doc = vs.Doc.Text()
+					}
+					kinds = append(kinds, &kind{
+						name:     name.Name,
+						short:    short,
+						pos:      name.Pos(),
+						obj:      obj,
+						inbound:  hasArrow(doc, "client", "server"),
+						outbound: hasArrow(doc, "server", "client"),
+					})
+				}
+			}
+		}
+	}
+	return kinds
+}
+
+// hasArrow reports whether doc contains "from → to" or "from -> to".
+func hasArrow(doc, from, to string) bool {
+	return strings.Contains(doc, from+" → "+to) || strings.Contains(doc, from+" -> "+to)
+}
+
+func isByte(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.Uint8
+}
+
+// constsReferenced returns the frame kinds whose constants appear as
+// identifiers anywhere under n, in source order.
+func constsReferenced(info *types.Info, n ast.Node, byObj map[types.Object]*kind) []*kind {
+	var out []*kind
+	seen := map[*kind]bool{}
+	ast.Inspect(n, func(sub ast.Node) bool {
+		if id, ok := sub.(*ast.Ident); ok {
+			if k, ok := byObj[info.Uses[id]]; ok && !seen[k] {
+				seen[k] = true
+				out = append(out, k)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// returnsError reports whether the function's last result is error.
+func returnsError(info *types.Info, fd *ast.FuncDecl) bool {
+	fn, ok := info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	n := sig.Results().Len()
+	if n == 0 {
+		return false
+	}
+	return types.Identical(sig.Results().At(n-1).Type(), types.Universe.Lookup("error").Type())
+}

@@ -1,0 +1,12 @@
+package framepair_test
+
+import (
+	"testing"
+
+	"thriftybarrier/internal/analysis/analysistest"
+	"thriftybarrier/internal/analysis/framepair"
+)
+
+func TestFramePair(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), framepair.Analyzer, "framepair")
+}

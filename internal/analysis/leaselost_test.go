@@ -5,6 +5,7 @@ import (
 
 	"thriftybarrier/internal/analysis/analysistest"
 	"thriftybarrier/internal/analysis/lockedwait"
+	"thriftybarrier/internal/analysis/lockorder"
 	"thriftybarrier/internal/analysis/waketimer"
 )
 
@@ -18,4 +19,5 @@ import (
 func TestLeaseLostShapesStayClean(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), waketimer.Analyzer, "leaselost")
 	analysistest.Run(t, analysistest.TestData(), lockedwait.Analyzer, "leaselost")
+	analysistest.Run(t, analysistest.TestData(), lockorder.Analyzer, "leaselost")
 }

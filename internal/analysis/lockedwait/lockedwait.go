@@ -12,19 +12,26 @@
 // hazard in hardware: a processor must not go to sleep holding a lock
 // other processors spin on.)
 //
-// The analysis is a single in-order scan of each function body: Lock and
-// RLock calls add the receiver to the held set, Unlock and RUnlock
-// remove it, a deferred Unlock keeps it held to function end, and any
+// The analysis is path-aware: each function body gets a control-flow
+// graph (internal/analysis/cfg) and a forward may-held lock-set dataflow
+// (internal/analysis/lockset) — Lock and RLock add the receiver to the
+// set, Unlock and RUnlock remove it, a deferred Unlock keeps it held to
+// function exit, and branch joins union the branches (a lock released on
+// only one path is still may-held after the join). Any
 // Wait/WaitSite/WaitContext/WaitSiteContext call on a thrifty.Barrier
-// while the set is non-empty is reported. Function literals are scanned
-// independently (they run on other goroutines' stacks).
+// reached with a non-empty set is reported; unreachable code contributes
+// nothing. Function literals are scanned independently (they run on
+// other goroutines' stacks). The transitive form — a call made under a
+// held lock to a function that reaches a wait — is the lockorder
+// analyzer's job.
 package lockedwait
 
 import (
 	"go/ast"
-	"go/types"
 
 	"thriftybarrier/internal/analysis"
+	"thriftybarrier/internal/analysis/cfg"
+	"thriftybarrier/internal/analysis/lockset"
 )
 
 // Analyzer is the lockedwait analyzer.
@@ -39,33 +46,16 @@ var waitMethods = map[string]bool{
 	"Wait": true, "WaitSite": true, "WaitContext": true, "WaitSiteContext": true,
 }
 
-// lockTypes are the lock implementations tracked by the held-set.
-var lockTypes = []struct{ pkg, name string }{
-	{"sync", "Mutex"},
-	{"sync", "RWMutex"},
-	{analysis.ThriftyPkg, "Mutex"},
-}
-
-func isLockType(t types.Type) bool {
-	for _, lt := range lockTypes {
-		if analysis.IsNamed(t, lt.pkg, lt.name) {
-			return true
-		}
-	}
-	return false
-}
-
 func run(pass *analysis.Pass) error {
-	info := pass.TypesInfo
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch fn := n.(type) {
 			case *ast.FuncDecl:
 				if fn.Body != nil {
-					scanFunc(pass, info, fn.Body)
+					scanFunc(pass, fn.Body)
 				}
 			case *ast.FuncLit:
-				scanFunc(pass, info, fn.Body)
+				scanFunc(pass, fn.Body)
 			}
 			return true
 		})
@@ -73,53 +63,33 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-// scanFunc walks one function body in source order, maintaining the set
-// of held mutexes keyed by the receiver expression's printed form.
-// Nested function literals are skipped here; the outer Inspect in run
-// visits them with a fresh, empty held-set.
-func scanFunc(pass *analysis.Pass, info *types.Info, body *ast.BlockStmt) {
-	held := map[string]ast.Expr{} // receiver text -> acquisition site
-	ast.Inspect(body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.FuncLit:
-			return false
-		case *ast.DeferStmt:
-			// A deferred Unlock releases at function end: the lock stays
-			// held for the rest of the scan. Don't let the generic call
-			// handling below treat it as an immediate release.
-			return false
-		case *ast.CallExpr:
-			recv, method, ok := analysis.ReceiverOf(info, n)
+// scanFunc runs the may-held lock-set flow over one function body and
+// reports every barrier wait reached with a lock held. Nested function
+// literals are skipped by the walk; the outer Inspect in run visits them
+// with their own graph and an empty entry set.
+func scanFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	g := cfg.New(body)
+	flow := lockset.Flow(info, g)
+	for _, b := range g.Blocks {
+		if !b.Live {
+			continue
+		}
+		lockset.WalkBlock(info, b, flow.In[b], func(n ast.Node, held lockset.Set) bool {
+			call, ok := n.(*ast.CallExpr)
 			if !ok {
 				return true
 			}
-			sel := n.Fun.(*ast.SelectorExpr)
-			switch {
-			case (method == "Lock" || method == "RLock") && isLockType(recv):
-				held[types.ExprString(sel.X)] = sel.X
-			case (method == "Unlock" || method == "RUnlock") && isLockType(recv):
-				delete(held, types.ExprString(sel.X))
-			case waitMethods[method] && analysis.IsNamed(recv, analysis.ThriftyPkg, "Barrier"):
-				if len(held) > 0 {
-					name := anyHeld(held)
-					pass.Reportf(n.Pos(),
-						"%s called while mutex %q is held: a parked barrier waiter holding a lock deadlocks every goroutine that needs it (unlock before waiting)",
-						"(*thrifty.Barrier)."+method, name)
-				}
+			recv, method, ok := analysis.ReceiverOf(info, call)
+			if !ok || !waitMethods[method] || !analysis.IsNamed(recv, analysis.ThriftyPkg, "Barrier") {
+				return true
 			}
-		}
-		return true
-	})
-}
-
-// anyHeld returns a deterministic representative of the held set (the
-// lexicographically smallest receiver expression).
-func anyHeld(held map[string]ast.Expr) string {
-	best := ""
-	for k := range held {
-		if best == "" || k < best {
-			best = k
-		}
+			if len(held) > 0 {
+				pass.Reportf(call.Pos(),
+					"%s called while mutex %q is held: a parked barrier waiter holding a lock deadlocks every goroutine that needs it (unlock before waiting)",
+					"(*thrifty.Barrier)."+method, held.Min())
+			}
+			return true
+		})
 	}
-	return best
 }

@@ -1,0 +1,141 @@
+// Package lockorder runs two interprocedural deadlock checks over the
+// callgraph package's per-function summaries.
+//
+// First, locks held across park edges: a call made while a mutex is held
+// to a function that (transitively, through package-local calls) reaches
+// a thrifty.Barrier wait. The lockedwait analyzer flags the direct form —
+// b.Wait() under a held lock in the same function — so this analyzer
+// deliberately reports only the transitive form, where the wait hides
+// one or more calls away and no single-function scan can see it.
+//
+// Second, lock-order inversion: lock class A acquired while B is held on
+// one path and B acquired while A is held on another (directly or through
+// calls) — the classic ABBA deadlock. Classes are canonical cross-
+// function keys ("(pkg.Type).field", "pkg.var"), so two functions locking
+// the same struct fields in opposite orders are matched even though they
+// never mention each other. Self-edges (A while A) are not reported:
+// with per-instance locks ("node.mu" on two different nodes) they are
+// usually fine, and the single-instance case is a plain double-lock that
+// deadlocks the first time it runs — not a vet-shaped bug.
+package lockorder
+
+import (
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"thriftybarrier/internal/analysis"
+	"thriftybarrier/internal/analysis/callgraph"
+)
+
+// Analyzer is the lockorder analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "flags lock-order inversions (ABBA deadlocks) and calls made while " +
+		"holding a mutex that transitively reach a barrier wait",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	g := callgraph.Build(pass.TypesInfo, pass.Files)
+
+	// Check 1: calls under a held lock that reach a barrier wait.
+	for _, s := range g.Summaries {
+		for _, c := range s.Calls {
+			if len(c.Held) == 0 {
+				continue
+			}
+			trace, ok := g.ReachesWait(c.Callee)
+			if !ok {
+				continue
+			}
+			chain := strings.Join(append([]string{c.Callee.Name()}, trace...), " -> ")
+			pass.Reportf(c.Pos,
+				"%s called while mutex %q is held reaches a barrier wait (%s): a parked waiter holding a lock deadlocks every goroutine that needs it (unlock before calling)",
+				c.Callee.Name(), c.HeldDisplay, chain)
+		}
+	}
+
+	// Check 2: lock-order cycles over the acquired-while-held digraph.
+	type edge struct {
+		from, to string
+		pos      token.Pos
+	}
+	var edges []edge
+	adj := map[string][]string{}
+	first := map[[2]string]token.Pos{}
+	add := func(from, to string, pos token.Pos) {
+		if from == to {
+			return
+		}
+		key := [2]string{from, to}
+		if _, dup := first[key]; dup {
+			return
+		}
+		first[key] = pos
+		edges = append(edges, edge{from, to, pos})
+		adj[from] = append(adj[from], to)
+	}
+	for _, s := range g.Summaries {
+		for _, a := range s.Acquires {
+			for _, h := range a.Held {
+				add(h, a.Class, a.Pos)
+			}
+		}
+		for _, c := range s.Calls {
+			if len(c.Held) == 0 {
+				continue
+			}
+			acq := g.TransitiveAcquires(c.Callee)
+			classes := make([]string, 0, len(acq))
+			for class := range acq {
+				classes = append(classes, class)
+			}
+			sort.Strings(classes)
+			for _, class := range classes {
+				for _, h := range c.Held {
+					add(h, class, c.Pos)
+				}
+			}
+		}
+	}
+
+	for _, e := range edges {
+		back, ok := findPath(adj, first, e.to, e.from)
+		if !ok {
+			continue
+		}
+		at := pass.Fset.Position(back)
+		pass.Reportf(e.pos,
+			"acquiring %s while %s is held forms a lock-order cycle with the reverse acquisition at %s:%d: concurrent callers can deadlock (ABBA)",
+			e.to, e.from, filepath.Base(at.Filename), at.Line)
+	}
+	return nil
+}
+
+// findPath reports whether to is reachable from from over adj, returning
+// the position of the final edge into to — the acquisition that closes
+// the cycle — for the diagnostic. BFS over sorted neighbors keeps the
+// cited edge deterministic.
+func findPath(adj map[string][]string, first map[[2]string]token.Pos, from, to string) (token.Pos, bool) {
+	parent := map[string]string{from: from}
+	queue := []string{from}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		next := append([]string(nil), adj[cur]...)
+		sort.Strings(next)
+		for _, n := range next {
+			if _, seen := parent[n]; seen {
+				continue
+			}
+			parent[n] = cur
+			if n == to {
+				return first[[2]string{cur, to}], true
+			}
+			queue = append(queue, n)
+		}
+	}
+	return token.NoPos, false
+}

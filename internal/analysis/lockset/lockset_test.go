@@ -1,0 +1,197 @@
+package lockset
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"thriftybarrier/internal/analysis/cfg"
+)
+
+// checkFunc type-checks src (a full package) and returns the body and
+// info of function f plus the file set.
+func checkFunc(t *testing.T, src string) (*types.Info, *ast.BlockStmt) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			return info, fd.Body
+		}
+	}
+	t.Fatal("no function f in source")
+	return nil, nil
+}
+
+// heldAtSink runs the flow and returns the held display names at the
+// sink() call.
+func heldAtSink(t *testing.T, src string) []string {
+	t.Helper()
+	info, body := checkFunc(t, src)
+	g := cfg.New(body)
+	flow := Flow(info, g)
+	var names []string
+	found := false
+	for _, b := range g.Blocks {
+		if !b.Live {
+			continue
+		}
+		WalkBlock(info, b, flow.In[b], func(n ast.Node, held Set) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "sink" {
+					names = held.Names()
+					found = true
+				}
+			}
+			return true
+		})
+	}
+	if !found {
+		t.Fatal("no sink() call reached by the walk")
+	}
+	return names
+}
+
+const prelude = `package p
+
+import "sync"
+
+var mu sync.Mutex
+var c bool
+
+func sink() {}
+`
+
+func TestBranchReleaseMayHold(t *testing.T) {
+	// One branch unlocks, the other does not: may-held keeps the lock.
+	got := heldAtSink(t, prelude+`
+func f() {
+	mu.Lock()
+	if c {
+		mu.Unlock()
+	}
+	sink()
+}
+`)
+	if len(got) != 1 || got[0] != "mu" {
+		t.Errorf("held at sink = %v, want [mu]", got)
+	}
+}
+
+func TestBothBranchesRelease(t *testing.T) {
+	got := heldAtSink(t, prelude+`
+func f() {
+	mu.Lock()
+	if c {
+		mu.Unlock()
+	} else {
+		mu.Unlock()
+	}
+	sink()
+}
+`)
+	if len(got) != 0 {
+		t.Errorf("held at sink = %v, want empty", got)
+	}
+}
+
+func TestGotoSkipsLock(t *testing.T) {
+	// The Lock is unreachable: a dead block must not poison the label's
+	// join point.
+	got := heldAtSink(t, prelude+`
+func f() {
+	goto done
+	mu.Lock()
+done:
+	sink()
+}
+`)
+	if len(got) != 0 {
+		t.Errorf("held at sink = %v, want empty (lock is dead code)", got)
+	}
+}
+
+func TestDeferredUnlockStaysHeld(t *testing.T) {
+	got := heldAtSink(t, prelude+`
+func f() {
+	mu.Lock()
+	defer mu.Unlock()
+	sink()
+}
+`)
+	if len(got) != 1 || got[0] != "mu" {
+		t.Errorf("held at sink = %v, want [mu] (deferred unlock runs at exit)", got)
+	}
+}
+
+func TestLoopCarriedLock(t *testing.T) {
+	// Lock taken on iteration n is still held when iteration n+1's sink
+	// runs: the back edge must carry the fact around.
+	got := heldAtSink(t, prelude+`
+func f() {
+	for c {
+		sink()
+		mu.Lock()
+	}
+}
+`)
+	if len(got) != 1 || got[0] != "mu" {
+		t.Errorf("held at sink = %v, want [mu] via the loop back edge", got)
+	}
+}
+
+func TestClass(t *testing.T) {
+	src := prelude + `
+type T struct{ m sync.Mutex }
+
+func f() {
+	var local sync.Mutex
+	var tv T
+	local.Lock()
+	tv.m.Lock()
+	mu.Lock()
+	sink()
+}
+`
+	info, body := checkFunc(t, src)
+	classes := map[string]string{} // display -> class
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if op, lock := Classify(info, call); op == Acquire {
+				classes[types.ExprString(lock)] = Class(info, lock)
+			}
+		}
+		return true
+	})
+	want := map[string]string{
+		"local": "local",   // locals fall back to display text
+		"tv.m":  "(p.T).m", // struct field: canonical cross-function key
+		"mu":    "p.mu",    // package-level var: qualified name
+	}
+	for display, class := range want {
+		if classes[display] != class {
+			t.Errorf("Class(%s) = %q, want %q", display, classes[display], class)
+		}
+	}
+	if !strings.HasPrefix(want["tv.m"], "(") {
+		t.Fatal("sanity")
+	}
+}

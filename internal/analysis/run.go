@@ -8,12 +8,16 @@ import (
 	"thriftybarrier/internal/analysis/load"
 )
 
-// Finding is one diagnostic after suppression filtering, resolved to a
-// file position.
+// Finding is one diagnostic resolved to a file position.
 type Finding struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	// Suppressed marks a finding silenced by a //lint:ignore directive;
+	// Reason carries that directive's justification. Run returns only
+	// unsuppressed findings; RunDetailed returns both populations.
+	Suppressed bool
+	Reason     string
 }
 
 // String renders the conventional file:line:col form.
@@ -21,12 +25,30 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s [%s]", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
 }
 
+// Detail is RunDetailed's full accounting of a run: the findings that
+// survived suppression, the findings a directive silenced, and every
+// directive seen with its use count — the raw material for the -json
+// output and the -ignores stale-suppression audit.
+type Detail struct {
+	Findings   []Finding
+	Suppressed []Finding
+	Directives []*Directive
+}
+
 // Run applies every analyzer to every package, filters findings through
 // the //lint:ignore directives, and returns them sorted by position.
 // Packages with type errors are skipped and reported through the returned
 // error (analysis of ill-typed code produces unreliable findings).
 func Run(pkgs []*load.Package, analyzers []*Analyzer) ([]Finding, error) {
-	var findings []Finding
+	detail, err := RunDetailed(pkgs, analyzers)
+	return detail.Findings, err
+}
+
+// RunDetailed is Run keeping the whole story: suppressed findings stay
+// visible (flagged, with the suppressing directive's reason) and every
+// directive is returned with the number of diagnostics it silenced.
+func RunDetailed(pkgs []*load.Package, analyzers []*Analyzer) (*Detail, error) {
+	detail := &Detail{}
 	var broken []string
 	for _, pkg := range pkgs {
 		if len(pkg.TypeErrors) > 0 {
@@ -43,20 +65,40 @@ func Run(pkgs []*load.Package, analyzers []*Analyzer) ([]Finding, error) {
 				TypesInfo: pkg.Info,
 			}
 			pass.Report = func(d Diagnostic) {
-				if sup.suppressed(a.Name, d.Pos) {
-					return
-				}
-				findings = append(findings, Finding{
+				f := Finding{
 					Analyzer: a.Name,
 					Pos:      pkg.Fset.Position(d.Pos),
 					Message:  d.Message,
-				})
+				}
+				if reason, ok := sup.suppressed(a.Name, d.Pos); ok {
+					f.Suppressed, f.Reason = true, reason
+					detail.Suppressed = append(detail.Suppressed, f)
+					return
+				}
+				detail.Findings = append(detail.Findings, f)
 			}
 			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path, err)
+				return detail, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path, err)
 			}
 		}
+		detail.Directives = append(detail.Directives, sup.directives...)
 	}
+	sortFindings(detail.Findings)
+	sortFindings(detail.Suppressed)
+	sort.Slice(detail.Directives, func(i, j int) bool {
+		a, b := detail.Directives[i].Pos, detail.Directives[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	if len(broken) > 0 {
+		return detail, fmt.Errorf("type errors in %d package(s), e.g. %s", len(broken), broken[0])
+	}
+	return detail, nil
+}
+
+func sortFindings(findings []Finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -70,8 +112,4 @@ func Run(pkgs []*load.Package, analyzers []*Analyzer) ([]Finding, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	if len(broken) > 0 {
-		return findings, fmt.Errorf("type errors in %d package(s), e.g. %s", len(broken), broken[0])
-	}
-	return findings, nil
 }

@@ -5,9 +5,12 @@ package suite
 
 import (
 	"thriftybarrier/internal/analysis"
+	"thriftybarrier/internal/analysis/atomicmix"
 	"thriftybarrier/internal/analysis/barriercopy"
 	"thriftybarrier/internal/analysis/brokenreset"
+	"thriftybarrier/internal/analysis/framepair"
 	"thriftybarrier/internal/analysis/lockedwait"
+	"thriftybarrier/internal/analysis/lockorder"
 	"thriftybarrier/internal/analysis/sleeptable"
 	"thriftybarrier/internal/analysis/waitparties"
 	"thriftybarrier/internal/analysis/waketimer"
@@ -16,9 +19,12 @@ import (
 // All returns every analyzer in the suite, in stable order.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		atomicmix.Analyzer,
 		barriercopy.Analyzer,
 		brokenreset.Analyzer,
+		framepair.Analyzer,
 		lockedwait.Analyzer,
+		lockorder.Analyzer,
 		sleeptable.Analyzer,
 		waitparties.Analyzer,
 		waketimer.Analyzer,

@@ -1,0 +1,59 @@
+// Package atomicmix exercises the atomicmix analyzer: struct fields
+// reached by both sync/atomic operations and plain accesses are flagged
+// at every plain site; fields accessed uniformly (all-atomic, all-plain,
+// or through the typed atomics) stay clean.
+package atomicmix
+
+import "sync/atomic"
+
+// Counter mixes accesses to word: bump goes through sync/atomic, the
+// reads and the reset below do not.
+type Counter struct {
+	word uint64
+}
+
+func (c *Counter) bump() {
+	atomic.AddUint64(&c.word, 1)
+}
+
+func (c *Counter) flaggedRead() uint64 {
+	return c.word // want `plain access of field \(atomicmix\.Counter\)\.word, which is updated through sync/atomic`
+}
+
+func (c *Counter) flaggedWrite() {
+	c.word = 0 // want `plain access of field \(atomicmix\.Counter\)\.word, which is updated through sync/atomic`
+}
+
+func (c *Counter) flaggedAliased() *uint64 {
+	return &c.word // want `plain access of field \(atomicmix\.Counter\)\.word, which is updated through sync/atomic`
+}
+
+// allAtomic is clean: every access of n goes through sync/atomic.
+type allAtomic struct {
+	n uint64
+}
+
+func (a *allAtomic) inc() { atomic.AddUint64(&a.n, 1) }
+
+func (a *allAtomic) load() uint64 { return atomic.LoadUint64(&a.n) }
+
+// allPlain is clean: no atomic access anywhere, so plain reads are just
+// ordinary (presumably externally synchronized) field access.
+type allPlain struct {
+	n uint64
+}
+
+func (p *allPlain) touch() uint64 {
+	p.n++
+	return p.n
+}
+
+// typed is clean: atomic.Uint64 cannot be accessed plainly at all, so
+// selecting the field as a method receiver is not a mixed access.
+type typed struct {
+	ctr atomic.Uint64
+}
+
+func (t *typed) inc() { t.ctr.Add(1) }
+
+func (t *typed) load() uint64 { return t.ctr.Load() }

@@ -61,8 +61,8 @@ func drive(e *sim.Engine) {
 func cleanHandleCopies() {
 	e := sim.NewEngine()
 	h := e.After(5, func() {})
-	h2 := h        // a Handle is a value: copying it is the point
-	cancel(e, h2)  // passing a Handle by value is fine
+	h2 := h       // a Handle is a value: copying it is the point
+	cancel(e, h2) // passing a Handle by value is fine
 	hs := []sim.Handle{h, h2}
 	for _, hh := range hs { // ranging over Handles copies values, not arenas
 		_ = hh

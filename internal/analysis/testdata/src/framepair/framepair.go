@@ -1,0 +1,70 @@
+// Golden cases for the framepair analyzer: every Frame* constant needs
+// an encoder, a decoder that can fail, a direction marker, and — per
+// direction — a dispatch-switch case (inbound) or an encoder call site
+// (outbound). FrameGood and FramePush are fully wired and stay clean;
+// each other constant breaks exactly one rule.
+package framepair
+
+// Frame kinds, one per wiring failure mode.
+const (
+	// FrameGood (client → server) is fully wired: encoder, decoder,
+	// dispatch case.
+	FrameGood byte = iota + 1
+	// FramePush (server → client) is fully wired: encoder, decoder, and
+	// an emission site.
+	FramePush
+	// FrameNoDec (client → server) has an encoder and a dispatch case but
+	// no decoder.
+	FrameNoDec // want `frame kind FrameNoDec has no decoder DecodeNoDec`
+	// FrameNoEnc (client → server) has a decoder and a dispatch case but
+	// no encoder.
+	FrameNoEnc // want `frame kind FrameNoEnc has no encoder`
+	// FrameUnrouted (client → server) has both codecs but no dispatch
+	// case: the server would silently drop it.
+	FrameUnrouted // want `inbound frame kind FrameUnrouted is not handled by any dispatch switch`
+	// FrameNoDir has both codecs but no direction marker, so its wiring
+	// cannot be checked.
+	FrameNoDir // want `frame kind FrameNoDir has no direction marker`
+	// FrameSilent (server → client) has both codecs but its encoder is
+	// never called.
+	FrameSilent // want `outbound frame kind FrameSilent is never emitted`
+	// FrameBadDec (client → server) has a decoder that cannot report
+	// short or trailing bytes.
+	FrameBadDec
+)
+
+func EncodeGood() []byte     { return []byte{FrameGood} }
+func EncodePush() []byte     { return []byte{FramePush} }
+func EncodeNoDec() []byte    { return []byte{FrameNoDec} }
+func EncodeUnrouted() []byte { return []byte{FrameUnrouted} }
+func EncodeNoDir() []byte    { return []byte{FrameNoDir} }
+func EncodeSilent() []byte   { return []byte{FrameSilent} }
+func EncodeBadDec() []byte   { return []byte{FrameBadDec} }
+
+func DecodeGood(p []byte) (byte, error)     { return p[0], nil }
+func DecodePush(p []byte) (byte, error)     { return p[0], nil }
+func DecodeNoEnc(p []byte) (byte, error)    { return p[0], nil }
+func DecodeUnrouted(p []byte) (byte, error) { return p[0], nil }
+func DecodeNoDir(p []byte) (byte, error)    { return p[0], nil }
+func DecodeSilent(p []byte) (byte, error)   { return p[0], nil }
+
+func DecodeBadDec(p []byte) byte { return p[0] } // want `decoder DecodeBadDec does not return an error`
+
+// dispatch is the server's frame switch; FrameUnrouted is deliberately
+// missing.
+func dispatch(p []byte) {
+	switch p[0] {
+	case FrameGood:
+		_, _ = DecodeGood(p)
+	case FrameNoDec:
+	case FrameNoEnc:
+		_, _ = DecodeNoEnc(p)
+	case FrameBadDec:
+		_ = DecodeBadDec(p)
+	}
+}
+
+// pushStatus emits FramePush, satisfying the outbound wiring check.
+func pushStatus() []byte {
+	return EncodePush()
+}

@@ -45,7 +45,40 @@ func (s *server) flaggedField() {
 	s.mu.Unlock()
 }
 
+// flaggedBranchRelease unlocks on one path only: after the join the
+// lock is still may-held, so the wait is flagged. (The pre-CFG scanner
+// missed this: the in-order scan saw the Unlock and cleared the set.)
+func flaggedBranchRelease(b *thrifty.Barrier, mu *sync.Mutex, done bool) {
+	mu.Lock()
+	if done {
+		mu.Unlock()
+	}
+	b.Wait() // want `\(\*thrifty\.Barrier\)\.Wait called while mutex "mu" is held`
+}
+
+// flaggedLoopCarried holds the lock across the loop's back edge: the
+// wait on iteration n+1 runs under the Lock taken on iteration n. (In
+// source order the Wait precedes the Lock, so only a flow over the back
+// edge can see it.)
+func flaggedLoopCarried(b *thrifty.Barrier, mu *sync.Mutex, again func() bool) {
+	for again() {
+		b.Wait() // want `\(\*thrifty\.Barrier\)\.Wait called while mutex "mu" is held`
+		mu.Lock()
+	}
+	mu.Unlock()
+}
+
 // --- clean cases ---
+
+// cleanGotoSkipsLock never executes the Lock: the goto jumps over it,
+// and dead code must not poison the label's join point. (The pre-CFG
+// scanner flagged this: the in-order scan saw the Lock regardless.)
+func cleanGotoSkipsLock(b *thrifty.Barrier, mu *sync.Mutex) {
+	goto wait
+	mu.Lock()
+wait:
+	b.Wait()
+}
 
 func cleanUnlockFirst(b *thrifty.Barrier, mu *sync.Mutex) {
 	mu.Lock()

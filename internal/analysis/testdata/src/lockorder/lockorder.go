@@ -1,0 +1,141 @@
+// Golden cases for the lockorder analyzer: calls under a held lock that
+// transitively reach a barrier wait, and ABBA lock-order cycles (direct
+// and interprocedural). Direct waits under a lock are lockedwait's job
+// and must stay silent here.
+package lockorder
+
+import (
+	"sync"
+
+	"thriftybarrier/thrifty"
+)
+
+var mu sync.Mutex
+
+func helper(b *thrifty.Barrier) {
+	b.Wait()
+}
+
+func flaggedTransitive(b *thrifty.Barrier) {
+	mu.Lock()
+	helper(b) // want `helper called while mutex "mu" is held reaches a barrier wait \(helper -> \(\*thrifty\.Barrier\)\.Wait\)`
+	mu.Unlock()
+}
+
+func leafWait(b *thrifty.Barrier) {
+	b.WaitSite(2)
+}
+
+func mid(b *thrifty.Barrier) {
+	leafWait(b)
+}
+
+func flaggedChain(b *thrifty.Barrier) {
+	mu.Lock()
+	defer mu.Unlock()
+	mid(b) // want `mid called while mutex "mu" is held reaches a barrier wait \(mid -> leafWait -> \(\*thrifty\.Barrier\)\.WaitSite\)`
+}
+
+func flaggedBranchCall(b *thrifty.Barrier, c bool) {
+	mu.Lock()
+	if c {
+		mu.Unlock()
+	}
+	helper(b) // want `helper called while mutex "mu" is held reaches a barrier wait`
+}
+
+func cleanUnlockedCall(b *thrifty.Barrier) {
+	mu.Lock()
+	mu.Unlock()
+	helper(b)
+}
+
+func cleanGotoSkipsLock(b *thrifty.Barrier) {
+	goto wait
+	mu.Lock()
+wait:
+	helper(b)
+}
+
+// cleanDirectWait is lockedwait's finding, not lockorder's: the wait is
+// in the same function, no call edge is involved.
+func cleanDirectWait(b *thrifty.Barrier) {
+	mu.Lock()
+	b.Wait()
+	mu.Unlock()
+}
+
+func cleanNoWaitCallee() {
+	mu.Lock()
+	plainWork()
+	mu.Unlock()
+}
+
+func plainWork() {}
+
+// --- ABBA: direct, both orders in one type ---
+
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (p *pair) left() {
+	p.a.Lock()
+	p.b.Lock() // want `acquiring \(lockorder\.pair\)\.b while \(lockorder\.pair\)\.a is held forms a lock-order cycle`
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func (p *pair) right() {
+	p.b.Lock()
+	p.a.Lock() // want `acquiring \(lockorder\.pair\)\.a while \(lockorder\.pair\)\.b is held forms a lock-order cycle`
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+// consistent always locks c before d: one direction only, no cycle.
+type consistent struct {
+	c sync.Mutex
+	d sync.Mutex
+}
+
+func (p *consistent) first() {
+	p.c.Lock()
+	p.d.Lock()
+	p.d.Unlock()
+	p.c.Unlock()
+}
+
+func (p *consistent) second() {
+	p.c.Lock()
+	p.d.Lock()
+	p.d.Unlock()
+	p.c.Unlock()
+}
+
+// --- ABBA: interprocedural, the nested acquisition hides in a callee ---
+
+var muX, muY sync.Mutex
+
+func lockYdo() {
+	muY.Lock()
+	muY.Unlock()
+}
+
+func lockXdo() {
+	muX.Lock()
+	muX.Unlock()
+}
+
+func flaggedInterLeft() {
+	muX.Lock()
+	lockYdo() // want `acquiring lockorder\.muY while lockorder\.muX is held forms a lock-order cycle`
+	muX.Unlock()
+}
+
+func flaggedInterRight() {
+	muY.Lock()
+	lockXdo() // want `acquiring lockorder\.muX while lockorder\.muY is held forms a lock-order cycle`
+	muY.Unlock()
+}

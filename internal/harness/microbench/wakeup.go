@@ -177,8 +177,9 @@ func TimerManyBarriers(barriers, parties int) func(*testing.B) {
 		}
 		b.StopTimer()
 		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*waiters), "ns/armcancel")
+		// time.AfterFunc needs no waketimer directive: the analyzer
+		// sanctions it (stall-watchdog escape hatch).
 		b.ReportMetric(probeWakeP99(func(d time.Duration, ch chan struct{}) {
-			//lint:ignore waketimer intentional baseline: the per-waiter runtime-timer shape the wheel replaced
 			time.AfterFunc(d, func() {
 				select {
 				case ch <- struct{}{}:

@@ -484,6 +484,14 @@ type BarrierStatus struct {
 // EncodeStatusReq renders a status request payload.
 func EncodeStatusReq() []byte { return []byte{FrameStatusReq} }
 
+// DecodeStatusReq parses a FrameStatusReq payload. The request carries no
+// fields, so decoding is pure validation: any trailing bytes mean a torn
+// or concatenated frame and the request must be rejected, not served.
+func DecodeStatusReq(p []byte) error {
+	d := &dec{b: p[1:]}
+	return d.done("status request")
+}
+
 // EncodeStatus renders a status response payload.
 func EncodeStatus(rows []BarrierStatus) []byte {
 	e := &enc{b: []byte{FrameStatus}}

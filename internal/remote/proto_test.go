@@ -68,6 +68,18 @@ func TestDecodeRejectsTrailingBytes(t *testing.T) {
 	}
 }
 
+// The status request carries no fields, so its decoder is pure frame
+// validation: the canonical encoding passes, any trailing bytes fail.
+func TestDecodeStatusReq(t *testing.T) {
+	if err := DecodeStatusReq(EncodeStatusReq()); err != nil {
+		t.Fatalf("canonical status request rejected: %v", err)
+	}
+	p := append(EncodeStatusReq(), 0xFF)
+	if err := DecodeStatusReq(p); err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("trailing byte accepted: %v", err)
+	}
+}
+
 // Truncated payloads — the visible half of a torn frame — must error,
 // never panic or return zero-filled frames as valid.
 func TestDecodeRejectsTruncation(t *testing.T) {

@@ -405,6 +405,10 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			s.handleCancel(sess, f)
 		case FrameStatusReq:
+			if err := DecodeStatusReq(payload); err != nil {
+				s.badFrame(sess, err)
+				continue
+			}
 			sess.send(EncodeStatus(s.Snapshot()))
 		default:
 			s.badFrame(sess, fmt.Errorf("remote: unknown frame type %d", payload[0]))

@@ -112,6 +112,7 @@ func TestSnapshotReadsTreeArrivals(t *testing.T) {
 	var wg sync.WaitGroup
 	for i := 0; i < 3; i++ {
 		wg.Add(1)
+		//lint:ignore waitparties deliberate staged fill: the snapshot must observe 3 of 4 arrivals before the last waiter joins
 		go func() { defer wg.Done(); b.Wait() }()
 	}
 	waitFor(t, func() bool { return b.Snapshot().Arrived == 3 })
