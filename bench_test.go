@@ -8,6 +8,7 @@
 package thriftybarrier_test
 
 import (
+	"strconv"
 	"sync"
 	"testing"
 
@@ -319,7 +320,7 @@ func benchBarrier(b *testing.B, parties int, wait func()) {
 func BenchmarkGoroutineBarrierThrifty(b *testing.B) {
 	for _, parties := range []int{2, 8} {
 		parties := parties
-		b.Run(itoa(parties), func(b *testing.B) {
+		b.Run(strconv.Itoa(parties), func(b *testing.B) {
 			bar := thrifty.New(parties, thrifty.Options{})
 			benchBarrier(b, parties, func() { bar.WaitSite(1) })
 		})
@@ -331,7 +332,7 @@ func BenchmarkGoroutineBarrierThrifty(b *testing.B) {
 func BenchmarkGoroutineBarrierChannels(b *testing.B) {
 	for _, parties := range []int{2, 8} {
 		parties := parties
-		b.Run(itoa(parties), func(b *testing.B) {
+		b.Run(strconv.Itoa(parties), func(b *testing.B) {
 			bar := newChanBarrier(parties)
 			benchBarrier(b, parties, bar.wait)
 		})
@@ -382,37 +383,29 @@ func BenchmarkBarrierRendezvous(b *testing.B) {
 	}
 }
 
-// BenchmarkManyBarriers is the wake-up engine acceptance sweep: the
-// internal wake-up arm/cancel pair with 100/1k/10k other concurrent
+// BenchmarkManyBarriers is the wake-up fabric acceptance sweep: the
+// internal wake-up arm/cancel pair with 100 … 1M other concurrent
 // barrier groups' wake-ups resident, across party counts, timing wheel
 // versus the per-waiter runtime-timer baseline it replaced. The wheel's
 // arm and cancel are O(1) shard-lock sections, so its ns/armcancel must
-// stay flat across the sweep and reach ≥2× the baseline's throughput at
-// 10k resident barriers, with 0 allocs/op (acceptance criteria); the
-// baseline pays an O(log n) runtime timer-heap sift per op. Each run also
-// reports p99 internal wake-up delivery lateness (p99-wake-us).
+// stay flat across the sweep — within 1.5× of the 10k figure even at a
+// million resident barriers — with 0 allocs/op (acceptance criteria);
+// the baseline pays an O(log n) runtime timer-heap sift per op and drops
+// out of the sweep past 10k, where a million live time.Timer values stop
+// being a viable comparison. Each run also reports p99/p999 internal
+// wake-up delivery lateness (p99-wake-us, p999-wake-us).
 func BenchmarkManyBarriers(b *testing.B) {
-	for _, barriers := range []int{100, 1000, 10000} {
+	for _, barriers := range []int{100, 1000, 10000, 100_000, 1_000_000} {
 		for _, parties := range []int{4, 16, 64} {
-			suffix := itoa(parties)
-			name := "wheel-" + itoa2(barriers) + "x" + suffix
+			suffix := strconv.Itoa(parties)
+			name := "wheel-" + microbench.SizeLabel(barriers) + "x" + suffix
 			b.Run(name, microbench.WheelManyBarriers(barriers, parties))
-			name = "timer-" + itoa2(barriers) + "x" + suffix
-			b.Run(name, microbench.TimerManyBarriers(barriers, parties))
+			if barriers <= 10000 {
+				name = "timer-" + microbench.SizeLabel(barriers) + "x" + suffix
+				b.Run(name, microbench.TimerManyBarriers(barriers, parties))
+			}
 		}
 	}
-}
-
-func itoa2(n int) string {
-	switch n {
-	case 100:
-		return "100"
-	case 1000:
-		return "1k"
-	case 10000:
-		return "10k"
-	}
-	return itoa(n)
 }
 
 // chanBarrier is a plain mutex+channel barrier (the Baseline analogue).
@@ -441,13 +434,6 @@ func (b *chanBarrier) wait() {
 	ch := b.ch
 	b.mu.Unlock()
 	<-ch
-}
-
-func itoa(n int) string {
-	if n < 10 {
-		return string(rune('0' + n))
-	}
-	return string(rune('0'+n/10)) + string(rune('0'+n%10))
 }
 
 // --- Extension and sensitivity benches ---

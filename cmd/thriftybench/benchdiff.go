@@ -1,12 +1,14 @@
 package main
 
 // -bench-diff: compare a freshly recorded BENCH_runtime.json (and its
-// BENCH_sim.json sibling) against the numbers committed in README.md —
-// the "Internal wake-up engine" ManyBarriers table and the event-engine
-// ns/op anchors. The comparison is informational by design — benchmark
-// numbers from shared CI runners are noise, so a drift here should show
-// up in the job log without gating anything (the README rows are medians
-// of repeated runs; see the Performance section).
+// BENCH_wheel.json / BENCH_sim.json siblings) against the numbers
+// committed in README.md — the wake-up fabric's ManyBarriers table
+// (including the wheel-only 100k/1M rows and the p999 lateness anchor)
+// and the event-engine ns/op anchors. The comparison is informational by
+// design — benchmark numbers from shared CI runners are noise, so a
+// drift here should show up in the job log without gating anything (the
+// README rows are medians of repeated runs; see the Performance
+// section).
 
 import (
 	"encoding/json"
@@ -24,9 +26,14 @@ import (
 // readmeBenchRow is one recorded row of the README ManyBarriers table:
 //
 //	| 10000 resident barriers | 70 | 140 | 2.0× |
+//	| 1000000 resident barriers | 74 | — | — |
+//
+// Past 10k resident the timer baseline drops out of the sweep, so those
+// rows record the wheel alone (hasTimer false).
 type readmeBenchRow struct {
 	barriers     int
 	wheel, timer float64 // recorded ns per arm/cancel pair
+	hasTimer     bool
 }
 
 // parseReadmeBench extracts the ManyBarriers rows from README markdown.
@@ -41,14 +48,22 @@ func parseReadmeBench(readme string) []readmeBenchRow {
 		}
 		n, err1 := strconv.Atoi(strings.TrimSuffix(strings.TrimSpace(cells[1]), " resident barriers"))
 		w, err2 := strconv.ParseFloat(strings.TrimSpace(cells[2]), 64)
-		t, err3 := strconv.ParseFloat(strings.TrimSpace(cells[3]), 64)
-		if err1 != nil || err2 != nil || err3 != nil {
+		if err1 != nil || err2 != nil {
 			continue
 		}
-		rows = append(rows, readmeBenchRow{barriers: n, wheel: w, timer: t})
+		row := readmeBenchRow{barriers: n, wheel: w}
+		if t, err := strconv.ParseFloat(strings.TrimSpace(cells[3]), 64); err == nil {
+			row.timer, row.hasTimer = t, true
+		}
+		rows = append(rows, row)
 	}
 	return rows
 }
+
+// readmeP999Anchor extracts the million-barrier tail-lateness prose
+// anchor ("… p999 wake lateness is N µs …"), compared against the
+// p999-wake-us metric of ManyBarriers/wheel-1000000x16.
+var readmeP999Anchor = regexp.MustCompile(`p999 wake lateness is ([0-9.]+)\s*µs`)
 
 // readmeEngineAnchors extracts the event-engine ns/op numbers committed
 // in README.md's "Simulator event engine" section, keyed by the
@@ -107,7 +122,11 @@ func diffBenchReadme(jsonPath, readmePath string, w io.Writer) error {
 	if len(rows) == 0 {
 		return fmt.Errorf("bench-diff: no ManyBarriers table found in %s", readmePath)
 	}
-	lookup, err := loadSuite(jsonPath)
+	// ManyBarriers lives in BENCH_wheel.json, written next to
+	// BENCH_runtime.json by -bench-json (same sibling convention as
+	// BENCH_sim.json below).
+	wheelPath := filepath.Join(filepath.Dir(jsonPath), "BENCH_wheel.json")
+	lookup, err := loadSuite(wheelPath)
 	if err != nil {
 		return err
 	}
@@ -123,12 +142,23 @@ func diffBenchReadme(jsonPath, readmePath string, w io.Writer) error {
 	matched := 0
 	for _, row := range rows {
 		wheel, okw := pair(fmt.Sprintf("ManyBarriers/wheel-%dx16", row.barriers))
-		timer, okt := pair(fmt.Sprintf("ManyBarriers/timer-%dx16", row.barriers))
-		if !okw || !okt {
-			fmt.Fprintf(w, "  %d resident: no recorded result in %s\n", row.barriers, jsonPath)
+		if !okw {
+			fmt.Fprintf(w, "  %d resident: no recorded result in %s\n", row.barriers, wheelPath)
 			continue
 		}
 		matched++
+		if !row.hasTimer {
+			// Past 10k resident the timer baseline drops out of the sweep
+			// (README records the wheel alone).
+			fmt.Fprintf(w, "  %d resident: wheel %.1f ns/pair (recorded %.0f, %+.0f%%), no timer baseline at this size\n",
+				row.barriers, wheel, row.wheel, 100*(wheel-row.wheel)/row.wheel)
+			continue
+		}
+		timer, okt := pair(fmt.Sprintf("ManyBarriers/timer-%dx16", row.barriers))
+		if !okt {
+			fmt.Fprintf(w, "  %d resident: no recorded timer result in %s\n", row.barriers, wheelPath)
+			continue
+		}
 		fmt.Fprintf(w, "  %d resident: wheel %.1f ns/pair (recorded %.0f, %+.0f%%), timer %.1f (recorded %.0f, %+.0f%%), speedup %.2fx (recorded %.1fx)\n",
 			row.barriers,
 			wheel, row.wheel, 100*(wheel-row.wheel)/row.wheel,
@@ -136,7 +166,19 @@ func diffBenchReadme(jsonPath, readmePath string, w io.Writer) error {
 			timer/wheel, row.timer/row.wheel)
 	}
 	if matched == 0 {
-		return fmt.Errorf("bench-diff: %s has no ManyBarriers results matching the README table", jsonPath)
+		return fmt.Errorf("bench-diff: %s has no ManyBarriers results matching the README table", wheelPath)
+	}
+	// Tail-lateness anchor: the README prose states the million-barrier
+	// p999 wake lateness; compare it to the recorded quantile.
+	if m := readmeP999Anchor.FindStringSubmatch(string(readme)); m != nil {
+		if want, err := strconv.ParseFloat(m[1], 64); err == nil {
+			if r, ok := lookup("ManyBarriers/wheel-1000000x16"); ok {
+				if got, ok := r.Metrics["p999-wake-us"]; ok {
+					fmt.Fprintf(w, "  1000000 resident: p999 wake lateness %.0f µs (recorded %.0f, %+.0f%%)\n",
+						got, want, 100*(got-want)/want)
+				}
+			}
+		}
 	}
 
 	// Event-engine side: BENCH_sim.json is written next to

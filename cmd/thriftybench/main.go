@@ -22,7 +22,7 @@
 //	thriftybench -all -out results    # also write text + CSV + JSON files
 //	thriftybench -all -j 1            # sequential (identical output)
 //	thriftybench -bench-json -out results  # record the Go microbenchmark
-//	                                  # suite as BENCH_runtime.json + BENCH_sim.json
+//	                                  # suite as BENCH_runtime.json + BENCH_wheel.json + BENCH_sim.json
 //	thriftybench -bench-diff out/BENCH_runtime.json  # compare a recorded run
 //	                                  # against the numbers in README.md (informational)
 package main
@@ -65,8 +65,8 @@ func main() {
 		timeout   = flag.Duration("timeout", 2*time.Minute, "per-run wall-clock limit; a wedged run is skipped with a diagnostic (0 = no limit)")
 		jsonOut   = flag.Bool("json", true, "with -out, write a machine-readable .json twin next to every text artifact")
 		progress  = flag.Bool("progress", true, "report per-run completion on stderr")
-		benchNow  = flag.Bool("bench-json", false, "run the Go microbenchmark suite and write BENCH_runtime.json + BENCH_sim.json (into -out, or the current directory)")
-		benchDiff = flag.String("bench-diff", "", "compare a recorded BENCH_runtime.json (and the BENCH_sim.json next to it) against the wake-up engine and event-engine numbers in README.md; informational — deltas go to stderr and never fail the run")
+		benchNow  = flag.Bool("bench-json", false, "run the Go microbenchmark suite and write BENCH_runtime.json + BENCH_wheel.json + BENCH_sim.json (into -out, or the current directory)")
+		benchDiff = flag.String("bench-diff", "", "compare a recorded BENCH_runtime.json (and the BENCH_wheel.json/BENCH_sim.json next to it) against the wake-up fabric and event-engine numbers in README.md; informational — deltas go to stderr and never fail the run")
 	)
 	flag.Parse()
 
@@ -372,9 +372,11 @@ func main() {
 
 // writeBenchJSON records the perf trajectory: it runs the in-process Go
 // microbenchmark suites (internal/harness/microbench) and writes
-// BENCH_runtime.json (goroutine-barrier arrival and rendezvous) plus
-// BENCH_sim.json (event-engine schedule/fire/cancel) so future changes
-// can diff ns/op, allocs/op and the custom metrics against a baseline.
+// BENCH_runtime.json (goroutine-barrier arrival and rendezvous),
+// BENCH_wheel.json (the wake-up fabric's many-barrier sweep to 1M with
+// p99/p999 wake lateness) and BENCH_sim.json (event-engine
+// schedule/fire/cancel) so future changes can diff ns/op, allocs/op and
+// the custom metrics against a baseline.
 func writeBenchJSON(dir string, progress bool) error {
 	if dir == "" {
 		dir = "."
@@ -407,6 +409,9 @@ func writeBenchJSON(dir string, progress bool) error {
 		return nil
 	}
 	if err := write("BENCH_runtime.json", microbench.RuntimeSpecs()); err != nil {
+		return err
+	}
+	if err := write("BENCH_wheel.json", microbench.WheelSpecs()); err != nil {
 		return err
 	}
 	return write("BENCH_sim.json", microbench.SimSpecs())

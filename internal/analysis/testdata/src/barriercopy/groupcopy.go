@@ -1,0 +1,49 @@
+// Golden cases for the thrifty.Group half of barriercopy: a Group is a
+// handle to a live sharded registry and must never be copied — two
+// copies that diverge resolve the same barrier names to different
+// barriers, and a rendezvous split across them never completes.
+package barriercopy
+
+import (
+	"thriftybarrier/thrifty"
+)
+
+// groupHolder embeds a Group by value: copying groupHolder copies it.
+type groupHolder struct {
+	g    thrifty.Group
+	name string
+}
+
+func flaggedGroupAssignment() {
+	g := thrifty.NewGroup(0)
+	copied := *g // want `assignment copies thrifty\.Group by value`
+	_ = copied
+
+	var h groupHolder
+	h2 := h // want `assignment copies thrifty\.Group by value`
+	_ = h2
+}
+
+func flaggedGroupParam(g thrifty.Group) { // want `function takes thrifty\.Group by value`
+	_ = g
+}
+
+func flaggedGroupCall() {
+	g := thrifty.NewGroup(0)
+	use(*g) // want `call passes thrifty\.Group by value`
+}
+
+// --- clean cases: pointer handles resolve against one shared registry ---
+
+func cleanGroupPointer() {
+	g := thrifty.NewGroup(0)
+	resolveAndWait(g)
+}
+
+func resolveAndWait(g *thrifty.Group) {
+	b, _, err := g.GetOrCreate("phase", 1, thrifty.Options{})
+	if err != nil {
+		return
+	}
+	b.Wait()
+}

@@ -1,0 +1,47 @@
+// Golden cases for barriers resolved through thrifty.Group: the lookup
+// is lock-free, but the barrier it hands back parks like any other —
+// waiting on it under a held mutex is the same sleep-holding-a-lock
+// deadlock, and the analyzer sees through the registry indirection
+// because the receiver type is still *thrifty.Barrier.
+package lockedwait
+
+import (
+	"sync"
+
+	"thriftybarrier/thrifty"
+)
+
+type phaseTable struct {
+	mu sync.Mutex
+	g  *thrifty.Group
+}
+
+func (t *phaseTable) flaggedGroupResolved(name string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b, _, err := t.g.GetOrCreate(name, 4, thrifty.Options{})
+	if err != nil {
+		return
+	}
+	b.Wait() // want `\(\*thrifty\.Barrier\)\.Wait called while mutex "t\.mu" is held`
+}
+
+func flaggedGroupLookup(g *thrifty.Group, mu *sync.Mutex) {
+	mu.Lock()
+	if b, _, ok := g.Lookup("phase"); ok {
+		b.WaitSite(1) // want `\(\*thrifty\.Barrier\)\.WaitSite called while mutex "mu" is held`
+	}
+	mu.Unlock()
+}
+
+// cleanGroupResolved releases the lock before parking: resolving under
+// the lock is fine — only the wait itself must happen outside it.
+func (t *phaseTable) cleanGroupResolved(name string) {
+	t.mu.Lock()
+	b, _, err := t.g.GetOrCreate(name, 4, thrifty.Options{})
+	t.mu.Unlock()
+	if err != nil {
+		return
+	}
+	b.Wait()
+}

@@ -3,15 +3,18 @@
 // `cmd/thriftybench -bench-json` (the recorded BENCH_*.json baselines)
 // measure exactly the same code.
 //
-// The suite has two halves: the public goroutine barrier's arrival path
+// The suite has three parts: the public goroutine barrier's arrival path
 // (lock-free flat word and combining tree, against a mutex-serialized
-// baseline equivalent to the pre-rewrite implementation), and the
+// baseline equivalent to the pre-rewrite implementation), the wake-up
+// fabric (the sharded timing wheel's many-barrier arm/cancel sweep up to
+// a million resident barriers, with tail-lateness quantiles), and the
 // simulator's event engine (schedule/fire steady state, which must stay
 // allocation-free).
 package microbench
 
 import (
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -80,13 +83,44 @@ func RuntimeSpecs() []Spec {
 		{"BarrierRendezvous/tree-radix8-256", Tree(256, 8)},
 		{"Predict/warm", PredictWarm()},
 		{"Predict/update", PredictUpdate()},
-		{"ManyBarriers/wheel-100x16", WheelManyBarriers(100, 16)},
-		{"ManyBarriers/timer-100x16", TimerManyBarriers(100, 16)},
-		{"ManyBarriers/wheel-1000x16", WheelManyBarriers(1000, 16)},
-		{"ManyBarriers/timer-1000x16", TimerManyBarriers(1000, 16)},
-		{"ManyBarriers/wheel-10000x16", WheelManyBarriers(10000, 16)},
-		{"ManyBarriers/timer-10000x16", TimerManyBarriers(10000, 16)},
 	}
+}
+
+// SizeLabel renders a count for a benchmark name: exact thousands
+// compress to "1k"/"100k", exact millions to "1M", anything else is the
+// plain decimal — so labels stay correct for every n, unlike a
+// hand-rolled digit-pair itoa.
+func SizeLabel(n int) string {
+	switch {
+	case n >= 1_000_000 && n%1_000_000 == 0:
+		return strconv.Itoa(n/1_000_000) + "M"
+	case n >= 1_000 && n%1_000 == 0:
+		return strconv.Itoa(n/1_000) + "k"
+	default:
+		return strconv.Itoa(n)
+	}
+}
+
+// WheelSpecs is the wake-up fabric third of the suite (BENCH_wheel.json):
+// the many-barrier arm/cancel sweep, wheel versus the per-waiter
+// runtime-timer baseline it replaced, carried up to the million-barrier
+// regime. Past 10k resident the baseline drops out — a million live
+// time.Timer values is not a viable comparison point, which is the
+// regime the wheel exists for. Every entry also records p99/p999
+// internal wake-up delivery lateness.
+func WheelSpecs() []Spec {
+	var specs []Spec
+	for _, n := range []int{100, 1000, 10000} {
+		specs = append(specs,
+			Spec{"ManyBarriers/wheel-" + strconv.Itoa(n) + "x16", WheelManyBarriers(n, 16)},
+			Spec{"ManyBarriers/timer-" + strconv.Itoa(n) + "x16", TimerManyBarriers(n, 16)},
+		)
+	}
+	for _, n := range []int{100_000, 1_000_000} {
+		specs = append(specs,
+			Spec{"ManyBarriers/wheel-" + strconv.Itoa(n) + "x16", WheelManyBarriers(n, 16)})
+	}
+	return specs
 }
 
 // SimSpecs is the event-engine half of the suite.

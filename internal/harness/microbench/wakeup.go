@@ -105,9 +105,11 @@ func WheelManyBarriers(barriers, parties int) func(*testing.B) {
 		}
 		b.StopTimer()
 		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*waiters), "ns/armcancel")
-		b.ReportMetric(probeWakeP99(func(d time.Duration, ch chan struct{}) {
+		p99, p999 := probeWakeTail(func(d time.Duration, ch chan struct{}) {
 			w.Arm(d, ch)
-		}), "p99-wake-us")
+		})
+		b.ReportMetric(p99, "p99-wake-us")
+		b.ReportMetric(p999, "p999-wake-us")
 	}
 }
 
@@ -179,23 +181,27 @@ func TimerManyBarriers(barriers, parties int) func(*testing.B) {
 		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*waiters), "ns/armcancel")
 		// time.AfterFunc needs no waketimer directive: the analyzer
 		// sanctions it (stall-watchdog escape hatch).
-		b.ReportMetric(probeWakeP99(func(d time.Duration, ch chan struct{}) {
+		p99, p999 := probeWakeTail(func(d time.Duration, ch chan struct{}) {
 			time.AfterFunc(d, func() {
 				select {
 				case ch <- struct{}{}:
 				default:
 				}
 			})
-		}), "p99-wake-us")
+		})
+		b.ReportMetric(p99, "p99-wake-us")
+		b.ReportMetric(p999, "p999-wake-us")
 	}
 }
 
-// probeWakeP99 arms a burst of short wake-ups and reports the p99
-// delivery lateness in microseconds: how far past the requested deadline
-// the token actually arrived. For the wheel this bounds quantization
-// (one tick) plus ticker latency; the residual spin absorbs it (§2).
-func probeWakeP99(arm func(time.Duration, chan struct{})) float64 {
-	const samples = 128
+// probeWakeTail arms a burst of short wake-ups and reports the p99 and
+// p999 delivery lateness in microseconds: how far past the requested
+// deadline the token actually arrived. For the wheel this bounds
+// quantization (one tick) plus ticker latency; the residual spin absorbs
+// it (§2). 1024 samples, so the p999 quantile rests on an order
+// statistic rather than the single worst outlier.
+func probeWakeTail(arm func(time.Duration, chan struct{})) (p99, p999 float64) {
+	const samples = 1024
 	lat := make([]float64, samples)
 	var wg sync.WaitGroup
 	for i := 0; i < samples; i++ {
@@ -212,5 +218,5 @@ func probeWakeP99(arm func(time.Duration, chan struct{})) float64 {
 	}
 	wg.Wait()
 	sort.Float64s(lat)
-	return lat[samples*99/100]
+	return lat[samples*99/100], lat[samples*999/1000]
 }

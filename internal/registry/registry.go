@@ -1,0 +1,307 @@
+// Package registry provides the sharded, open-addressed concurrent map
+// behind thrifty.Group and the remote server's barrier table: lock-free
+// lookup by name or by numeric ID, with writers serialized per shard.
+//
+// The layout follows the classic MCS-style padding discipline for shared
+// synchronization state (SNIPPETS.md snippets 1 and 3: one padded cache
+// line per participant): each shard's mutable header occupies its own
+// cache line, so insert traffic on one shard never bounces the line a
+// reader of another shard is spinning through. Reads take no lock at
+// all: a shard publishes an immutable open-addressed table through an
+// atomic pointer, entries are immutable once stored except for a
+// tombstone flag, and a lookup is hash → shard → linear probe over
+// atomic slot pointers — zero allocations, zero stores.
+//
+// Write protocol (under the shard mutex): inserts probe the live table
+// and store the new entry's pointer into the first empty slot — readers
+// observe it atomically, so a concurrent lookup either sees the entry or
+// misses it, never a torn state. Deletes set the entry's tombstone flag;
+// the slot keeps the entry so concurrent probes continue past it (an
+// empty slot is the only probe terminator). When live+dead entries cross
+// the load-factor bound, the writer rebuilds a right-sized table without
+// tombstones and republishes the pointer; readers mid-probe on the old
+// table still see every live entry, because entries are shared between
+// tables and the tombstone flag travels with them.
+//
+// IDs encode their shard in the low bits, so GetByID routes straight to
+// the owning shard without hashing.
+package registry
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// entry is one key→value binding. Immutable after publication except for
+// dead, the tombstone flag shared by every table that references it.
+type entry[V any] struct {
+	hash uint64
+	key  string
+	id   uint64
+	val  V
+	dead atomic.Bool
+}
+
+// table is one immutable open-addressed probe array (power-of-two
+// sized). Slots hold atomic pointers so a writer can publish a new entry
+// into a live table without copying it.
+type table[V any] struct {
+	mask  uint64
+	slots []atomic.Pointer[entry[V]]
+}
+
+// shard is one independent partition: a padded single-cache-line header
+// of writer state in front of the two published tables.
+type shard[V any] struct {
+	mu   sync.Mutex // writers only; readers never take it
+	live atomic.Int64
+	dead int // tombstones in byName (== byID's, entries are shared)
+	seq  uint64
+	_    [64]byte // one shard's write traffic must not bounce a neighbour's line
+
+	byName atomic.Pointer[table[V]]
+	byID   atomic.Pointer[table[V]]
+	_      [64]byte
+}
+
+// Registry is a sharded concurrent map with lock-free lookups. The zero
+// value is not usable; build one with New. A Registry must not be copied.
+type Registry[V any] struct {
+	shardBits uint
+	mask      uint64
+	shards    []shard[V]
+}
+
+const minTableSize = 8
+
+// New builds a registry with the given shard count (rounded up to a
+// power of two; values < 1 select 1).
+func New[V any](shards int) *Registry[V] {
+	if shards < 1 {
+		shards = 1
+	}
+	n := 1 << bits.Len(uint(shards-1))
+	r := &Registry[V]{
+		shardBits: uint(bits.TrailingZeros(uint(n))),
+		mask:      uint64(n - 1),
+		shards:    make([]shard[V], n),
+	}
+	for i := range r.shards {
+		r.shards[i].byName.Store(newTable[V](minTableSize))
+		r.shards[i].byID.Store(newTable[V](minTableSize))
+	}
+	return r
+}
+
+func newTable[V any](size int) *table[V] {
+	return &table[V]{mask: uint64(size - 1), slots: make([]atomic.Pointer[entry[V]], size)}
+}
+
+// hashString is FNV-1a 64, inlined so the lookup fast path allocates
+// nothing and never leaves the package.
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// mix64 spreads an ID over the byID probe space (splitmix64 finalizer).
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// shardFor picks the shard from the low hash bits; probe indexes use the
+// bits above them, so a shard's table does not cluster on the bits that
+// selected the shard.
+func (r *Registry[V]) shardFor(h uint64) *shard[V] {
+	return &r.shards[h&r.mask]
+}
+
+func (r *Registry[V]) probeHash(h uint64) uint64 { return h >> r.shardBits }
+
+// lookup probes t for a live entry with the given probe hash and key.
+func lookup[V any](t *table[V], ph uint64, key string) *entry[V] {
+	for i := ph & t.mask; ; i = (i + 1) & t.mask {
+		e := t.slots[i].Load()
+		if e == nil {
+			return nil
+		}
+		if e.hash == ph && e.key == key && !e.dead.Load() {
+			return e
+		}
+	}
+}
+
+// Get returns the value and ID bound to name. Lock-free and
+// allocation-free; a lookup concurrent with an insert of the same name
+// may miss it.
+func (r *Registry[V]) Get(name string) (V, uint64, bool) {
+	h := hashString(name)
+	sh := r.shardFor(h)
+	if e := lookup(sh.byName.Load(), r.probeHash(h), name); e != nil {
+		return e.val, e.id, true
+	}
+	var zero V
+	return zero, 0, false
+}
+
+// GetByID returns the value bound to id (as returned by Insert or
+// GetOrCreate). Lock-free: the shard comes from the ID's low bits, the
+// probe from a mixed hash of it.
+func (r *Registry[V]) GetByID(id uint64) (V, bool) {
+	if id == 0 {
+		var zero V
+		return zero, false
+	}
+	sh := &r.shards[id&r.mask]
+	t := sh.byID.Load()
+	ph := mix64(id)
+	for i := ph & t.mask; ; i = (i + 1) & t.mask {
+		e := t.slots[i].Load()
+		if e == nil {
+			var zero V
+			return zero, false
+		}
+		if e.id == id && !e.dead.Load() {
+			return e.val, true
+		}
+	}
+}
+
+// GetOrCreate returns the value bound to name, creating it with mk under
+// the shard lock if absent. The bool reports whether mk ran (mk is
+// called at most once, and only when the binding is actually inserted).
+func (r *Registry[V]) GetOrCreate(name string, mk func() V) (V, uint64, bool) {
+	h := hashString(name)
+	sh := r.shardFor(h)
+	ph := r.probeHash(h)
+	if e := lookup(sh.byName.Load(), ph, name); e != nil {
+		return e.val, e.id, false
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e := lookup(sh.byName.Load(), ph, name); e != nil { // lost the insert race
+		return e.val, e.id, false
+	}
+	v := mk()
+	id := r.insertLocked(sh, h, name, v)
+	return v, id, true
+}
+
+// Insert binds name to v, failing (ok=false, id 0) if a live binding
+// already exists.
+func (r *Registry[V]) Insert(name string, v V) (uint64, bool) {
+	h := hashString(name)
+	sh := r.shardFor(h)
+	ph := r.probeHash(h)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if lookup(sh.byName.Load(), ph, name) != nil {
+		return 0, false
+	}
+	return r.insertLocked(sh, h, name, v), true
+}
+
+// insertLocked files a new entry in both tables (caller holds sh.mu).
+// IDs are never zero (seq starts at 1) and encode the shard in the low
+// bits, so GetByID routes without hashing the name.
+func (r *Registry[V]) insertLocked(sh *shard[V], h uint64, name string, v V) uint64 {
+	sh.seq++
+	id := sh.seq<<r.shardBits | (h & r.mask)
+	e := &entry[V]{hash: r.probeHash(h), key: name, id: id, val: v}
+	r.growLocked(sh)
+	store(sh.byName.Load(), e.hash, e)
+	store(sh.byID.Load(), mix64(id), e)
+	sh.live.Add(1)
+	return id
+}
+
+// store publishes e into the first empty slot of t's probe sequence.
+func store[V any](t *table[V], ph uint64, e *entry[V]) {
+	for i := ph & t.mask; ; i = (i + 1) & t.mask {
+		if t.slots[i].Load() == nil {
+			t.slots[i].Store(e)
+			return
+		}
+	}
+}
+
+// growLocked rebuilds both tables when the next insert would push
+// occupancy (live + tombstones + 1) past 3/4, dropping tombstones. New
+// size targets 2× the live count (never below the minimum), so a
+// delete-heavy workload shrinks back.
+func (r *Registry[V]) growLocked(sh *shard[V]) {
+	t := sh.byName.Load()
+	live := int(sh.live.Load())
+	if uint64(live+sh.dead+1)*4 <= (t.mask+1)*3 {
+		return
+	}
+	size := minTableSize
+	for size*2 < (live+1)*4 { // ×2 headroom over live
+		size <<= 1
+	}
+	nn := newTable[V](size)
+	ni := newTable[V](size)
+	for i := range t.slots {
+		if e := t.slots[i].Load(); e != nil && !e.dead.Load() {
+			store(nn, e.hash, e)
+			store(ni, mix64(e.id), e)
+		}
+	}
+	sh.dead = 0
+	sh.byName.Store(nn)
+	sh.byID.Store(ni)
+}
+
+// Delete removes the binding for name if match (nil = always) accepts
+// its current value, returning the removed value.
+func (r *Registry[V]) Delete(name string, match func(V) bool) (V, bool) {
+	h := hashString(name)
+	sh := r.shardFor(h)
+	ph := r.probeHash(h)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e := lookup(sh.byName.Load(), ph, name)
+	if e == nil || (match != nil && !match(e.val)) {
+		var zero V
+		return zero, false
+	}
+	e.dead.Store(true)
+	sh.dead++
+	sh.live.Add(-1)
+	return e.val, true
+}
+
+// Len reports the number of live bindings.
+func (r *Registry[V]) Len() int {
+	n := int64(0)
+	for i := range r.shards {
+		n += r.shards[i].live.Load()
+	}
+	return int(n)
+}
+
+// Range calls f for every live binding until it returns false. It
+// iterates a per-shard snapshot lock-free: bindings inserted or deleted
+// concurrently may or may not be observed.
+func (r *Registry[V]) Range(f func(name string, id uint64, v V) bool) {
+	for i := range r.shards {
+		t := r.shards[i].byName.Load()
+		for j := range t.slots {
+			if e := t.slots[j].Load(); e != nil && !e.dead.Load() {
+				if !f(e.key, e.id, e.val) {
+					return
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package registry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestBasicInsertGetDelete(t *testing.T) {
+	r := New[int](4)
+	if _, _, ok := r.Get("a"); ok {
+		t.Fatal("Get on empty registry succeeded")
+	}
+	id, ok := r.Insert("a", 1)
+	if !ok || id == 0 {
+		t.Fatalf("Insert(a) = (%d, %v)", id, ok)
+	}
+	if _, dup := r.Insert("a", 2); dup {
+		t.Fatal("duplicate Insert succeeded")
+	}
+	v, gid, ok := r.Get("a")
+	if !ok || v != 1 || gid != id {
+		t.Fatalf("Get(a) = (%d, %d, %v), want (1, %d, true)", v, gid, ok, id)
+	}
+	if v, ok := r.GetByID(id); !ok || v != 1 {
+		t.Fatalf("GetByID(%d) = (%d, %v)", id, v, ok)
+	}
+	if _, ok := r.GetByID(0); ok {
+		t.Fatal("GetByID(0) succeeded")
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", r.Len())
+	}
+	if v, ok := r.Delete("a", nil); !ok || v != 1 {
+		t.Fatalf("Delete(a) = (%d, %v)", v, ok)
+	}
+	if _, _, ok := r.Get("a"); ok {
+		t.Fatal("Get after Delete succeeded")
+	}
+	if _, ok := r.GetByID(id); ok {
+		t.Fatal("GetByID after Delete succeeded")
+	}
+	if r.Len() != 0 {
+		t.Fatalf("Len after delete = %d, want 0", r.Len())
+	}
+}
+
+func TestGetOrCreate(t *testing.T) {
+	r := New[string](1)
+	calls := 0
+	v, id, created := r.GetOrCreate("x", func() string { calls++; return "made" })
+	if !created || v != "made" || calls != 1 || id == 0 {
+		t.Fatalf("first GetOrCreate = (%q, %d, %v), calls %d", v, id, created, calls)
+	}
+	v2, id2, created2 := r.GetOrCreate("x", func() string { calls++; return "remade" })
+	if created2 || v2 != "made" || id2 != id || calls != 1 {
+		t.Fatalf("second GetOrCreate = (%q, %d, %v), calls %d", v2, id2, created2, calls)
+	}
+}
+
+func TestConditionalDelete(t *testing.T) {
+	r := New[int](2)
+	r.Insert("k", 7)
+	if _, ok := r.Delete("k", func(v int) bool { return v == 8 }); ok {
+		t.Fatal("Delete with rejecting match succeeded")
+	}
+	if _, _, ok := r.Get("k"); !ok {
+		t.Fatal("rejected Delete removed the binding")
+	}
+	if _, ok := r.Delete("k", func(v int) bool { return v == 7 }); !ok {
+		t.Fatal("Delete with accepting match failed")
+	}
+}
+
+// TestReinsertAfterDelete covers the tombstone path: a deleted name must
+// be insertable again, get a fresh ID, and probe chains must continue
+// past tombstones to reach entries filed behind them.
+func TestReinsertAfterDelete(t *testing.T) {
+	r := New[int](1)
+	id1, _ := r.Insert("n", 1)
+	r.Delete("n", nil)
+	id2, ok := r.Insert("n", 2)
+	if !ok {
+		t.Fatal("re-insert after delete failed")
+	}
+	if id2 == id1 {
+		t.Fatalf("re-insert reused ID %d", id1)
+	}
+	if v, _, ok := r.Get("n"); !ok || v != 2 {
+		t.Fatalf("Get after re-insert = (%d, %v), want (2, true)", v, ok)
+	}
+	if v, ok := r.GetByID(id2); !ok || v != 2 {
+		t.Fatalf("GetByID(new) = (%d, %v)", v, ok)
+	}
+	if _, ok := r.GetByID(id1); ok {
+		t.Fatal("stale ID still resolves")
+	}
+}
+
+// TestGrowAndChurn pushes a shard through many rehashes with a mix of
+// inserts and deletes, then verifies every surviving binding resolves by
+// name and by ID with the right value.
+func TestGrowAndChurn(t *testing.T) {
+	r := New[int](2)
+	ids := map[string]uint64{}
+	for i := 0; i < 2000; i++ {
+		name := fmt.Sprintf("key-%d", i)
+		id, ok := r.Insert(name, i)
+		if !ok {
+			t.Fatalf("Insert(%s) failed", name)
+		}
+		ids[name] = id
+		if i%3 == 0 {
+			victim := fmt.Sprintf("key-%d", i/2)
+			if _, ok := r.Delete(victim, nil); ok {
+				delete(ids, victim)
+			}
+		}
+	}
+	if r.Len() != len(ids) {
+		t.Fatalf("Len = %d, want %d", r.Len(), len(ids))
+	}
+	for name, id := range ids {
+		var want int
+		fmt.Sscanf(name, "key-%d", &want)
+		if v, gid, ok := r.Get(name); !ok || v != want || gid != id {
+			t.Fatalf("Get(%s) = (%d, %d, %v), want (%d, %d, true)", name, v, gid, ok, want, id)
+		}
+		if v, ok := r.GetByID(id); !ok || v != want {
+			t.Fatalf("GetByID(%d) = (%d, %v), want (%d, true)", id, v, ok, want)
+		}
+	}
+	seen := 0
+	r.Range(func(name string, id uint64, v int) bool {
+		if ids[name] != id {
+			t.Fatalf("Range visited %s with id %d, want %d", name, id, ids[name])
+		}
+		seen++
+		return true
+	})
+	if seen != len(ids) {
+		t.Fatalf("Range visited %d bindings, want %d", seen, len(ids))
+	}
+}
+
+// TestConcurrentReadersWriters runs lock-free readers against inserting
+// and deleting writers under -race: readers must never see a torn or
+// wrong-valued binding.
+func TestConcurrentReadersWriters(t *testing.T) {
+	r := New[uint64](4)
+	const (
+		writers = 4
+		perW    = 400
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ { // readers
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for i := 0; i < 64; i++ {
+					name := fmt.Sprintf("w%d-%d", i%writers, i)
+					if v, id, ok := r.Get(name); ok {
+						if v != uint64(i) {
+							t.Errorf("Get(%s) = %d, want %d", name, v, i)
+							return
+						}
+						if got, ok := r.GetByID(id); ok && got != uint64(i) {
+							t.Errorf("GetByID(%d) = %d, want %d", id, got, i)
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	var wwg sync.WaitGroup
+	for wid := 0; wid < writers; wid++ {
+		wwg.Add(1)
+		go func(wid int) {
+			defer wwg.Done()
+			for i := 0; i < perW; i++ {
+				name := fmt.Sprintf("w%d-%d", wid, i)
+				r.Insert(name, uint64(i))
+				if i%2 == 0 {
+					r.Delete(fmt.Sprintf("w%d-%d", wid, i/2), nil)
+				}
+			}
+		}(wid)
+	}
+	wwg.Wait()
+	close(stop)
+	wg.Wait()
+}
+
+func TestZeroAllocLookup(t *testing.T) {
+	r := New[int](4)
+	for i := 0; i < 100; i++ {
+		r.Insert(fmt.Sprintf("key-%d", i), i)
+	}
+	_, id, _ := r.Get("key-42")
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, _, ok := r.Get("key-42"); !ok {
+			t.Fatal("miss")
+		}
+		if _, ok := r.GetByID(id); !ok {
+			t.Fatal("ID miss")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("lookup allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"thriftybarrier/internal/predict"
+	"thriftybarrier/internal/registry"
 	"thriftybarrier/internal/sim"
 )
 
@@ -153,16 +154,19 @@ type Stats struct {
 	Barriers         int    // distinct barrier names seen
 }
 
-const numShards = 8
+// registryShards sizes the barrier registry's write sharding: lookups
+// are lock-free regardless, so this only bounds creation contention.
+const registryShards = 16
 
-// Server is the thriftyd core: a sharded table of named barriers, each
-// running per-(client, barrier) BIT prediction and answering arrivals
-// with sleep directives, with lease-based failure detection and
-// broken-epoch fan-out. Safe for concurrent use; serve it on any number
-// of listeners.
+// Server is the thriftyd core: a registry of named barriers — lock-free
+// lookup on every frame, one mutex per barrier instead of a map-wide
+// shard lock — each running per-(client, barrier) BIT prediction and
+// answering arrivals with sleep directives, with lease-based failure
+// detection and broken-epoch fan-out. Safe for concurrent use; serve it
+// on any number of listeners.
 type Server struct {
-	opts   Options
-	shards [numShards]shard
+	opts     Options
+	barriers *registry.Registry[*barrierState]
 
 	clientMu sync.Mutex
 	clients  map[string]time.Time // clientID → last frame seen
@@ -183,26 +187,18 @@ type Server struct {
 	cancelBreaks, stalls, shed, badFrames    atomic.Uint64
 }
 
-type shard struct {
-	mu       sync.Mutex
-	barriers map[string]*barrierState
-}
-
 // NewServer builds a server. It panics on an invalid predictor config
 // (mirroring predict.NewTable).
 func NewServer(opts Options) *Server {
 	opts.fill()
-	s := &Server{
+	return &Server{
 		opts:      opts,
+		barriers:  registry.New[*barrierState](registryShards),
 		clients:   make(map[string]time.Time),
 		sessions:  make(map[*session]struct{}),
 		listeners: make(map[net.Listener]struct{}),
 		done:      make(chan struct{}),
 	}
-	for i := range s.shards {
-		s.shards[i].barriers = make(map[string]*barrierState)
-	}
-	return s
 }
 
 // nonceRec remembers which epoch a client's wait attempt (nonce) was
@@ -215,6 +211,11 @@ type nonceRec struct {
 }
 
 type barrierState struct {
+	// mu guards everything below. Per-barrier rather than per-map-shard:
+	// two barriers never contend, and the registry lookup that finds the
+	// state takes no lock at all.
+	mu sync.Mutex
+
 	name    string
 	parties uint32
 	epoch   uint64 // current open epoch (1-based)
@@ -241,17 +242,11 @@ type arrival struct {
 	arrivedAt time.Time
 }
 
-// send is a deferred frame write: handlers compute under the shard lock
+// send is a deferred frame write: handlers compute under the barrier lock
 // and transmit after releasing it (fan-out may block on slow peers).
 type send struct {
 	sess    *session
 	payload []byte
-}
-
-func (s *Server) shardFor(name string) *shard {
-	h := fnv.New32a()
-	h.Write([]byte(name))
-	return &s.shards[h.Sum32()%numShards]
 }
 
 // pcClient maps a client ID to its predictor table key. Key 0 is
@@ -434,22 +429,22 @@ func (s *Server) unbind(sess *session) {
 	}
 	sess.mu.Unlock()
 	for barrier, clientID := range regs {
-		sh := s.shardFor(barrier)
-		sh.mu.Lock()
-		if bs := sh.barriers[barrier]; bs != nil {
+		if bs, _, ok := s.barriers.Get(barrier); ok {
+			bs.mu.Lock()
 			if a := bs.byClient[clientID]; a != nil && a.sess == sess {
 				a.sess = nil
 			}
+			bs.mu.Unlock()
 		}
-		sh.mu.Unlock()
 	}
 }
 
-// handleRegister is the arrival path. All state decisions happen under
-// the shard lock; the directive is also sent under it (through the
-// session's own write lock) so every connection observes its directive
-// before the epoch's release frame, and the release fan-out itself runs
-// after unlock.
+// handleRegister is the arrival path: a lock-free registry resolve (or a
+// per-shard-serialized create on first sight of the name), then all
+// state decisions under the barrier's own lock. The directive is also
+// sent under it (through the session's own write lock) so every
+// connection observes its directive before the epoch's release frame,
+// and the release fan-out itself runs after unlock.
 func (s *Server) handleRegister(sess *session, f Register) {
 	if f.ClientID == "" || f.Barrier == "" || f.Parties == 0 {
 		ef := ErrorFrame{Code: ErrCodeBadFrame, Barrier: f.Barrier,
@@ -460,11 +455,8 @@ func (s *Server) handleRegister(sess *session, f Register) {
 	s.touch(f.ClientID)
 	now := s.opts.Now()
 
-	sh := s.shardFor(f.Barrier)
-	sh.mu.Lock()
-	bs := sh.barriers[f.Barrier]
-	if bs == nil {
-		bs = &barrierState{
+	bs, _, _ := s.barriers.GetOrCreate(f.Barrier, func() *barrierState {
+		return &barrierState{
 			name:     f.Barrier,
 			parties:  f.Parties,
 			epoch:    1,
@@ -473,10 +465,10 @@ func (s *Server) handleRegister(sess *session, f Register) {
 			table:    predict.NewTable(s.opts.Predict),
 			history:  make(map[uint64][]byte),
 		}
-		sh.barriers[f.Barrier] = bs
-	}
+	})
+	bs.mu.Lock()
 	if bs.parties != f.Parties {
-		sh.mu.Unlock()
+		bs.mu.Unlock()
 		ef := ErrorFrame{Code: ErrCodeParties, Barrier: f.Barrier, Msg: fmt.Sprintf(
 			"remote: barrier %q has %d parties, register asked for %d",
 			f.Barrier, bs.parties, f.Parties)}
@@ -492,14 +484,14 @@ func (s *Server) handleRegister(sess *session, f Register) {
 			a := bs.byClient[f.ClientID]
 			a.sess = sess
 			payload := a.directive
-			sh.mu.Unlock()
+			bs.mu.Unlock()
 			s.dupRegistrations.Add(1)
 			sess.track(f.Barrier, f.ClientID)
 			sess.send(payload)
 			return
 		}
 		if payload, ok := bs.history[rec.epoch]; ok {
-			sh.mu.Unlock()
+			bs.mu.Unlock()
 			s.replays.Add(1)
 			sess.send(payload)
 			return
@@ -508,7 +500,7 @@ func (s *Server) handleRegister(sess *session, f Register) {
 		// know is that this attempt cannot complete now.
 		rel := Release{Barrier: f.Barrier, Epoch: rec.epoch, Gen: f.Gen,
 			Broken: true, Reason: "epoch evicted from replay history"}
-		sh.mu.Unlock()
+		bs.mu.Unlock()
 		s.replays.Add(1)
 		sess.send(rel.Encode())
 		return
@@ -534,7 +526,7 @@ func (s *Server) handleRegister(sess *session, f Register) {
 		fanout = s.releaseLocked(bs, now)
 	}
 	payload := a.directive
-	sh.mu.Unlock()
+	bs.mu.Unlock()
 
 	sess.track(f.Barrier, f.ClientID)
 	sess.send(payload)
@@ -546,7 +538,7 @@ func (s *Server) handleRegister(sess *session, f Register) {
 // directiveFor runs the §3.2→Table 3 pipeline for one waiter: predict
 // the stall (barrier BIT anchored at the last release, falling back to
 // the client's own last stall), widen it under load, and pick the
-// deepest tier whose exit cost the stall covers. Caller holds the shard
+// deepest tier whose exit cost the stall covers. Caller holds the barrier
 // lock.
 func (s *Server) directiveFor(bs *barrierState, clientID string, nonce uint64, now time.Time) Directive {
 	o := &s.opts
@@ -628,7 +620,7 @@ func (s *Server) directiveFor(bs *barrierState, clientID string, nonce uint64, n
 // (pure protocol state, so it is byte-identical for every waiter and
 // every run), feed the predictor — the barrier-interval entry with the
 // release-to-release time, each client's entry with its arrival-to-
-// release stall — and re-arm the next epoch. Caller holds the shard
+// release stall — and re-arm the next epoch. Caller holds the barrier
 // lock; the returned sends are the fan-out, performed after unlock.
 func (s *Server) releaseLocked(bs *barrierState, now time.Time) []send {
 	rel := Release{Barrier: bs.name, Epoch: bs.epoch, Gen: bs.gen,
@@ -660,7 +652,7 @@ func (s *Server) releaseLocked(bs *barrierState, now time.Time) []send {
 // and immediately re-arming the next epoch under a bumped generation
 // (the server-side Reset). The interval spanning the break is discarded,
 // exactly like the in-process barrier discards intervals spanning a
-// Reset. Caller holds the shard lock.
+// Reset. Caller holds the barrier lock.
 func (s *Server) breakEpochLocked(bs *barrierState, reason string) []send {
 	if len(bs.arrivals) == 0 {
 		return nil
@@ -732,16 +724,14 @@ func (s *Server) fanOut(sends []send) {
 // frames are as harmless as duplicated registers.
 func (s *Server) handleCancel(sess *session, f Cancel) {
 	s.touch(f.ClientID)
-	sh := s.shardFor(f.Barrier)
-	sh.mu.Lock()
-	bs := sh.barriers[f.Barrier]
-	if bs == nil {
-		sh.mu.Unlock()
+	bs, _, found := s.barriers.Get(f.Barrier)
+	if !found {
 		return
 	}
+	bs.mu.Lock()
 	rec, ok := bs.nonces[f.ClientID]
 	if !ok || rec.nonce != f.Nonce {
-		sh.mu.Unlock()
+		bs.mu.Unlock()
 		return
 	}
 	if rec.epoch == bs.epoch && bs.byClient[f.ClientID] != nil {
@@ -750,13 +740,13 @@ func (s *Server) handleCancel(sess *session, f Cancel) {
 			reason = fmt.Sprintf("cancelled by %q: %s", f.ClientID, f.Reason)
 		}
 		sends := s.breakEpochLocked(bs, reason)
-		sh.mu.Unlock()
+		bs.mu.Unlock()
 		s.cancelBreaks.Add(1)
 		s.fanOut(sends)
 		return
 	}
 	payload, ok := bs.history[rec.epoch]
-	sh.mu.Unlock()
+	bs.mu.Unlock()
 	if ok {
 		s.replays.Add(1)
 		sess.send(payload)
@@ -765,7 +755,7 @@ func (s *Server) handleCancel(sess *session, f Cancel) {
 
 // armWatchdog schedules the stall check for a newly opened epoch:
 // StallMultiple × the predicted barrier interval, floored at StallFloor.
-// Caller holds the shard lock.
+// Caller holds the barrier lock.
 func (s *Server) armWatchdog(bs *barrierState) {
 	d := s.opts.StallFloor
 	var bit time.Duration
@@ -788,11 +778,13 @@ func (s *Server) armWatchdog(bs *barrierState) {
 // is still open it is reported through OnStall and every connected
 // waiter gets an advisory frame. It never breaks the epoch.
 func (s *Server) stallCheck(name string, epoch, gen uint64, bit time.Duration) {
-	sh := s.shardFor(name)
-	sh.mu.Lock()
-	bs := sh.barriers[name]
-	if bs == nil || bs.epoch != epoch || bs.gen != gen || len(bs.arrivals) == 0 || bs.stalled {
-		sh.mu.Unlock()
+	bs, _, found := s.barriers.Get(name)
+	if !found {
+		return
+	}
+	bs.mu.Lock()
+	if bs.epoch != epoch || bs.gen != gen || len(bs.arrivals) == 0 || bs.stalled {
+		bs.mu.Unlock()
 		return
 	}
 	bs.stalled = true
@@ -810,7 +802,7 @@ func (s *Server) stallCheck(name string, epoch, gen uint64, bit time.Duration) {
 		Arrived: len(bs.arrivals), Parties: int(bs.parties),
 		Waited: s.opts.Now().Sub(bs.openedAt), PredictedBIT: bit,
 	}
-	sh.mu.Unlock()
+	bs.mu.Unlock()
 	s.stalls.Add(1)
 	if s.opts.OnStall != nil {
 		s.opts.OnStall(ev)
@@ -854,45 +846,41 @@ func (s *Server) checkLeases() {
 	if len(expired) == 0 {
 		return
 	}
-	for i := range s.shards {
-		sh := &s.shards[i]
-		var sends []send
-		sh.mu.Lock()
-		for _, bs := range sh.barriers {
-			for _, a := range bs.arrivals {
-				if expired[a.clientID] {
-					s.leaseBreaks.Add(1)
-					s.opts.Logf("thriftyd: lease lost: client %q at barrier %q epoch %d",
-						a.clientID, bs.name, bs.epoch)
-					sends = append(sends, s.breakEpochLocked(bs,
-						fmt.Sprintf("lease lost: client %q went silent", a.clientID))...)
-					break
-				}
+	var sends []send
+	s.barriers.Range(func(_ string, _ uint64, bs *barrierState) bool {
+		bs.mu.Lock()
+		for _, a := range bs.arrivals {
+			if expired[a.clientID] {
+				s.leaseBreaks.Add(1)
+				s.opts.Logf("thriftyd: lease lost: client %q at barrier %q epoch %d",
+					a.clientID, bs.name, bs.epoch)
+				sends = append(sends, s.breakEpochLocked(bs,
+					fmt.Sprintf("lease lost: client %q went silent", a.clientID))...)
+				break
 			}
 		}
-		sh.mu.Unlock()
-		s.fanOut(sends)
-	}
+		bs.mu.Unlock()
+		return true
+	})
+	s.fanOut(sends)
 }
 
 // Snapshot reports every known barrier, sorted by name — the remote
 // mirror of thrifty.Barrier.Snapshot, one row per barrier.
 func (s *Server) Snapshot() []BarrierStatus {
 	var rows []BarrierStatus
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.Lock()
-		for _, bs := range sh.barriers {
-			rows = append(rows, BarrierStatus{
-				Name:    bs.name,
-				Epoch:   bs.epoch,
-				Gen:     bs.gen,
-				Arrived: uint32(len(bs.arrivals)),
-				Parties: bs.parties,
-			})
-		}
-		sh.mu.Unlock()
-	}
+	s.barriers.Range(func(_ string, _ uint64, bs *barrierState) bool {
+		bs.mu.Lock()
+		rows = append(rows, BarrierStatus{
+			Name:    bs.name,
+			Epoch:   bs.epoch,
+			Gen:     bs.gen,
+			Arrived: uint32(len(bs.arrivals)),
+			Parties: bs.parties,
+		})
+		bs.mu.Unlock()
+		return true
+	})
 	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
 	return rows
 }
@@ -901,13 +889,12 @@ func (s *Server) Snapshot() []BarrierStatus {
 // barrier's ended epochs, in epoch order — the replay buffer, exposed
 // for diagnostics and for the chaos suite's byte-identity checks.
 func (s *Server) ReleaseHistory(barrier string) [][]byte {
-	sh := s.shardFor(barrier)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	bs := sh.barriers[barrier]
-	if bs == nil {
+	bs, _, found := s.barriers.Get(barrier)
+	if !found {
 		return nil
 	}
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
 	out := make([][]byte, 0, len(bs.historyOrder))
 	for _, epoch := range bs.historyOrder {
 		p := bs.history[epoch]
@@ -931,11 +918,6 @@ func (s *Server) Stats() Stats {
 		BadFrames:        s.badFrames.Load(),
 		OpenEpochs:       s.openEpochs.Load(),
 	}
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.Lock()
-		st.Barriers += len(sh.barriers)
-		sh.mu.Unlock()
-	}
+	st.Barriers = s.barriers.Len()
 	return st
 }

@@ -6,6 +6,17 @@ import (
 	"testing"
 )
 
+// diffEntry is one model entry for the differential tests below.
+type diffEntry struct {
+	id      int
+	due     uint64
+	h       Handle
+	ch      chan struct{}
+	isClose bool // armed through ArmClose (broadcast entry)
+	fired   bool
+	cancel  bool
+}
+
 // TestDifferentialAgainstSortedModel drives a single-shard wheel with a
 // seeded random schedule of arms and cancels and checks every outcome
 // against a naive model: a slice of (due, seq) pairs sorted on demand.
@@ -15,119 +26,160 @@ import (
 // overflow rescue, so the hierarchy bookkeeping — not just the level-0
 // happy path — is what gets compared.
 func TestDifferentialAgainstSortedModel(t *testing.T) {
-	type entry struct {
-		id     int
-		due    uint64
-		h      Handle
-		fired  bool
-		cancel bool
-	}
-
 	for _, seed := range []int64{1, 7, 42, 1337} {
 		rng := rand.New(rand.NewSource(seed))
 		w := testWheel(t, Config{Slots0: 8, Slots1: 4, Shards: 1})
+		runDifferential(t, w, rng, seed, false)
+	}
+}
 
-		var (
-			entries []*entry
-			byCh    = map[chan<- struct{}]*entry{}
-			now     uint64
-			nextID  int
-		)
-		pending := func() []*entry {
-			var p []*entry
-			for _, e := range entries {
-				if !e.fired && !e.cancel {
-					p = append(p, e)
-				}
-			}
-			return p
-		}
+// TestDifferentialBatchedCloseFiring reruns the model comparison with
+// the batched/coalesced firing path in the mix: a random half of the
+// entries are broadcast-close (ArmClose) wake-ups, which an advance pass
+// collects under the same single lock acquisition and closes outside the
+// lock. The model is unchanged — a close entry fires at exactly its tick
+// like any other — plus two kind-specific checks folded into the run: a
+// fired close entry's channel is actually closed (receivable arbitrarily
+// often), and a cancelled one's never is.
+func TestDifferentialBatchedCloseFiring(t *testing.T) {
+	for _, seed := range []int64{3, 11, 99, 2024} {
+		rng := rand.New(rand.NewSource(seed))
+		w := testWheel(t, Config{Slots0: 8, Slots1: 4, Shards: 1})
+		runDifferential(t, w, rng, seed, true)
+	}
+}
 
-		for step := 0; step < 400; step++ {
-			switch op := rng.Intn(10); {
-			case op < 5: // arm, horizon-stressing spread of durations
-				due := now + 1 + uint64(rng.Intn(200))
-				ch := make(chan struct{}, 1)
-				e := &entry{id: nextID, due: due}
-				nextID++
-				// The manual wheel's clock is frozen at tick 0, so the
-				// duration encodes the absolute due tick directly.
-				e.h = w.Arm(w.at(due), ch)
-				if e.h == (Handle{}) {
-					t.Fatalf("seed %d step %d: future arm (due %d, now %d) fired immediately", seed, step, due, now)
-				}
-				entries = append(entries, e)
-				byCh[ch] = e
-			case op < 7: // cancel a random live entry (or a stale handle)
-				if p := pending(); len(p) > 0 {
-					e := p[rng.Intn(len(p))]
-					if !w.Cancel(e.h) {
-						t.Fatalf("seed %d step %d: cancel of pending id %d failed", seed, step, e.id)
-					}
-					if w.Cancel(e.h) {
-						t.Fatalf("seed %d step %d: double cancel of id %d succeeded", seed, step, e.id)
-					}
-					e.cancel = true
-				}
-			default: // advance 1..16 ticks and compare fire sets
-				target := now + 1 + uint64(rng.Intn(16))
-				for now < target {
-					now++
-					fires, _ := w.advanceTo(now)
+// closed reports whether ch has been closed (close entries carry no
+// tokens, so any receive that completes means closed).
+func closed(ch chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
 
-					// Model: everything pending with due == now, by id.
-					var want []*entry
-					for _, e := range pending() {
-						if e.due == now {
-							want = append(want, e)
-						}
-					}
-					sort.Slice(want, func(i, j int) bool { return want[i].id < want[j].id })
-
-					got := make([]*entry, 0, len(fires))
-					for _, f := range fires {
-						e := byCh[f.ch]
-						if e == nil {
-							t.Fatalf("seed %d tick %d: fire on unknown channel", seed, now)
-						}
-						if f.due != e.due || e.due != now {
-							t.Fatalf("seed %d tick %d: id %d fired at wrong tick (due %d, recorded %d)", seed, now, e.id, e.due, f.due)
-						}
-						if e.fired || e.cancel {
-							t.Fatalf("seed %d tick %d: id %d fired twice or after cancel", seed, now, e.id)
-						}
-						e.fired = true
-						got = append(got, e)
-					}
-					sort.Slice(got, func(i, j int) bool { return got[i].id < got[j].id })
-
-					if len(got) != len(want) {
-						t.Fatalf("seed %d tick %d: fired %d entries, model says %d", seed, now, len(got), len(want))
-					}
-					for i := range got {
-						if got[i] != want[i] {
-							t.Fatalf("seed %d tick %d: fire set diverges from model at %d (got id %d, want id %d)", seed, now, i, got[i].id, want[i].id)
-						}
-					}
-				}
-			}
-		}
-
-		// Drain: after advancing past every deadline, the wheel must be
-		// empty and every non-cancelled entry must have fired.
-		drained, _ := w.advanceTo(now + 300)
-		for _, f := range drained {
-			if e := byCh[f.ch]; e != nil {
-				e.fired = true
-			}
-		}
+func runDifferential(t *testing.T, w *Wheel, rng *rand.Rand, seed int64, withClose bool) {
+	t.Helper()
+	var (
+		entries []*diffEntry
+		byCh    = map[chan<- struct{}]*diffEntry{}
+		now     uint64
+		nextID  int
+	)
+	pending := func() []*diffEntry {
+		var p []*diffEntry
 		for _, e := range entries {
-			if !e.cancel && e.due <= now+300 && !e.fired {
-				t.Fatalf("seed %d: id %d (due %d) never fired", seed, e.id, e.due)
+			if !e.fired && !e.cancel {
+				p = append(p, e)
 			}
 		}
-		if got := w.Stats().Armed; got != 0 {
-			t.Fatalf("seed %d: %d entries still armed after drain", seed, got)
+		return p
+	}
+
+	for step := 0; step < 400; step++ {
+		switch op := rng.Intn(10); {
+		case op < 5: // arm, horizon-stressing spread of durations
+			due := now + 1 + uint64(rng.Intn(200))
+			ch := make(chan struct{}, 1)
+			e := &diffEntry{id: nextID, due: due, ch: ch}
+			nextID++
+			// The manual wheel's clock is frozen at tick 0, so the
+			// duration encodes the absolute due tick directly.
+			if withClose && rng.Intn(2) == 0 {
+				e.isClose = true
+				var got uint64
+				e.h, got = w.ArmClose(w.at(due), ch)
+				if got != due {
+					t.Fatalf("seed %d step %d: ArmClose reported due tick %d, want %d", seed, step, got, due)
+				}
+			} else {
+				e.h = w.Arm(w.at(due), ch)
+			}
+			if e.h == (Handle{}) {
+				t.Fatalf("seed %d step %d: future arm (due %d, now %d) fired immediately", seed, step, due, now)
+			}
+			entries = append(entries, e)
+			byCh[ch] = e
+		case op < 7: // cancel a random live entry (or a stale handle)
+			if p := pending(); len(p) > 0 {
+				e := p[rng.Intn(len(p))]
+				if !w.Cancel(e.h) {
+					t.Fatalf("seed %d step %d: cancel of pending id %d failed", seed, step, e.id)
+				}
+				if w.Cancel(e.h) {
+					t.Fatalf("seed %d step %d: double cancel of id %d succeeded", seed, step, e.id)
+				}
+				e.cancel = true
+			}
+		default: // advance 1..16 ticks and compare fire sets
+			target := now + 1 + uint64(rng.Intn(16))
+			for now < target {
+				now++
+				fires, _ := w.advanceTo(now)
+
+				// Model: everything pending with due == now, by id.
+				var want []*diffEntry
+				for _, e := range pending() {
+					if e.due == now {
+						want = append(want, e)
+					}
+				}
+				sort.Slice(want, func(i, j int) bool { return want[i].id < want[j].id })
+
+				got := make([]*diffEntry, 0, len(fires))
+				for _, f := range fires {
+					e := byCh[f.ch]
+					if e == nil {
+						t.Fatalf("seed %d tick %d: fire on unknown channel", seed, now)
+					}
+					if f.due != e.due || e.due != now {
+						t.Fatalf("seed %d tick %d: id %d fired at wrong tick (due %d, recorded %d)", seed, now, e.id, e.due, f.due)
+					}
+					if f.closeCh != e.isClose {
+						t.Fatalf("seed %d tick %d: id %d fired with wrong kind (closeCh=%v, armed close=%v)", seed, now, e.id, f.closeCh, e.isClose)
+					}
+					if e.fired || e.cancel {
+						t.Fatalf("seed %d tick %d: id %d fired twice or after cancel", seed, now, e.id)
+					}
+					e.fired = true
+					if e.isClose && !closed(e.ch) {
+						t.Fatalf("seed %d tick %d: close entry id %d fired but channel not closed", seed, now, e.id)
+					}
+					got = append(got, e)
+				}
+				sort.Slice(got, func(i, j int) bool { return got[i].id < got[j].id })
+
+				if len(got) != len(want) {
+					t.Fatalf("seed %d tick %d: fired %d entries, model says %d", seed, now, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("seed %d tick %d: fire set diverges from model at %d (got id %d, want id %d)", seed, now, i, got[i].id, want[i].id)
+					}
+				}
+			}
 		}
+	}
+
+	// Drain: after advancing past every deadline, the wheel must be
+	// empty and every non-cancelled entry must have fired.
+	drained, _ := w.advanceTo(now + 300)
+	for _, f := range drained {
+		if e := byCh[f.ch]; e != nil {
+			e.fired = true
+		}
+	}
+	for _, e := range entries {
+		if !e.cancel && e.due <= now+300 && !e.fired {
+			t.Fatalf("seed %d: id %d (due %d) never fired", seed, e.id, e.due)
+		}
+		if e.isClose && e.cancel && closed(e.ch) {
+			t.Fatalf("seed %d: cancelled close entry id %d has a closed channel", seed, e.id)
+		}
+	}
+	if got := w.Stats().Armed; got != 0 {
+		t.Fatalf("seed %d: %d entries still armed after drain", seed, got)
 	}
 }

@@ -1,0 +1,85 @@
+package wheel
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentArmCancelAgainstStealingTickers hammers Arm/Cancel (both
+// token and broadcast-close entries) from many goroutines against a live
+// multi-shard wheel whose tickers run the work-stealing sweep, under the
+// race detector. Correctness invariants: a failed Cancel on a token
+// entry always yields exactly one receivable token (the §3.3.2 protocol
+// — the consume below would block forever otherwise), a failed Cancel on
+// a close entry always observes the channel closed, and the fired +
+// cancelled counters account for every operation with nothing left
+// armed.
+func TestConcurrentArmCancelAgainstStealingTickers(t *testing.T) {
+	w := New(Config{Tick: time.Millisecond, Shards: 4, StealLag: 1})
+	defer w.Stop()
+
+	const (
+		workers = 8
+		ops     = 300
+	)
+	var (
+		wg    sync.WaitGroup
+		total int64 = workers * ops
+	)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tok := make(chan struct{}, 1)
+			for i := 0; i < ops; i++ {
+				d := time.Duration(1+(g+i)%3) * time.Millisecond
+				switch i % 4 {
+				case 0, 1: // token entry, cancel races the fire
+					h := w.Arm(d, tok)
+					if i%8 < 3 {
+						time.Sleep(d) // let the fire usually win
+					}
+					if !w.Cancel(h) {
+						<-tok // fire owns the token: consume before reuse
+					}
+				case 2: // token entry, let it fire
+					h := w.Arm(d, tok)
+					select {
+					case <-tok:
+					case <-time.After(5 * time.Second):
+						t.Errorf("worker %d op %d: wake-up never delivered", g, i)
+						w.Cancel(h)
+						return
+					}
+				default: // broadcast-close entry, cancel races the close
+					bch := make(chan struct{})
+					h, _ := w.ArmClose(d, bch)
+					if i%8 >= 6 {
+						time.Sleep(d)
+					}
+					if !w.Cancel(h) {
+						select {
+						case <-bch: // closed: every receiver observes it
+						case <-time.After(5 * time.Second):
+							t.Errorf("worker %d op %d: failed Cancel but channel not closed", g, i)
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	s := w.Stats()
+	if s.Armed != 0 {
+		t.Fatalf("%d entries still armed after all ops resolved", s.Armed)
+	}
+	if got := int64(s.Fired) + int64(s.Cancelled); got != total {
+		t.Fatalf("fired %d + cancelled %d = %d, want %d (every op must resolve exactly once)",
+			s.Fired, s.Cancelled, got, total)
+	}
+}

@@ -1,0 +1,180 @@
+package wheel
+
+import (
+	"testing"
+	"time"
+)
+
+// armOnShard arms an entry due at the given tick and retries (cancelling
+// misses) until the round-robin spread lands it on shard si. The manual
+// wheel's clock is frozen at tick 0, so w.at(tick) selects the due tick
+// deterministically; only the shard pick is rotating.
+func armOnShard(t *testing.T, w *Wheel, si int, tick uint64, ch chan struct{}) Handle {
+	t.Helper()
+	for i := 0; i < 64; i++ {
+		h := w.Arm(w.at(tick), ch)
+		if h == (Handle{}) {
+			t.Fatalf("arm at tick %d fired immediately", tick)
+		}
+		if hs, _, _ := h.unpack(); hs == si {
+			return h
+		}
+		if !w.Cancel(h) {
+			t.Fatalf("cancel of fresh entry at tick %d failed", tick)
+		}
+	}
+	t.Fatalf("round-robin never landed on shard %d", si)
+	return Handle{}
+}
+
+// TestStealRepublishesNextDeadline is the minArm-after-steal regression
+// test (tick-exact, alongside the horizon-boundary suite): after a
+// sibling steals an overdue shard's service pass, the victim's next
+// service deadline must be re-published through its minArm mailbox and a
+// kick — CAS-min, never a swap — so the victim's ticker, whose timer
+// still targets the pre-steal plan, retargets instead of sleeping past
+// it, and a concurrently kicked earlier deadline survives the republish.
+func TestStealRepublishesNextDeadline(t *testing.T) {
+	w := testWheel(t, Config{Slots0: 8, Slots1: 4, Shards: 2, StealLag: 2})
+	v := &w.shards[1]
+
+	ch1 := make(chan struct{}, 1)
+	ch2 := make(chan struct{}, 1)
+	armOnShard(t, w, 1, 4, ch1)  // overdue once now reaches 6
+	armOnShard(t, w, 1, 20, ch2) // level-1 resident: next service at boundary 8
+
+	// The victim's ticker published a plan for tick 4 and went to sleep.
+	// Pre-load its mailbox with a kicked-but-unabsorbed deadline of 5 —
+	// lower than anything the steal will republish — to pin that the
+	// steal lowers the mailbox with CAS-min rather than swapping it away.
+	v.nextWake.Store(4)
+	v.minArm.Store(5)
+	for len(v.kick) > 0 { // drain arm-time kicks; the steal must re-kick
+		<-v.kick
+	}
+
+	var sc []firing
+	if w.stealFrom(1, 5, &sc) {
+		t.Fatalf("stole at now=5: plan 4 is only 1 tick overdue, lag is 2")
+	}
+	if !w.stealFrom(1, 6, &sc) {
+		t.Fatalf("no steal at now=6 with plan 4 two ticks overdue")
+	}
+	if !drained(ch1) {
+		t.Fatalf("stolen pass did not deliver the overdue entry")
+	}
+	if drained(ch2) {
+		t.Fatalf("stolen pass fired the future entry (due 20) early")
+	}
+	// The entry due at 20 sits in level 1, so the shard's next service
+	// tick is the revolution boundary at 8 (where the cascade runs).
+	if got := v.nextWake.Load(); got != 8 {
+		t.Fatalf("post-steal published plan = %d, want 8", got)
+	}
+	// CAS-min: the pre-existing mailbox value 5 beats the post-steal
+	// service deadline 8 and must survive the republish. (A swap here is
+	// exactly the skipped-deadline bug: it would consume a concurrent
+	// arm's kicked deadline that the dedup channel no longer covers.)
+	if got := v.minArm.Load(); got != 5 {
+		t.Fatalf("post-steal mailbox = %d, want 5 (CAS-min must not overwrite)", got)
+	}
+	if len(v.kick) != 1 {
+		t.Fatalf("steal did not kick the victim ticker")
+	}
+	if got := w.Stats().Steals; got != 1 {
+		t.Fatalf("Steals = %d, want 1", got)
+	}
+
+	// Tick-exactness of the surviving deadline: the victim catches up to
+	// tick 19 (cascading 20 down at boundary 16) without firing it, then
+	// fires it exactly at 20.
+	if nd := w.serviceShard(v, 19, &sc); nd != 20 {
+		t.Fatalf("victim next-due after catch-up = %d, want 20", nd)
+	}
+	if drained(ch2) {
+		t.Fatalf("entry due at 20 fired at 19")
+	}
+	w.serviceShard(v, 20, &sc)
+	if !drained(ch2) {
+		t.Fatalf("entry due at 20 did not fire at 20 after the steal")
+	}
+}
+
+// TestStealSeesUnabsorbedMailbox pins the eligibility half of the fix:
+// a victim parked idle (published plan idleWake, no timer) whose only
+// deadline sits in the kicked-but-unabsorbed minArm mailbox must still
+// be stealable — the published plan alone must not hide overdue work.
+func TestStealSeesUnabsorbedMailbox(t *testing.T) {
+	w := testWheel(t, Config{Slots0: 8, Slots1: 4, Shards: 2, StealLag: 2})
+	v := &w.shards[1]
+
+	// The ticker planned "idle", then an arm landed: the plan stays
+	// idleWake, the deadline travels only through the mailbox (plus a
+	// queued kick the starved victim never processed).
+	v.nextWake.Store(idleWake)
+	ch := make(chan struct{}, 1)
+	armOnShard(t, w, 1, 3, ch)
+	if got := v.minArm.Load(); got != 3 {
+		t.Fatalf("arm against an idle plan left mailbox = %d, want 3", got)
+	}
+
+	var sc []firing
+	if !w.stealFrom(1, 6, &sc) {
+		t.Fatalf("no steal of idle-planned shard with mailbox deadline 3 at now=6")
+	}
+	if !drained(ch) {
+		t.Fatalf("stolen pass did not deliver the mailbox-only entry")
+	}
+	if got := v.nextWake.Load(); got != idleWake {
+		t.Fatalf("post-steal plan on empty shard = %d, want idleWake", got)
+	}
+	// The stale mailbox value stays (only the owner ticker may swap it);
+	// it is self-healing — the queued kick makes the victim run one
+	// cheap early pass and fold it — and deliberately so: clearing it
+	// here could race a concurrent arm into an unbounded sleep.
+	if got := v.minArm.Load(); got != 3 {
+		t.Fatalf("steal swapped the victim mailbox (got %d, want stale 3)", got)
+	}
+}
+
+// TestStealIgnoresLiveRecompute: a shard whose plan reads 0 is being
+// recomputed right now (by its own ticker or another thief) — stealing
+// it would double-claim, so the sweep must skip it.
+func TestStealIgnoresLiveRecompute(t *testing.T) {
+	w := testWheel(t, Config{Slots0: 8, Slots1: 4, Shards: 2, StealLag: 2})
+	ch := make(chan struct{}, 1)
+	armOnShard(t, w, 1, 2, ch)
+	w.shards[1].nextWake.Store(0)
+	var sc []firing
+	if w.stealFrom(1, 10, &sc) {
+		t.Fatalf("stole a shard mid-recompute (plan 0)")
+	}
+	if drained(ch) {
+		t.Fatalf("skipped steal still fired the entry")
+	}
+}
+
+// TestTickerStealEndToEnd drives live tickers with a multi-shard wheel
+// under churn — the end-to-end (goroutine) counterpart of the
+// deterministic steal tests above. Every armed wake-up must be delivered
+// even when shard tickers contend for the scheduler.
+func TestTickerStealEndToEnd(t *testing.T) {
+	w := New(Config{Tick: time.Millisecond, Shards: 2, StealLag: 1})
+	defer w.Stop()
+	done := make(chan struct{}, 64)
+	const n = 32
+	for i := 0; i < n; i++ {
+		w.Arm(time.Duration(1+i%4)*time.Millisecond, done)
+	}
+	timeout := time.After(10 * time.Second)
+	for i := 0; i < n; i++ {
+		select {
+		case <-done:
+		case <-timeout:
+			t.Fatalf("only %d/%d wake-ups delivered", i, n)
+		}
+	}
+	if got := w.Stats().Armed; got != 0 {
+		t.Fatalf("%d entries still armed after all fires", got)
+	}
+}

@@ -1,7 +1,7 @@
 // Package wheel is the process-wide wake-up engine behind the thrifty
 // barrier's internal (timer) wake-up: a sharded, two-level hierarchical
 // timing wheel that replaces one runtime timer per parked waiter with one
-// timer for the whole process.
+// timer per mini-wheel shard.
 //
 // The paper's hybrid wake-up (§3.3.2) pairs a programmable timer in the
 // cache controller with the external invalidation from the last arriver;
@@ -17,9 +17,12 @@
 //     generation-tagged Handle.
 //   - Cancel is an O(1) unlink — the common case, paid by the release
 //     broadcast path, never touches a heap or the runtime.
-//   - One ticker goroutine (one runtime timer per process, not per
-//     waiter) advances all shards, sleeping until the earliest occupied
-//     slot rather than polling every tick.
+//   - One ticker goroutine per shard (per-P mini-wheels: the default
+//     shard count tracks GOMAXPROCS) sleeps until its shard's earliest
+//     occupied slot rather than polling every tick, and an awake ticker
+//     steals service of a sibling shard whose deadline has gone overdue —
+//     lateness from one descheduled ticker never piles up behind one
+//     runtime timer.
 //
 // The tick is deliberately coarse — DefaultTick matches the barrier's
 // default ParkMargin, the anticipation gap before the predicted release —
@@ -31,14 +34,17 @@
 // requested duration has elapsed.
 //
 // Layout: each shard is an independent mini-wheel (its own lock, node
-// arena, slot lists and cursors), so concurrent arms and cancels from
-// many barriers spread across shards instead of serializing. A shard has
-// Slots0 level-0 buckets of one tick each (one "revolution" =
+// arena, slot lists, cursors, ticker and timer), so concurrent arms and
+// cancels from many barriers spread across shards instead of serializing.
+// A shard has Slots0 level-0 buckets of one tick each (one "revolution" =
 // Slots0×Tick), Slots1 level-1 buckets of one revolution each, and an
 // overflow bucket beyond the two-level horizon. Entries cascade toward
 // level 0 as their revolution arrives; all bucket surgery happens under
 // the shard lock, and nodes live in a per-shard arena recycled through a
-// free list, so the arm/cancel steady state allocates nothing.
+// free list, so the arm/cancel steady state allocates nothing. An advance
+// pass collects every due entry for the serviced ticks under one lock
+// acquisition and delivers the batch — channel sends and broadcast closes
+// — after the lock is released.
 package wheel
 
 import (
@@ -60,6 +66,11 @@ import (
 // 64-bit division.
 const DefaultTick = 65536 * time.Nanosecond
 
+// defaultStealLag is how many ticks past a sibling shard's published
+// deadline an awake ticker waits before stealing its service: one tick of
+// grace for ordinary scheduling jitter, stolen on the second.
+const defaultStealLag = 2
+
 // Config parameterizes a Wheel. The zero value of each field selects the
 // default; slot and shard counts are rounded up to powers of two.
 type Config struct {
@@ -74,9 +85,13 @@ type Config struct {
 	// a ~1s two-level horizon at the default tick; rarer deadlines wait in
 	// the overflow bucket and are re-sorted once per level-1 revolution.
 	Slots1 int
-	// Shards is the number of independent mini-wheels. Default: the
-	// smallest power of two >= GOMAXPROCS, capped at 16.
+	// Shards is the number of independent mini-wheels, each with its own
+	// ticker goroutine. Default: the smallest power of two >= GOMAXPROCS,
+	// capped at 16.
 	Shards int
+	// StealLag is how many ticks overdue a shard's published deadline
+	// must be before a sibling ticker steals its service pass. Default 2.
+	StealLag int
 }
 
 func (c *Config) fill() {
@@ -91,6 +106,9 @@ func (c *Config) fill() {
 	}
 	if c.Shards <= 0 {
 		c.Shards = min(runtime.GOMAXPROCS(0), 16)
+	}
+	if c.StealLag <= 0 {
+		c.StealLag = defaultStealLag
 	}
 	c.Slots0 = ceilPow2(c.Slots0)
 	c.Slots1 = ceilPow2(c.Slots1)
@@ -133,13 +151,14 @@ type node struct {
 	gen        uint32
 	due        uint64 // absolute due tick
 	ch         chan<- struct{}
+	closeCh    bool // broadcast entry: fire closes ch instead of sending
 }
 
 // spinMutex guards one shard. The critical sections it covers are all
 // O(1) and branch-light (a bucket append, an unlink, a bitmap jump), so
 // an inlineable CAS lock beats sync.Mutex's fast path by ~2× on the
 // arm/cancel hot pair; under contention it yields to the scheduler so a
-// preempted holder (single-P case: the ticker mid-pass) can finish.
+// preempted holder (single-P case: a ticker mid-pass) can finish.
 type spinMutex struct{ v atomic.Uint32 }
 
 func (m *spinMutex) Lock() {
@@ -159,7 +178,7 @@ func (m *spinMutex) lockSlow() {
 
 func (m *spinMutex) Unlock() { m.v.Store(0) }
 
-// shard is one independent mini-wheel.
+// shard is one independent mini-wheel with its own ticker goroutine.
 type shard struct {
 	mu spinMutex
 	// done is the last tick this shard has processed; every armed entry
@@ -177,13 +196,32 @@ type shard struct {
 	ovcount   int // entries in the overflow bucket
 	armed     int
 	cancelled uint64   // counted under mu: no atomic on the cancel fast path
-	_         [64]byte // keep neighbouring shards off this shard's lock line
+	_         [64]byte // keep the ticker plan off this shard's lock line
+
+	// nextWake is this shard's ticker's published plan: the tick it
+	// intends to sleep until, idleWake when it has nothing to wait for,
+	// or 0 while the plan is being recomputed — by the shard's own ticker
+	// or by a sibling that claimed the shard for a steal (every Arm kicks
+	// during that window, closing the race between a concurrent arm and
+	// the plan going stale).
+	nextWake atomic.Uint64
+	// minArm carries the earliest kicked deadline to the ticker. It is
+	// strictly CAS-min on the write side — Arm publishing a new deadline,
+	// and a stealer re-publishing the victim's post-steal deadline — and
+	// Swap(idleWake) only by the shard's own ticker as it folds the
+	// mailbox into its plan. A stealer must never swap: the swap could
+	// consume a concurrently armed earlier deadline whose kick token was
+	// deduped away, and the victim would sleep past it.
+	minArm atomic.Uint64
+	kick   chan struct{}
+	_      [64]byte // and the plan off the next shard's lock line
 }
 
 // firing is one due entry collected by an advance pass, in fire order.
 type firing struct {
-	ch  chan<- struct{}
-	due uint64
+	ch      chan<- struct{}
+	due     uint64
+	closeCh bool
 }
 
 // Stats is a snapshot of wheel activity.
@@ -196,6 +234,9 @@ type Stats struct {
 	// Cancelled counts entries disarmed before firing — the external
 	// wake-up winning the §3.3.2 race.
 	Cancelled uint64
+	// Steals counts service passes run by a sibling ticker on behalf of
+	// a lagging shard.
+	Steals uint64
 }
 
 // Wheel is a sharded hierarchical timing wheel. Create one with New (or
@@ -207,28 +248,17 @@ type Wheel struct {
 	tickShift      uint // log2(tick) when tick is a power-of-two ns; 0 = divide
 	s0, s1, nshard int
 	s0bits         uint
+	stealLag       uint64
 	epoch          time.Time
 	shards         []shard
 	rr             atomic.Uint32 // round-robin shard spread for Arm
 
-	// nextWake is the ticker's published plan: the tick it intends to
-	// sleep until, idleWake when it has nothing to wait for, or 0 while
-	// it is recomputing (every Arm kicks during that window, closing the
-	// race between a concurrent arm and the plan going stale).
-	nextWake atomic.Uint64
-	// minArm carries the earliest kicked deadline to the ticker (CAS-min
-	// by Arm, Swap(idleWake) by the ticker), so a kick only retargets the
-	// ticker's timer — it never forces a locked scan of the shards. The
-	// common §3.3.2 outcome is that the kicked entry is cancelled before
-	// its tick arrives, so deferring all locked work to fire time keeps
-	// the ticker off the arm/cancel fast path entirely.
-	minArm   atomic.Uint64
-	kick     chan struct{}
 	stopCh   chan struct{}
 	stopOnce sync.Once
 	fired    atomic.Uint64
-	scratch  []firing // advance-pass collection buffer (ticker-owned)
-	manual   bool     // no ticker goroutine; tests drive advanceTo
+	steals   atomic.Uint64
+	scratch  []firing // manual-mode collection buffer (advanceTo-owned)
+	manual   bool     // no ticker goroutines; tests drive advanceTo
 }
 
 const idleWake = ^uint64(0)
@@ -238,15 +268,17 @@ type noCopy struct{}
 func (*noCopy) Lock()   {}
 func (*noCopy) Unlock() {}
 
-// New builds a wheel and starts its ticker goroutine. Stop releases the
-// goroutine; the process-wide Default wheel is never stopped.
+// New builds a wheel and starts one ticker goroutine per shard. Stop
+// releases them; the process-wide Default wheel is never stopped.
 func New(cfg Config) *Wheel {
 	w := newWheel(cfg)
-	go w.run()
+	for i := 0; i < w.nshard; i++ {
+		go w.runShard(i)
+	}
 	return w
 }
 
-// newManual builds a wheel without a ticker: tests advance it
+// newManual builds a wheel without tickers: tests advance it
 // deterministically through advanceTo.
 func newManual(cfg Config) *Wheel {
 	w := newWheel(cfg)
@@ -257,17 +289,16 @@ func newManual(cfg Config) *Wheel {
 func newWheel(cfg Config) *Wheel {
 	cfg.fill()
 	w := &Wheel{
-		tick:   cfg.Tick,
-		s0:     cfg.Slots0,
-		s1:     cfg.Slots1,
-		nshard: cfg.Shards,
-		s0bits: uint(bits.TrailingZeros(uint(cfg.Slots0))),
-		epoch:  time.Now(),
-		shards: make([]shard, cfg.Shards),
-		kick:   make(chan struct{}, 1),
-		stopCh: make(chan struct{}),
+		tick:     cfg.Tick,
+		s0:       cfg.Slots0,
+		s1:       cfg.Slots1,
+		nshard:   cfg.Shards,
+		s0bits:   uint(bits.TrailingZeros(uint(cfg.Slots0))),
+		stealLag: uint64(cfg.StealLag),
+		epoch:    time.Now(),
+		shards:   make([]shard, cfg.Shards),
+		stopCh:   make(chan struct{}),
 	}
-	w.minArm.Store(idleWake)
 	if t := uint64(cfg.Tick); t&(t-1) == 0 {
 		w.tickShift = uint(bits.TrailingZeros64(t))
 	}
@@ -281,6 +312,8 @@ func newWheel(cfg Config) *Wheel {
 			sh.head[b], sh.tail[b] = -1, -1
 		}
 		sh.occ = make([]uint64, cfg.Slots0/64+1)
+		sh.minArm.Store(idleWake)
+		sh.kick = make(chan struct{}, 1)
 	}
 	return w
 }
@@ -290,15 +323,16 @@ var (
 	defaultWheel *Wheel
 )
 
-// Default returns the process-wide wheel, creating it (and its ticker)
+// Default returns the process-wide wheel, creating it (and its tickers)
 // on first use. All thrifty.Barrier instances in the process share it, so
-// the many-barrier regime pays for one ticker, not one timer per waiter.
+// the many-barrier regime pays for one ticker per shard, not one timer
+// per waiter.
 func Default() *Wheel {
 	defaultOnce.Do(func() { defaultWheel = New(Config{}) })
 	return defaultWheel
 }
 
-// Stop terminates the ticker goroutine. Armed entries never fire after
+// Stop terminates the ticker goroutines. Armed entries never fire after
 // Stop; it exists for tests and short-lived auxiliary wheels.
 func (w *Wheel) Stop() {
 	w.stopOnce.Do(func() { close(w.stopCh) })
@@ -306,7 +340,7 @@ func (w *Wheel) Stop() {
 
 // Stats snapshots the wheel's counters.
 func (w *Wheel) Stats() Stats {
-	s := Stats{Fired: w.fired.Load()}
+	s := Stats{Fired: w.fired.Load(), Steals: w.steals.Load()}
 	for i := range w.shards {
 		sh := &w.shards[i]
 		sh.mu.Lock()
@@ -332,6 +366,17 @@ func (w *Wheel) tickNow() uint64 {
 	return w.toTicks(time.Since(w.epoch))
 }
 
+// DueTick reports the absolute tick an entry armed now for d would fire
+// at — the first tick boundary at or after the requested deadline.
+// Callers coalescing wake-ups compare DueTick results: deadlines that
+// quantize to the same tick can share one broadcast entry (ArmClose).
+func (w *Wheel) DueTick(d time.Duration) uint64 {
+	if d < 0 {
+		d = 0
+	}
+	return w.toTicks(time.Since(w.epoch) + d + w.tick - 1)
+}
+
 // Arm schedules a wake-up: after at least d, one token is sent to ch
 // (non-blocking — ch should be a dedicated channel with capacity 1). It
 // is O(1): pick a shard round-robin, take a node from its arena, append
@@ -350,7 +395,32 @@ func (w *Wheel) Arm(d time.Duration, ch chan<- struct{}) Handle {
 	// Round up from the exact elapsed time: the fire tick is the first
 	// boundary at or after the requested deadline, so a wake-up is never
 	// early (late by at most one tick plus ticker latency).
-	due := w.toTicks(time.Since(w.epoch) + d + w.tick - 1)
+	return w.armAt(w.toTicks(time.Since(w.epoch)+d+w.tick-1), ch, false)
+}
+
+// ArmClose schedules a broadcast wake-up: after at least d, ch is closed
+// — every receiver observes the fire, so any number of waiters whose
+// deadlines quantize to the same tick can share one entry (the
+// coalescing path; see DueTick). It also returns the entry's absolute
+// due tick so the sharing protocol can match joiners against it. Cancel
+// on the returned handle disarms the close; a false Cancel means the
+// close fired (or is firing), which — unlike a token send — is harmless
+// to late receivers, so there is nothing to drain.
+func (w *Wheel) ArmClose(d time.Duration, ch chan struct{}) (Handle, uint64) {
+	due := w.DueTick(d)
+	if d <= 0 {
+		w.fired.Add(1)
+		close(ch)
+		return Handle{}, due
+	}
+	return w.armAt(due, ch, true), due
+}
+
+// armAt files one entry at the absolute tick due (> now when computed by
+// the callers above, but re-checked against the shard cursor under the
+// lock) and kicks the owning shard's ticker if the new deadline precedes
+// its published plan.
+func (w *Wheel) armAt(due uint64, ch chan<- struct{}, closeCh bool) Handle {
 	si := 0
 	if w.nshard > 1 {
 		si = int(w.rr.Add(1)) & (w.nshard - 1)
@@ -362,13 +432,19 @@ func (w *Wheel) Arm(d time.Duration, ch chan<- struct{}) Handle {
 		// under extreme scheduling delay): deliver immediately rather
 		// than waiting a full revolution.
 		sh.mu.Unlock()
-		w.fireNow(ch)
+		if closeCh {
+			w.fired.Add(1)
+			close(ch)
+		} else {
+			w.fireNow(ch)
+		}
 		return Handle{}
 	}
 	idx := sh.alloc()
 	n := &sh.nodes[idx]
 	n.due = due
 	n.ch = ch
+	n.closeCh = closeCh
 	if due>>w.s0bits == sh.done>>w.s0bits {
 		// Level-0 fast path, manually inlined: the whole default
 		// timed-park band lands here (one bitmap OR, one tail append).
@@ -390,28 +466,39 @@ func (w *Wheel) Arm(d time.Duration, ch chan<- struct{}) Handle {
 	gen := n.gen
 	sh.mu.Unlock()
 
-	// Kick the ticker if this deadline precedes its published plan (or
-	// the plan is being recomputed): publish the deadline through minArm
-	// (CAS-min), then nudge through the cap-1 dedup channel. The ticker
-	// handles the kick lock-free — it only retargets its timer.
-	if nw := w.nextWake.Load(); nw == 0 || due < nw {
-		for {
-			cur := w.minArm.Load()
-			if due >= cur || w.minArm.CompareAndSwap(cur, due) {
-				break
-			}
-		}
-		// A pending kick already covers this arm (the ticker reads minArm
-		// after draining the channel), so skip the send — and its channel
-		// lock — when one is queued.
-		if len(w.kick) == 0 {
-			select {
-			case w.kick <- struct{}{}:
-			default:
-			}
-		}
+	// Kick the shard's ticker if this deadline precedes its published
+	// plan (or the plan is being recomputed — by the ticker itself or by
+	// a stealing sibling): publish the deadline through minArm (CAS-min),
+	// then nudge through the cap-1 dedup channel. The ticker handles the
+	// kick lock-free — it only retargets its timer.
+	if nw := sh.nextWake.Load(); nw == 0 || due < nw {
+		casMin(&sh.minArm, due)
+		sh.kickTicker()
 	}
 	return makeHandle(si, int(idx), gen)
+}
+
+// casMin lowers a to v (CAS loop); it never raises it.
+func casMin(a *atomic.Uint64, v uint64) {
+	for {
+		cur := a.Load()
+		if v >= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// kickTicker nudges the shard's ticker through the cap-1 dedup channel.
+// A pending kick already covers the caller (the ticker reads minArm
+// after draining the channel), so the send — and its channel lock — is
+// skipped when one is queued.
+func (sh *shard) kickTicker() {
+	if len(sh.kick) == 0 {
+		select {
+		case sh.kick <- struct{}{}:
+		default:
+		}
+	}
 }
 
 func (w *Wheel) fireNow(ch chan<- struct{}) {
@@ -423,8 +510,9 @@ func (w *Wheel) fireNow(ch chan<- struct{}) {
 }
 
 // Cancel disarms h. It returns true if the entry was still pending — no
-// token was or will be delivered — and false if the entry already fired
-// (or h is stale or zero). O(1): one shard lock, one list unlink.
+// token was or will be delivered (no close will happen, for ArmClose
+// entries) — and false if the entry already fired (or h is stale or
+// zero). O(1): one shard lock, one list unlink.
 func (w *Wheel) Cancel(h Handle) bool {
 	if h.v == 0 {
 		return false
@@ -585,7 +673,7 @@ func (sh *shard) fireBucket(w *Wheel, b int32, out *[]firing) {
 	for idx := sh.head[b]; idx >= 0; {
 		n := &sh.nodes[idx]
 		next := n.next
-		*out = append(*out, firing{n.ch, n.due})
+		*out = append(*out, firing{n.ch, n.due, n.closeCh})
 		sh.freeNode(idx)
 		sh.armed--
 		idx = next
@@ -618,10 +706,13 @@ func (sh *shard) replaceBucket(w *Wheel, b int32, ref uint64) {
 
 // advance processes this shard's ticks through now, collecting due
 // entries into out, and reports the shard's next service tick — computed
-// under the same lock acquisition, so one ticker pass takes each shard
+// under the same lock acquisition, so one service pass takes the shard
 // lock exactly once. The loop jumps across empty stretches using the
 // occupancy bitmap, so catch-up after a long sleep costs O(occupied
-// slots + revolution boundaries), not O(ticks).
+// slots + revolution boundaries), not O(ticks). Because done is
+// monotonic and all surgery is under sh.mu, concurrent passes — the
+// shard's own ticker racing a stealing sibling — serialize safely: the
+// second pass finds nothing left to fire.
 func (sh *shard) advance(w *Wheel, now uint64, out *[]firing) (uint64, bool) {
 	sh.mu.Lock()
 	mask := uint64(w.s0 - 1)
@@ -688,11 +779,42 @@ func (sh *shard) nextDueLocked(w *Wheel) uint64 {
 	return best
 }
 
+// serviceShard is one batched service pass: advance the shard to now
+// under one lock acquisition, then deliver the whole batch of due
+// entries — the k channel sends/closes — outside the lock. Returns the
+// shard's next service tick.
+func (w *Wheel) serviceShard(sh *shard, now uint64, scratch *[]firing) uint64 {
+	*scratch = (*scratch)[:0]
+	nd, _ := sh.advance(w, now, scratch)
+	w.deliver(*scratch)
+	return nd
+}
+
+// deliver fires a collected batch: one counter add for the batch, then a
+// non-blocking token send (Arm entries) or a broadcast close (ArmClose
+// entries) per firing, in collection order.
+func (w *Wheel) deliver(batch []firing) {
+	if len(batch) == 0 {
+		return
+	}
+	w.fired.Add(uint64(len(batch)))
+	for _, f := range batch {
+		if f.closeCh {
+			close(f.ch)
+		} else {
+			select {
+			case f.ch <- struct{}{}:
+			default:
+			}
+		}
+	}
+}
+
 // advanceTo advances every shard through now, delivers the collected
-// wake-ups (non-blocking sends, in collection order) and reports the
-// earliest tick needing service across all shards. It returns the fire
-// list for the deterministic tests; the slice is reused by the next
-// call.
+// wake-ups (in collection order) and reports the earliest tick needing
+// service across all shards. It returns the fire list for the
+// deterministic tests; the slice is reused by the next call. Manual-mode
+// only (the ticker path services shards independently).
 func (w *Wheel) advanceTo(now uint64) ([]firing, uint64) {
 	w.scratch = w.scratch[:0]
 	next := idleWake
@@ -701,42 +823,94 @@ func (w *Wheel) advanceTo(now uint64) ([]firing, uint64) {
 			next = d
 		}
 	}
-	if len(w.scratch) > 0 {
-		w.fired.Add(uint64(len(w.scratch)))
-		for _, f := range w.scratch {
-			select {
-			case f.ch <- struct{}{}:
-			default:
-			}
-		}
-	}
+	w.deliver(w.scratch)
 	return w.scratch, next
 }
 
-// run is the ticker: one goroutine, one runtime timer, for the whole
-// wheel. It sleeps until the earliest due tick across all shards; Arm
-// kicks it when a new deadline precedes the published plan. A kick only
-// retargets the timer (lock-free: the deadline travels through minArm),
-// so the ticker takes shard locks exclusively at fire time — arms and
+// stealFrom services shard vi on behalf of its ticker if its deadline —
+// the published plan or a kicked-but-unabsorbed mailbox entry — is at
+// least stealLag ticks overdue. It returns whether a steal ran.
+//
+// The protocol mirrors the victim ticker's own recompute: claim the plan
+// by CASing it to 0 (so concurrent Arms kick unconditionally, exactly as
+// they do while the victim recomputes), service the shard, then publish
+// the post-steal deadline. The publish must go through the victim's
+// minArm mailbox with CAS-min — never a swap — and a kick: the victim's
+// own timer still targets the pre-steal plan, and without the mailbox
+// re-evaluation an idle-parked victim would sleep past the stolen
+// shard's next deadline entirely (the skip the regression test in
+// steal_test.go pins).
+func (w *Wheel) stealFrom(vi int, now uint64, scratch *[]firing) bool {
+	v := &w.shards[vi]
+	plan := v.nextWake.Load()
+	if plan == 0 {
+		return false // victim (or another thief) is mid-recompute: it is live
+	}
+	due := plan
+	if m := v.minArm.Load(); m < due {
+		// A kicked deadline the victim has not absorbed yet counts too:
+		// an idle plan must not hide an overdue mailbox.
+		due = m
+	}
+	if due == idleWake || due+w.stealLag > now {
+		return false
+	}
+	if !v.nextWake.CompareAndSwap(plan, 0) {
+		return false // victim woke up on its own; leave it to it
+	}
+	w.steals.Add(1)
+	nd := w.serviceShard(v, now, scratch)
+	// Publish only if the victim has not republished meanwhile (its own
+	// recompute is always fresher than ours).
+	v.nextWake.CompareAndSwap(0, nd)
+	if nd != idleWake {
+		casMin(&v.minArm, nd)
+		v.kickTicker()
+	}
+	return true
+}
+
+// stealSweep is the work-stealing pass an awake ticker runs after
+// servicing its own shard: check every sibling and steal service of any
+// that has gone overdue.
+func (w *Wheel) stealSweep(self int, now uint64, scratch *[]firing) {
+	for off := 1; off < w.nshard; off++ {
+		w.stealFrom((self+off)&(w.nshard-1), now, scratch)
+	}
+}
+
+// runShard is shard si's ticker: one goroutine, one runtime timer per
+// shard. It sleeps until the shard's earliest due tick; Arm kicks it
+// when a new deadline precedes the published plan. A kick only retargets
+// the timer (lock-free: the deadline travels through minArm), so the
+// ticker takes the shard lock exclusively at fire time — arms and
 // cancels never contend with it in the §3.3.2 steady state where the
-// external wake-up cancels the entry before its tick arrives.
-func (w *Wheel) run() {
+// external wake-up cancels the entry before its tick arrives. While
+// awake it also runs a steal sweep over the sibling shards, so one
+// descheduled ticker cannot strand its shard's deadlines.
+func (w *Wheel) runShard(si int) {
+	sh := &w.shards[si]
 	timer := time.NewTimer(time.Hour)
 	timer.Stop()
 	defer timer.Stop()
+	var scratch []firing
 	for {
 		// Publish "recomputing": any Arm that lands between here and the
 		// Store below kicks unconditionally, so the plan can never go
 		// stale against a concurrent arm.
-		w.nextWake.Store(0)
-		_, next := w.advanceTo(w.tickNow())
+		sh.nextWake.Store(0)
+		now := w.tickNow()
+		next := w.serviceShard(sh, now, &scratch)
 		// Fold in any arm that kicked during the scan: min keeps the plan
 		// a lower bound on the earliest service time, and an early wake-up
 		// is only a cheap extra pass.
-		if m := w.minArm.Swap(idleWake); m < next {
+		if m := sh.minArm.Swap(idleWake); m < next {
 			next = m
 		}
-		w.nextWake.Store(next)
+		sh.nextWake.Store(next)
+		if w.nshard > 1 {
+			w.stealSweep(si, now, &scratch)
+		}
 	sleeping:
 		for {
 			var sleepC <-chan time.Time
@@ -751,13 +925,13 @@ func (w *Wheel) run() {
 			select {
 			case <-sleepC:
 				break sleeping
-			case <-w.kick:
+			case <-sh.kick:
 				// Retarget only if the kicked deadline beats the plan; a
 				// stale kick (entry already folded in above) re-sleeps on
 				// the unchanged plan.
-				if m := w.minArm.Swap(idleWake); m < next {
+				if m := sh.minArm.Swap(idleWake); m < next {
 					next = m
-					w.nextWake.Store(next)
+					sh.nextWake.Store(next)
 				} else if next == idleWake {
 					continue
 				}

@@ -272,6 +272,11 @@ type round struct {
 	leafCh []chan struct{}
 	done   atomic.Bool
 	broken atomic.Bool
+	// coalesced publishes the round's shared internal wake-up (see
+	// joinCoalesced in wake.go): waiters whose predicted releases
+	// quantize to the same wheel tick share one broadcast-close entry
+	// instead of arming one wheel entry each.
+	coalesced atomic.Pointer[coalescedWake]
 	// armed is the watchdog-arming claim: the first early arriver to win
 	// the CAS arms the watchdog, so arming stays off the arrival word.
 	armed atomic.Bool

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"thriftybarrier/internal/fault"
+	"thriftybarrier/internal/registry"
 	"thriftybarrier/internal/remote"
 	"thriftybarrier/thrifty"
 )
@@ -112,11 +113,16 @@ type Client struct {
 	opts Options
 	src  *fault.Source // deterministic backoff jitter
 
-	mu      sync.Mutex
-	conn    net.Conn
-	waiters map[string]*waiter // barrier → in-flight wait
-	status  chan []remote.BarrierStatus
-	closed  bool
+	mu     sync.Mutex
+	conn   net.Conn
+	status chan []remote.BarrierStatus
+	closed bool
+
+	// waiters maps barrier → in-flight wait. Lookups on the frame
+	// dispatch path (one per received frame) are lock-free; inserts
+	// happen under mu so the closed check in addWaiter and the
+	// collect-and-finish in Close cannot race.
+	waiters *registry.Registry[*waiter]
 
 	wmu sync.Mutex // frame writes
 
@@ -186,7 +192,7 @@ func New(opts Options) (*Client, error) {
 	return &Client{
 		opts:       opts,
 		src:        fault.NewSource(opts.Seed, "client/"+opts.ClientID),
-		waiters:    make(map[string]*waiter),
+		waiters:    registry.New[*waiter](4),
 		closedCh:   make(chan struct{}),
 		baseCtx:    ctx,
 		baseCancel: cancel,
@@ -212,11 +218,14 @@ func (c *Client) Close() error {
 	c.closed = true
 	conn := c.conn
 	c.conn = nil
-	waiters := make([]*waiter, 0, len(c.waiters))
-	for _, w := range c.waiters {
-		waiters = append(waiters, w)
-	}
 	c.mu.Unlock()
+	// Inserts happen under mu, so after closed is set the snapshot below
+	// cannot miss a waiter that will never be finished.
+	var waiters []*waiter
+	c.waiters.Range(func(_ string, _ uint64, w *waiter) bool {
+		waiters = append(waiters, w)
+		return true
+	})
 	close(c.closedCh)
 	c.baseCancel()
 	if conn != nil {
@@ -281,19 +290,14 @@ func (c *Client) addWaiter(barrier string, parties int) (*waiter, error) {
 	if c.closed {
 		return nil, ErrClosed
 	}
-	if _, dup := c.waiters[barrier]; dup {
+	if _, ok := c.waiters.Insert(barrier, w); !ok {
 		return nil, fmt.Errorf("client: wait already in flight on barrier %q", barrier)
 	}
-	c.waiters[barrier] = w
 	return w, nil
 }
 
 func (c *Client) removeWaiter(w *waiter) {
-	c.mu.Lock()
-	if c.waiters[w.barrier] == w {
-		delete(c.waiters, w.barrier)
-	}
-	c.mu.Unlock()
+	c.waiters.Delete(w.barrier, func(got *waiter) bool { return got == w })
 }
 
 func (c *Client) registerFrame(w *waiter) []byte {
@@ -647,10 +651,13 @@ func (c *Client) readLoop(conn net.Conn) {
 	}
 }
 
+// waiterFor resolves the in-flight wait on barrier (nil if none). This
+// is the per-received-frame hot path, and the registry makes it
+// lock-free: frame dispatch never queues behind Wait setup/teardown or
+// the connection bookkeeping under c.mu.
 func (c *Client) waiterFor(barrier string) *waiter {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.waiters[barrier]
+	w, _, _ := c.waiters.Get(barrier)
+	return w
 }
 
 // connLost drops a dead connection and, when waits are pending, kicks
@@ -663,7 +670,7 @@ func (c *Client) connLost(conn net.Conn, err error) {
 		return
 	}
 	c.conn = nil
-	pending := len(c.waiters) > 0
+	pending := c.waiters.Len() > 0
 	kick := pending && !c.redialing && !c.closed
 	if kick {
 		c.redialing = true
@@ -691,12 +698,13 @@ func (c *Client) redialLoop() {
 	}()
 	for attempt := 0; ; attempt++ {
 		c.mu.Lock()
-		pending := make([]*waiter, 0, len(c.waiters))
-		for _, w := range c.waiters {
-			pending = append(pending, w)
-		}
 		closed := c.closed
 		c.mu.Unlock()
+		var pending []*waiter
+		c.waiters.Range(func(_ string, _ uint64, w *waiter) bool {
+			pending = append(pending, w)
+			return true
+		})
 		if closed || len(pending) == 0 {
 			return
 		}
@@ -729,8 +737,8 @@ func (c *Client) heartbeatLoop() {
 		}
 		c.mu.Lock()
 		conn := c.conn
-		pending := len(c.waiters) > 0
 		c.mu.Unlock()
+		pending := c.waiters.Len() > 0
 		if conn == nil && pending {
 			// Keep the lease alive across a dropped connection too.
 			var err error

@@ -1,0 +1,161 @@
+package thrifty
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"thriftybarrier/internal/wheel"
+)
+
+// TestJoinCoalescedSharesTick pins the coalescing rule with an hour-tick
+// wheel (deadlines minutes apart quantize to the same tick, the wheel
+// never fires during the test): same-tick joiners share one armed entry,
+// a different-tick joiner falls back to a private entry (nil), and the
+// last leaver cancels and unpublishes.
+func TestJoinCoalescedSharesTick(t *testing.T) {
+	w := wheel.New(wheel.Config{Tick: time.Hour})
+	defer w.Stop()
+	rd := &round{ch: make(chan struct{})}
+
+	cw1 := joinCoalesced(w, rd, 10*time.Minute)
+	if cw1 == nil {
+		t.Fatal("first join did not create the shared entry")
+	}
+	if got := w.Stats().Armed; got != 1 {
+		t.Fatalf("after first join: %d armed, want 1", got)
+	}
+	cw2 := joinCoalesced(w, rd, 20*time.Minute)
+	if cw2 != cw1 {
+		t.Fatal("same-tick join did not share the published entry")
+	}
+	if got := w.Stats().Armed; got != 1 {
+		t.Fatalf("same-tick join armed a second entry (%d armed)", got)
+	}
+	if got := cw1.refs.Load(); got != 2 {
+		t.Fatalf("refs = %d, want 2", got)
+	}
+
+	// 90 minutes is the next tick: must not join, must not disturb the
+	// published entry.
+	if other := joinCoalesced(w, rd, 90*time.Minute); other != nil {
+		t.Fatal("different-tick join shared the entry instead of falling back")
+	}
+	if rd.coalesced.Load() != cw1 {
+		t.Fatal("different-tick join displaced the published entry")
+	}
+
+	leaveCoalesced(w, rd, cw1)
+	if rd.coalesced.Load() != cw1 {
+		t.Fatal("non-final leave unpublished the entry")
+	}
+	if got := w.Stats().Armed; got != 1 {
+		t.Fatalf("non-final leave cancelled the entry (%d armed)", got)
+	}
+	leaveCoalesced(w, rd, cw1)
+	if rd.coalesced.Load() != nil {
+		t.Fatal("final leave left the entry published")
+	}
+	s := w.Stats()
+	if s.Armed != 0 || s.Cancelled != 1 {
+		t.Fatalf("final leave: %d armed, %d cancelled, want 0/1", s.Armed, s.Cancelled)
+	}
+
+	// A fresh join after teardown creates a new entry.
+	cw3 := joinCoalesced(w, rd, 10*time.Minute)
+	if cw3 == nil || cw3 == cw1 {
+		t.Fatalf("post-teardown join = %p, want fresh entry", cw3)
+	}
+	leaveCoalesced(w, rd, cw3)
+}
+
+// TestJoinCoalescedHelpsTeardown: a joiner that catches the entry with
+// refs already at 0 (the last leaver has decremented but not yet
+// unpublished) must not resurrect it — it helps clear the pointer and
+// creates a fresh entry.
+func TestJoinCoalescedHelpsTeardown(t *testing.T) {
+	w := wheel.New(wheel.Config{Tick: time.Hour})
+	defer w.Stop()
+	rd := &round{ch: make(chan struct{})}
+
+	cw := joinCoalesced(w, rd, 10*time.Minute)
+	cw.refs.Store(0) // simulate the leaver's decrement landing first
+	fresh := joinCoalesced(w, rd, 10*time.Minute)
+	if fresh == cw {
+		t.Fatal("join resurrected a zero-ref entry")
+	}
+	if fresh == nil || rd.coalesced.Load() != fresh {
+		t.Fatal("join did not publish a fresh entry after helping teardown")
+	}
+	w.Cancel(cw.h) // the simulated leaver's half
+	leaveCoalesced(w, rd, fresh)
+}
+
+// TestCoalescedFireWakesAllSharers drives the fire path end to end on a
+// live millisecond wheel: every sharer of the coalesced entry observes
+// the broadcast close, and the post-fire leaves (whose Cancel fails
+// because the entry fired) tear down cleanly.
+func TestCoalescedFireWakesAllSharers(t *testing.T) {
+	w := wheel.New(wheel.Config{Tick: time.Millisecond})
+	defer w.Stop()
+	rd := &round{ch: make(chan struct{})}
+
+	const sharers = 3
+	var wg sync.WaitGroup
+	for i := 0; i < sharers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cw := joinCoalesced(w, rd, 5*time.Millisecond)
+			if cw == nil {
+				// Tick-boundary straddle can split the group; a private
+				// fallback is legal, just not shared — nothing to check.
+				return
+			}
+			select {
+			case <-cw.ch:
+			case <-time.After(5 * time.Second):
+				t.Error("coalesced wake-up never delivered")
+			}
+			leaveCoalesced(w, rd, cw)
+		}()
+	}
+	wg.Wait()
+	if got := w.Stats().Armed; got != 0 {
+		t.Fatalf("%d entries still armed after fire and teardown", got)
+	}
+	if rd.coalesced.Load() != nil {
+		t.Fatal("fired entry still published after all sharers left")
+	}
+}
+
+// TestCoalescedJoinLeaveRace hammers join/leave from many goroutines
+// under the race detector, mixing same-tick and different-tick deadlines
+// so publishes, shared joins, private fallbacks, and teardowns all
+// interleave.
+func TestCoalescedJoinLeaveRace(t *testing.T) {
+	w := wheel.New(wheel.Config{Tick: time.Hour})
+	defer w.Stop()
+	rd := &round{ch: make(chan struct{})}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				d := 10 * time.Minute
+				if (g+i)%3 == 0 {
+					d = 90 * time.Minute // next tick: forces the nil fallback
+				}
+				if cw := joinCoalesced(w, rd, d); cw != nil {
+					leaveCoalesced(w, rd, cw)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := w.Stats().Armed; got != 0 {
+		t.Fatalf("%d entries leaked after churn", got)
+	}
+}

@@ -1,0 +1,75 @@
+package thrifty
+
+import (
+	"fmt"
+
+	"thriftybarrier/internal/registry"
+)
+
+// Group is a named collection of barriers backed by a sharded registry
+// with lock-free lookup: resolving a barrier by name or by ID takes no
+// lock and allocates nothing, so a million-barrier workload (the remote
+// server's register path, the client's waiter table) never serializes on
+// a global map mutex. Writers — creation and removal — are serialized
+// per shard only.
+//
+// A Group must not be copied after first use.
+type Group struct {
+	noCopy noCopy //nolint:unused // vet copylocks marker
+	reg    *registry.Registry[*Barrier]
+}
+
+// NewGroup builds a group sharded for the given expected parallelism
+// (shards is rounded up to a power of two; values < 1 select a single
+// shard).
+func NewGroup(shards int) *Group {
+	return &Group{reg: registry.New[*Barrier](shards)}
+}
+
+// GetOrCreate returns the barrier bound to name, creating one with New
+// (parties, opts) if absent. The returned ID resolves the same barrier
+// through LookupID without hashing the name again. It returns an error
+// if parties < 1, or if the name already holds a barrier with a
+// different party count — silently handing back a mismatched barrier
+// would deadlock the caller's rendezvous.
+func (g *Group) GetOrCreate(name string, parties int, opts Options) (*Barrier, uint64, error) {
+	if parties < 1 {
+		return nil, 0, fmt.Errorf("thrifty: group barrier %q: parties %d < 1", name, parties)
+	}
+	b, id, _ := g.reg.GetOrCreate(name, func() *Barrier { return New(parties, opts) })
+	if b.Parties() != parties {
+		return nil, 0, fmt.Errorf("thrifty: group barrier %q has %d parties, requested %d",
+			name, b.Parties(), parties)
+	}
+	return b, id, nil
+}
+
+// Lookup returns the barrier bound to name and its ID. Lock-free and
+// allocation-free.
+func (g *Group) Lookup(name string) (*Barrier, uint64, bool) {
+	return g.reg.Get(name)
+}
+
+// LookupID returns the barrier with the given ID (as handed out by
+// GetOrCreate). Lock-free: the ID's low bits route straight to the
+// owning shard.
+func (g *Group) LookupID(id uint64) (*Barrier, bool) {
+	return g.reg.GetByID(id)
+}
+
+// Remove unbinds name and returns the removed barrier. The barrier
+// itself is not torn down: waiters already parked on it finish their
+// rendezvous; only new lookups miss.
+func (g *Group) Remove(name string) (*Barrier, bool) {
+	return g.reg.Delete(name, nil)
+}
+
+// Len reports the number of live bindings.
+func (g *Group) Len() int { return g.reg.Len() }
+
+// Range calls f for every live binding until it returns false, iterating
+// a lock-free snapshot: bindings created or removed concurrently may or
+// may not be observed.
+func (g *Group) Range(f func(name string, id uint64, b *Barrier) bool) {
+	g.reg.Range(f)
+}

@@ -1,0 +1,94 @@
+package thrifty
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGroupGetOrCreate(t *testing.T) {
+	g := NewGroup(4)
+	b1, id1, err := g.GetOrCreate("phase", 2, Options{})
+	if err != nil || b1 == nil || id1 == 0 {
+		t.Fatalf("GetOrCreate = (%v, %d, %v)", b1, id1, err)
+	}
+	b2, id2, err := g.GetOrCreate("phase", 2, Options{})
+	if err != nil || b2 != b1 || id2 != id1 {
+		t.Fatalf("second GetOrCreate = (%p, %d, %v), want (%p, %d, nil)", b2, id2, err, b1, id1)
+	}
+	if _, _, err := g.GetOrCreate("phase", 3, Options{}); err == nil {
+		t.Fatal("party-count mismatch not rejected")
+	}
+	if _, _, err := g.GetOrCreate("bad", 0, Options{}); err == nil {
+		t.Fatal("parties 0 not rejected")
+	}
+	if g.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", g.Len())
+	}
+}
+
+func TestGroupLookupAndRemove(t *testing.T) {
+	g := NewGroup(1)
+	b, id, _ := g.GetOrCreate("x", 1, Options{})
+	if got, gid, ok := g.Lookup("x"); !ok || got != b || gid != id {
+		t.Fatalf("Lookup = (%p, %d, %v)", got, gid, ok)
+	}
+	if got, ok := g.LookupID(id); !ok || got != b {
+		t.Fatalf("LookupID = (%p, %v)", got, ok)
+	}
+	if removed, ok := g.Remove("x"); !ok || removed != b {
+		t.Fatalf("Remove = (%p, %v)", removed, ok)
+	}
+	if _, _, ok := g.Lookup("x"); ok {
+		t.Fatal("Lookup after Remove succeeded")
+	}
+	if _, ok := g.LookupID(id); ok {
+		t.Fatal("LookupID after Remove succeeded")
+	}
+	if _, ok := g.Remove("x"); ok {
+		t.Fatal("double Remove succeeded")
+	}
+}
+
+// TestGroupConcurrentResolveAndWait races many goroutines resolving the
+// same names through the lock-free path and actually synchronizing on
+// the barriers they get back — everyone resolving a given name must land
+// on the same Barrier or the Wait below deadlocks.
+func TestGroupConcurrentResolveAndWait(t *testing.T) {
+	g := NewGroup(4)
+	const (
+		names   = 4
+		parties = 4
+	)
+	var wg sync.WaitGroup
+	for n := 0; n < names; n++ {
+		name := fmt.Sprintf("phase-%d", n)
+		for p := 0; p < parties; p++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				b, _, err := g.GetOrCreate(name, parties, Options{})
+				if err != nil {
+					t.Errorf("GetOrCreate(%s): %v", name, err)
+					return
+				}
+				b.Wait()
+			}()
+		}
+	}
+	wg.Wait()
+	if g.Len() != names {
+		t.Fatalf("Len = %d, want %d", g.Len(), names)
+	}
+	seen := 0
+	g.Range(func(name string, id uint64, b *Barrier) bool {
+		if b.Parties() != parties {
+			t.Errorf("Range: %s has %d parties", name, b.Parties())
+		}
+		seen++
+		return true
+	})
+	if seen != names {
+		t.Fatalf("Range visited %d, want %d", seen, names)
+	}
+}

@@ -61,6 +61,72 @@ func disarmWake(h wheel.Handle, ch chan struct{}) {
 	wakeChPool.Put(ch)
 }
 
+// coalescedWake is one shared internal wake-up: a broadcast-close wheel
+// entry that every waiter of the round whose predicted release quantizes
+// to the same tick parks on. refs counts the sharers; the last one out
+// cancels the entry and unpublishes the pointer.
+type coalescedWake struct {
+	due  uint64 // absolute wheel tick the entry fires at
+	ch   chan struct{}
+	h    wheel.Handle
+	refs atomic.Int32
+}
+
+// joinCoalesced returns the round's shared wake-up for a deadline d from
+// now, joining the published entry when its tick matches, creating and
+// publishing one when none exists, and returning nil — caller falls back
+// to a private entry — when the published entry fires at a different
+// tick. Tick quantization is what makes sharing sound: two deadlines on
+// the same tick are indistinguishable to the wheel, so one broadcast
+// close serves both without changing either waiter's wake time.
+func joinCoalesced(w *wheel.Wheel, rd *round, d time.Duration) *coalescedWake {
+	due := w.DueTick(d)
+	for {
+		cw := rd.coalesced.Load()
+		if cw == nil {
+			nw := &coalescedWake{ch: make(chan struct{})}
+			nw.refs.Store(1)
+			nw.h, nw.due = w.ArmClose(d, nw.ch)
+			if nw.due != due {
+				// Time advanced across a tick boundary between DueTick
+				// and ArmClose; the armed tick is the truth.
+				due = nw.due
+			}
+			if rd.coalesced.CompareAndSwap(nil, nw) {
+				return nw
+			}
+			// Lost the publish race: retire the private entry (a failed
+			// Cancel means it already closed — ours alone, no one saw it)
+			// and retry against the winner.
+			w.Cancel(nw.h)
+			continue
+		}
+		if cw.due != due {
+			return nil
+		}
+		r := cw.refs.Load()
+		if r <= 0 {
+			// Mid-teardown: the last leaver is about to unpublish. Help
+			// clear so the retry can create a fresh entry.
+			rd.coalesced.CompareAndSwap(cw, nil)
+			continue
+		}
+		if cw.refs.CompareAndSwap(r, r+1) {
+			return cw
+		}
+	}
+}
+
+// leaveCoalesced drops one reference on the shared wake-up; the last
+// leaver cancels the wheel entry (a failed Cancel means it fired — a
+// closed broadcast channel needs no drain) and unpublishes it.
+func leaveCoalesced(w *wheel.Wheel, rd *round, cw *coalescedWake) {
+	if cw.refs.Add(-1) == 0 {
+		w.Cancel(cw.h)
+		rd.coalesced.CompareAndSwap(cw, nil)
+	}
+}
+
 // timedPark is the hybrid wake-up (§3.3.2): block on the round's
 // broadcast channel (external wake-up, the flag-flip invalidation) and a
 // timing-wheel entry armed at the predicted release minus the margin
@@ -95,6 +161,31 @@ func (b *Barrier) timedPark(rd *round, parkCh chan struct{}, predictedRelease ti
 		out.earlyWake = true
 		cancelled = b.spinThenPark(rd, parkCh, done)
 		return out, cancelled
+	}
+
+	// Coalesced path: with more than two parties, sibling waiters of the
+	// same round predict (nearly) the same release, so their wheel
+	// deadlines usually quantize to the same tick — one broadcast-close
+	// entry serves them all, collapsing k arm/cancel pairs into one. At
+	// parties ≤ 2 there is at most one timed parker per round, so the
+	// shared entry would only add CAS traffic over the pooled private
+	// path below.
+	if b.parties > 2 {
+		if cw := joinCoalesced(wheel.Default(), rd, d); cw != nil {
+			select {
+			case <-parkCh:
+				out.lateWake = true
+			case <-cw.ch:
+				out.earlyWake = true
+				leaveCoalesced(wheel.Default(), rd, cw)
+				cancelled = b.spinThenPark(rd, parkCh, done)
+				return out, cancelled
+			case <-done:
+				cancelled = true
+			}
+			leaveCoalesced(wheel.Default(), rd, cw)
+			return out, cancelled
+		}
 	}
 
 	wch := wakeChPool.Get().(chan struct{})
