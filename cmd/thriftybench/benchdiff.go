@@ -84,6 +84,12 @@ var readmeEngineAnchors = []struct {
 	{"ParallelEngine/shards-1", regexp.MustCompile(`\|\s*parallel engine, 1 shard[^|]*\|\s*([0-9.]+)\s*\|`)},
 	{"ParallelEngine/shards-4", regexp.MustCompile(`\|\s*parallel engine, 4 shards[^|]*\|\s*([0-9.]+)\s*\|`)},
 	{"ParallelEngine/shards-8", regexp.MustCompile(`\|\s*parallel engine, 8 shards[^|]*\|\s*([0-9.]+)\s*\|`)},
+	// "| core machine, sequential reference (64 CPUs) | 1516 |" — the full
+	// sharded CC-NUMA machine on the core-scaling workload, in ns/event.
+	{"ParallelCore/seq", regexp.MustCompile(`\|\s*core machine, sequential reference[^|]*\|\s*([0-9.]+)\s*\|`)},
+	{"ParallelCore/shards-1", regexp.MustCompile(`\|\s*core machine, 1 shard[^|]*\|\s*([0-9.]+)\s*\|`)},
+	{"ParallelCore/shards-4", regexp.MustCompile(`\|\s*core machine, 4 shards[^|]*\|\s*([0-9.]+)\s*\|`)},
+	{"ParallelCore/shards-8", regexp.MustCompile(`\|\s*core machine, 8 shards[^|]*\|\s*([0-9.]+)\s*\|`)},
 }
 
 // loadSuite reads one BENCH_*.json and returns a lookup by result name.

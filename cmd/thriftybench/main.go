@@ -18,6 +18,8 @@
 //	thriftybench -ablation cutoff     # one ablation (cutoff|wakeup|predictor|preempt|…|faults)
 //	thriftybench -scaling             # 64/256/1024-node study on the parallel engine
 //	                                  # (-j also sets the engine's shard count)
+//	thriftybench -core-scaling        # 64/128/256-CPU sharded core-machine study
+//	                                  # (-j 1 = sequential reference engine)
 //	thriftybench -nodes 16 -seed 7    # smaller machine, different seed
 //	thriftybench -all -out results    # also write text + CSV + JSON files
 //	thriftybench -all -j 1            # sequential (identical output)
@@ -56,6 +58,7 @@ func main() {
 		sens      = flag.String("sensitivity", "", "run one sweep: nodes|transition|lockcontention|barrierlatency")
 		ext       = flag.String("extension", "", "run one extension experiment: locks|mp")
 		scaling   = flag.Bool("scaling", false, "run the 64/256/1024-node barrier scaling study on the parallel engine")
+		coreScale = flag.Bool("core-scaling", false, "run the 64/128/256-CPU sharded core-machine study (full CC-NUMA simulation)")
 		nodes     = flag.Int("nodes", 64, "machine size (power of two <= 64)")
 		seed      = flag.Uint64("seed", 1, "workload seed")
 		observer  = flag.Int("observer", 11, "Figure 3 observer thread")
@@ -70,7 +73,7 @@ func main() {
 	)
 	flag.Parse()
 
-	if !*table1 && !*table2 && !*table3 && !*fig3 && !*fig5 && !*fig6 && !*summary && !*scaling &&
+	if !*table1 && !*table2 && !*table3 && !*fig3 && !*fig5 && !*fig6 && !*summary && !*scaling && !*coreScale &&
 		*ablation == "" && *sens == "" && *ext == "" && *markdown == "" && !*benchNow && *benchDiff == "" {
 		*all = true
 	}
@@ -104,7 +107,7 @@ func main() {
 	}
 	if (*benchNow || *benchDiff != "") &&
 		!*all && !*table1 && !*table2 && !*table3 && !*fig3 && !*fig5 && !*fig6 && !*summary &&
-		!*scaling && *ablation == "" && *sens == "" && *ext == "" && *markdown == "" {
+		!*scaling && !*coreScale && *ablation == "" && *sens == "" && *ext == "" && *markdown == "" {
 		return
 	}
 
@@ -123,7 +126,7 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *markdown)
-		if !*all && !*scaling && *ablation == "" && *sens == "" && *ext == "" &&
+		if !*all && !*scaling && !*coreScale && *ablation == "" && *sens == "" && *ext == "" &&
 			!*table1 && !*table2 && !*table3 && !*fig3 && !*fig5 && !*fig6 && !*summary {
 			return
 		}
@@ -297,6 +300,24 @@ func main() {
 			addPost(fmt.Sprintf("scaling_%d.txt", n), fmt.Sprintf("scaling %d", n), func() (string, any) {
 				rows := harness.ScalingExperiment(*seed, n, *jobs)
 				return harness.RenderScaling(n, rows), rows
+			})
+		}
+	}
+	if *all || *coreScale {
+		// Same contract for the sharded core machine: -j sets the engine
+		// shard count (-j 1 selects the plain sequential engine, the golden
+		// reference), and the ParallelMachine's bit-identity guarantee keeps
+		// every artifact — per-CPU digests included — byte-identical across
+		// shard counts.
+		engineShards := *jobs
+		if engineShards == 1 {
+			engineShards = 0
+		}
+		for _, n := range harness.CoreScalingPoints {
+			n := n
+			addPost(fmt.Sprintf("core_scaling_%d.txt", n), fmt.Sprintf("core scaling %d", n), func() (string, any) {
+				rows := harness.CoreScalingExperiment(*seed, n, engineShards)
+				return harness.RenderCoreScaling(n, rows), rows
 			})
 		}
 	}

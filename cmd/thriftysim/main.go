@@ -57,7 +57,10 @@ func main() {
 		scaling = flag.Int("scaling", 0, "run the message-passing cluster at this node count on the parallel engine and exit")
 		alg     = flag.String("alg", "tree", "barrier collective for -scaling: tree|dissemination")
 		radix   = flag.Int("radix", 0, "combining-tree radix for -scaling (0 = config default)")
-		jobs    = flag.Int("j", 0, "parallel-engine shard count for -scaling (0 = GOMAXPROCS)")
+		jobs    = flag.Int("j", 0, "shard count for -scaling/-core-scaling (0 = GOMAXPROCS; 1 = the sequential reference engine)")
+
+		coreScaling = flag.Int("core-scaling", 0, "run the sharded CC-NUMA core machine at this CPU count and exit")
+		topology    = flag.String("topology", "flat", "check-in fabric highlighted by -core-scaling: flat|tree|noctree")
 	)
 	flag.Parse()
 
@@ -69,8 +72,15 @@ func main() {
 		return
 	}
 
+	if *scaling > 0 && *coreScaling > 0 {
+		usage("-scaling and -core-scaling are mutually exclusive")
+	}
 	if *scaling > 0 {
 		runScaling(*scaling, *alg, *radix, *jobs, *seed)
+		return
+	}
+	if *coreScaling > 0 {
+		runCoreScaling(*coreScaling, *topology, *jobs, *seed)
 		return
 	}
 
@@ -321,6 +331,50 @@ func runScaling(nodes int, alg string, radix, jobs int, seed uint64) {
 		res.Stats.Episodes, total,
 		res.Stats.EarlyWakes, res.Stats.ExternalWakes, res.Stats.LateWakes,
 		res.Stats.Disables)
+}
+
+// runCoreScaling runs the core-machine scaling study — the full CC-NUMA
+// machine (caches, directories, predictor) home-node-partitioned onto
+// the conservative parallel engine — at one CPU count and prints the
+// topology × policy sweep. -j picks the shard count; 1 selects the plain
+// sequential engine, the golden reference the sharded runs must match
+// bit for bit, so a -j 1 vs -j 8 diff of the output (minus the header
+// line) is the determinism check. -topology picks which fabric gets the
+// detailed breakdown; every fabric appears in the table.
+func runCoreScaling(nodes int, topology string, jobs int, seed uint64) {
+	topo, err := core.ParseTopology(topology)
+	if err != nil {
+		usage("bad -topology: %v", err)
+	}
+	if nodes < 8 || nodes > 1024 || nodes&(nodes-1) != 0 {
+		usage("bad -core-scaling %d (want a power of two in [8,1024])", nodes)
+	}
+	if jobs < 0 {
+		usage("bad -j %d (want >= 0)", jobs)
+	}
+	shards := jobs
+	if shards == 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	engineShards := shards
+	if shards == 1 {
+		engineShards = 0 // the plain sequential engine: the reference
+	}
+
+	rows := harness.CoreScalingExperiment(seed, nodes, engineShards)
+	fmt.Printf("core scaling: %d CPUs, %d shards (seed %d)\n", nodes, shards, seed)
+	detail := map[core.Topology]string{
+		core.TopologyFlat:    "flat",
+		core.TopologyTree:    "tree r=8",
+		core.TopologyNoCTree: "noc tree",
+	}[topo]
+	for _, r := range rows {
+		if r.Topology == detail && r.Variant == "Thrifty" {
+			fmt.Printf("  %s thrifty: span=%v energy=%.3fx time=%.4fx sleeps=%d events=%d\n",
+				r.Topology, r.Span, r.Energy, r.Time, r.Sleeps, r.Events)
+		}
+	}
+	fmt.Print(harness.RenderCoreScaling(nodes, rows))
 }
 
 func fatal(err error) {

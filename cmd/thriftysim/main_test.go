@@ -39,6 +39,13 @@ func TestBadFlagsExitTwoStdoutClean(t *testing.T) {
 		{"-scaling", "96"},
 		{"-scaling", "64", "-radix", "1"},
 		{"-scaling", "64", "-alg", "butterfly"},
+		// -core-scaling validates the sharded core machine's knobs up
+		// front through the same exit-2 contract.
+		{"-core-scaling", "63"},
+		{"-core-scaling", "2048"},
+		{"-core-scaling", "64", "-topology", "torus"},
+		{"-core-scaling", "64", "-j", "-1"},
+		{"-core-scaling", "64", "-scaling", "64"},
 	}
 	for _, args := range cases {
 		var stdout, stderr bytes.Buffer
@@ -89,6 +96,35 @@ func TestScalingModeRuns(t *testing.T) {
 	// output lines carry spans, joules, and wake counts, so any physics
 	// divergence across -j shows up here.
 	if four := run("-scaling", "64", "-alg", "dissemination", "-j", "4"); stripShards(four) != stripShards(one) {
+		t.Fatalf("-j 4 output diverged from -j 1:\n%s\nvs\n%s", four, one)
+	}
+}
+
+// TestCoreScalingModeRuns smoke-tests the sharded core machine end to
+// end through the CLI: -j 1 selects the plain sequential engine and
+// -j 4 the parallel one, and everything below the header line — spans,
+// joules, per-CPU digests — must be byte-identical between them.
+func TestCoreScalingModeRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary")
+	}
+	bin := buildCmd(t)
+	run := func(args ...string) string {
+		t.Helper()
+		var stdout, stderr bytes.Buffer
+		cmd := exec.Command(bin, args...)
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("%v: %v\n%s", args, err, stderr.String())
+		}
+		return stdout.String()
+	}
+	one := run("-core-scaling", "64", "-topology", "noctree", "-j", "1")
+	if !strings.Contains(one, "64 CPUs") || !strings.Contains(one, "noc tree") {
+		t.Fatalf("unexpected core-scaling output:\n%s", one)
+	}
+	if four := run("-core-scaling", "64", "-topology", "noctree", "-j", "4"); stripShards(four) != stripShards(one) {
 		t.Fatalf("-j 4 output diverged from -j 1:\n%s\nvs\n%s", four, one)
 	}
 }

@@ -24,6 +24,29 @@ type Arch struct {
 	Activity power.Activity
 	// Seed drives all randomness in the run.
 	Seed uint64
+	// RegionNodes is the NoC region size used by the sharded core machine
+	// (ParallelMachine): nodes are partitioned into Nodes/RegionNodes
+	// contiguous regions, each with its own directory slice and cache
+	// models, mapped whole onto engine shards. Zero means the default of
+	// min(Nodes, 8). The sequential Machine ignores it.
+	RegionNodes int
+}
+
+// Regions returns the region count implied by RegionNodes (resolving the
+// zero default).
+func (a Arch) Regions() int {
+	return a.Nodes / a.regionNodes()
+}
+
+func (a Arch) regionNodes() int {
+	rn := a.RegionNodes
+	if rn == 0 {
+		rn = 8
+	}
+	if rn > a.Nodes {
+		rn = a.Nodes
+	}
+	return rn
 }
 
 // DefaultArch reproduces Table 1: a 64-node CC-NUMA machine.
@@ -40,7 +63,9 @@ func DefaultArch() Arch {
 }
 
 // WithNodes returns a copy of the architecture scaled to n nodes (n must be
-// a power of two ≤ 64).
+// a power of two ≤ 1024; past 64 nodes the sharded ParallelMachine is the
+// intended runner, though the sequential Machine still works as the
+// golden reference).
 func (a Arch) WithNodes(n int) Arch {
 	a.Nodes = n
 	a.Coherence.Nodes = n
@@ -252,6 +277,9 @@ func NewMachine(arch Arch, opts Options) *Machine {
 	}
 	if arch.Nodes != arch.Coherence.Nodes || arch.Nodes != arch.NoC.Nodes {
 		panic(fmt.Sprintf("core: inconsistent node counts %d/%d/%d", arch.Nodes, arch.Coherence.Nodes, arch.NoC.Nodes))
+	}
+	if opts.effectiveTopology() == TopologyNoCTree {
+		panic("core: the NoC-matched tree is region-defined; use NewParallelMachine")
 	}
 	net := noc.New(arch.NoC)
 	place := dram.NewPlacement(arch.Nodes, arch.PageBytes)

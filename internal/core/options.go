@@ -128,6 +128,13 @@ type Options struct {
 	// of the flat barrier — the barrier-algorithm sensitivity the Kumar et
 	// al. discussion (§6) motivates. Zero keeps the paper's flat barrier.
 	TreeArity int
+	// Topology selects the check-in fabric explicitly. TopologyFlat with
+	// TreeArity >= 2 still means the fixed-arity combining tree, so
+	// existing configurations keep their meaning; TopologyNoCTree selects
+	// the NoC-matched multi-level tree (level-0 groups are the machine's
+	// NoC regions, upper levels pair region leaders along hypercube
+	// dimensions) and is only supported by the sharded ParallelMachine.
+	Topology Topology
 }
 
 // Validate reports an error for inconsistent options.
@@ -151,6 +158,18 @@ func (o Options) Validate() error {
 	}
 	if o.TreeArity == 1 || o.TreeArity < 0 {
 		return fmt.Errorf("core: tree arity %d must be 0 (flat) or >= 2", o.TreeArity)
+	}
+	switch o.Topology {
+	case TopologyFlat, TopologyNoCTree:
+	case TopologyTree:
+		if o.TreeArity < 2 {
+			return fmt.Errorf("core: topology %v requires TreeArity >= 2", o.Topology)
+		}
+	default:
+		return fmt.Errorf("core: unknown topology %v", o.Topology)
+	}
+	if o.Topology == TopologyNoCTree && o.TreeArity != 0 {
+		return fmt.Errorf("core: NoC-matched tree derives its radices from the region fan-out; TreeArity must be 0")
 	}
 	if o.SpinThenSleep < 0 {
 		return fmt.Errorf("core: negative spin-then-sleep threshold")

@@ -1,0 +1,52 @@
+package harness
+
+import (
+	"math"
+	"testing"
+)
+
+// The experiment's rows — per-CPU digests included — must be invariant
+// to the shard count: the same property the CI determinism job checks on
+// the committed artifacts, pinned here at the 64-CPU point.
+func TestCoreScalingShardInvariant(t *testing.T) {
+	ref := CoreScalingExperiment(1, 64, 0)
+	if len(ref) != 6 {
+		t.Fatalf("got %d rows, want 6 (3 topologies x 2 variants)", len(ref))
+	}
+	for _, shards := range []int{1, 8} {
+		got := CoreScalingExperiment(1, 64, shards)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Errorf("shards=%d row %d diverged:\n got %+v\nwant %+v", shards, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// The study must reproduce the paper's headline at scale: Thrifty saves
+// energy on every topology while staying inside a small slowdown
+// envelope.
+func TestCoreScalingThriftyEnvelope(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256-CPU sweep")
+	}
+	rows := CoreScalingExperiment(1, 256, 8)
+	for _, r := range rows {
+		switch r.Variant {
+		case "Baseline":
+			if math.Abs(r.Energy-1) > 1e-9 || math.Abs(r.Time-1) > 1e-9 {
+				t.Errorf("%s baseline not self-normalized: energy %.3f time %.3f", r.Topology, r.Energy, r.Time)
+			}
+		case "Thrifty":
+			if r.Energy >= 1 {
+				t.Errorf("%s: thrifty energy %.3f not below baseline", r.Topology, r.Energy)
+			}
+			if r.Time > 1.02 {
+				t.Errorf("%s: thrifty slowdown %.4f exceeds the 2%% envelope", r.Topology, r.Time)
+			}
+			if r.Sleeps == 0 {
+				t.Errorf("%s: thrifty never slept", r.Topology)
+			}
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"thriftybarrier/internal/core"
 	"thriftybarrier/internal/harness"
 	"thriftybarrier/internal/sim"
 	"thriftybarrier/thrifty"
@@ -132,6 +133,10 @@ func SimSpecs() []Spec {
 		{"ParallelEngine/shards-1", ParallelEngineEvents(1)},
 		{"ParallelEngine/shards-4", ParallelEngineEvents(4)},
 		{"ParallelEngine/shards-8", ParallelEngineEvents(8)},
+		{"ParallelCore/seq", ParallelCoreEvents(0)},
+		{"ParallelCore/shards-1", ParallelCoreEvents(1)},
+		{"ParallelCore/shards-4", ParallelCoreEvents(4)},
+		{"ParallelCore/shards-8", ParallelCoreEvents(8)},
 	}
 }
 
@@ -309,6 +314,32 @@ func ParallelEngineEvents(shards int) func(*testing.B) {
 			pe.Run()
 		}
 		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*tokens*(hops+1)), "ns/event")
+	}
+}
+
+// ParallelCoreEvents drives the full sharded CC-NUMA core machine —
+// caches, directories, predictor, sleep transitions — through a short
+// Thrifty run at 64 CPUs (8-CPU NoC regions, the core-scaling study's
+// workload) and reports ns/event over the machine's own event count.
+// shards 0 is the plain sequential engine, the golden reference;
+// shards-1 isolates the parallel engine's window overhead on identical
+// physics; shards-4/8 measure the conservative-window throughput the
+// 256-CPU study leans on.
+func ParallelCoreEvents(shards int) func(*testing.B) {
+	return func(b *testing.B) {
+		arch := core.DefaultArch().WithNodes(64)
+		arch.RegionNodes = 8
+		prog := harness.CoreScalingProgram(1, 64, 6)
+		var events uint64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m, err := core.NewParallelMachine(arch, core.Thrifty())
+			if err != nil {
+				b.Fatal(err)
+			}
+			events += m.Run(prog, shards).Events
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(events), "ns/event")
 	}
 }
 

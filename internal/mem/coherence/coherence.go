@@ -59,8 +59,8 @@ func DefaultConfig() Config {
 
 // Validate reports an error for impossible configurations.
 func (c Config) Validate() error {
-	if c.Nodes <= 0 || c.Nodes > 64 || c.Nodes&(c.Nodes-1) != 0 {
-		return fmt.Errorf("coherence: node count %d not a power of two in [1,64]", c.Nodes)
+	if c.Nodes <= 0 || c.Nodes > 1024 || c.Nodes&(c.Nodes-1) != 0 {
+		return fmt.Errorf("coherence: node count %d not a power of two in [1,1024]", c.Nodes)
 	}
 	if err := c.L1.Validate(); err != nil {
 		return err
@@ -77,16 +77,81 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// sharerSet is a bitvector over at most 64 nodes.
-type sharerSet uint64
+// sharerSet is a bitvector over the node space. The common ≤64-node case
+// stays a single word; larger machines (the sharded core model runs to
+// 1024 nodes) grow extra words lazily. forEach visits set bits in
+// ascending node order, which keeps invalidation delivery order — and
+// therefore the simulation — deterministic.
+type sharerSet struct {
+	word uint64   // nodes 0..63
+	ext  []uint64 // nodes 64..; word i covers 64*(i+1)..64*(i+2)-1
+}
 
-func (s sharerSet) has(n int) bool { return s&(1<<uint(n)) != 0 }
-func (s *sharerSet) add(n int)     { *s |= 1 << uint(n) }
-func (s *sharerSet) remove(n int)  { *s &^= 1 << uint(n) }
-func (s sharerSet) count() int     { return bits.OnesCount64(uint64(s)) }
-func (s sharerSet) forEach(f func(int)) {
-	for v := uint64(s); v != 0; v &= v - 1 {
+func (s *sharerSet) has(n int) bool {
+	if n < 64 {
+		return s.word&(1<<uint(n)) != 0
+	}
+	i := n/64 - 1
+	return i < len(s.ext) && s.ext[i]&(1<<uint(n%64)) != 0
+}
+
+func (s *sharerSet) add(n int) {
+	if n < 64 {
+		s.word |= 1 << uint(n)
+		return
+	}
+	i := n/64 - 1
+	for len(s.ext) <= i {
+		s.ext = append(s.ext, 0)
+	}
+	s.ext[i] |= 1 << uint(n%64)
+}
+
+func (s *sharerSet) remove(n int) {
+	if n < 64 {
+		s.word &^= 1 << uint(n)
+		return
+	}
+	if i := n/64 - 1; i < len(s.ext) {
+		s.ext[i] &^= 1 << uint(n%64)
+	}
+}
+
+func (s *sharerSet) empty() bool {
+	if s.word != 0 {
+		return false
+	}
+	for _, w := range s.ext {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *sharerSet) clear() {
+	s.word = 0
+	for i := range s.ext {
+		s.ext[i] = 0
+	}
+}
+
+func (s *sharerSet) count() int {
+	c := bits.OnesCount64(s.word)
+	for _, w := range s.ext {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+func (s *sharerSet) forEach(f func(int)) {
+	for v := s.word; v != 0; v &= v - 1 {
 		f(bits.TrailingZeros64(v))
+	}
+	for i, w := range s.ext {
+		for v := w; v != 0; v &= v - 1 {
+			f(64*(i+1) + bits.TrailingZeros64(v))
+		}
 	}
 }
 
@@ -278,7 +343,7 @@ func (p *Protocol) evictFromDirectory(node int, line uint64, dirty bool) {
 	switch e.state {
 	case dirShared:
 		e.sharers.remove(node)
-		if e.sharers == 0 {
+		if e.sharers.empty() {
 			delete(p.dir, line)
 		}
 	case dirExclusive:
@@ -322,7 +387,7 @@ func (p *Protocol) readMiss(node int, line uint64, now sim.Cycles) AccessResult 
 		lat += p.net.Latency(home, node, p.cfg.DataBytes)
 		e.state = dirExclusive
 		e.owner = node
-		e.sharers = 0
+		e.sharers.clear()
 		p.fillLine(node, line, cache.Exclusive)
 
 	case dirShared:
@@ -358,7 +423,7 @@ func (p *Protocol) readMiss(node int, line uint64, now sim.Cycles) AccessResult 
 		p.l1s[owner].SetState(line, cache.Shared)
 		p.l2s[owner].SetState(line, cache.Shared)
 		e.state = dirShared
-		e.sharers = 0
+		e.sharers.clear()
 		e.sharers.add(owner)
 		e.sharers.add(node)
 		p.fillLine(node, line, cache.Shared)
@@ -425,7 +490,7 @@ func (p *Protocol) upgrade(node int, line uint64, now sim.Cycles, probe sim.Cycl
 	lat += ackMax
 	e.state = dirExclusive
 	e.owner = node
-	e.sharers = 0
+	e.sharers.clear()
 	p.l1s[node].SetState(line, cache.Modified)
 	p.l2s[node].SetState(line, cache.Modified)
 	p.fillLine(node, line, cache.Modified)
@@ -485,7 +550,7 @@ func (p *Protocol) writeMiss(node int, line uint64, now sim.Cycles) AccessResult
 	}
 	e.state = dirExclusive
 	e.owner = node
-	e.sharers = 0
+	e.sharers.clear()
 	p.fillLine(node, line, cache.Modified)
 	res.Latency = lat
 	return res
@@ -535,7 +600,7 @@ func (p *Protocol) downgradeExclusives(node int) {
 				p.l1s[node].SetState(line, cache.Shared)
 				p.l2s[node].SetState(line, cache.Shared)
 				e.state = dirShared
-				e.sharers = 0
+				e.sharers.clear()
 				e.sharers.add(node)
 			} else if !ok {
 				// Directory thinks node owns it but the cache dropped it
